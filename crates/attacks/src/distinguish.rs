@@ -1,0 +1,107 @@
+//! Trace-distinguishing utilities.
+//!
+//! The paper's leakage measure counts distinguishable traces (§2.1). These
+//! helpers let tests and benches ask the operational question directly:
+//! given the traces two different secrets produced, can an adversary tell
+//! them apart at all?
+
+use otc_core::SlotRecord;
+
+/// Whether two observable traces are identical (same access times; the
+/// real/dummy flag is *not* observable and is ignored).
+pub fn traces_identical(a: &[SlotRecord], b: &[SlotRecord]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.start == y.start)
+}
+
+/// Whether two traces are identical over their common prefix — the right
+/// notion when runs were truncated at slightly different horizons.
+pub fn traces_identical_prefix(a: &[SlotRecord], b: &[SlotRecord]) -> bool {
+    let n = a.len().min(b.len());
+    a[..n]
+        .iter()
+        .zip(b[..n].iter())
+        .all(|(x, y)| x.start == y.start)
+}
+
+/// First index at which two traces diverge (`None` if one is a prefix of
+/// the other).
+pub fn first_divergence(a: &[SlotRecord], b: &[SlotRecord]) -> Option<usize> {
+    a.iter()
+        .zip(b.iter())
+        .position(|(x, y)| x.start != y.start)
+}
+
+/// Empirical distinguishing advantage over a set of (secret, trace) runs:
+/// the fraction of distinct-secret pairs whose traces differ. 0.0 means
+/// the channel revealed nothing about which secret ran; 1.0 means every
+/// pair is distinguishable.
+pub fn distinguishing_advantage(traces: &[Vec<SlotRecord>]) -> f64 {
+    let mut pairs = 0u64;
+    let mut distinguishable = 0u64;
+    for i in 0..traces.len() {
+        for j in (i + 1)..traces.len() {
+            pairs += 1;
+            if !traces_identical_prefix(&traces[i], &traces[j]) {
+                distinguishable += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        distinguishable as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(starts: &[u64]) -> Vec<SlotRecord> {
+        starts
+            .iter()
+            .map(|&start| SlotRecord { start, real: true })
+            .collect()
+    }
+
+    #[test]
+    fn identical_ignores_real_flag() {
+        let mut a = t(&[1, 2, 3]);
+        let b = t(&[1, 2, 3]);
+        a[1].real = false;
+        assert!(traces_identical(&a, &b));
+    }
+
+    #[test]
+    fn different_lengths_not_identical_but_prefix_ok() {
+        let a = t(&[1, 2, 3]);
+        let b = t(&[1, 2]);
+        assert!(!traces_identical(&a, &b));
+        assert!(traces_identical_prefix(&a, &b));
+    }
+
+    #[test]
+    fn divergence_position() {
+        assert_eq!(first_divergence(&t(&[1, 2, 3]), &t(&[1, 9, 3])), Some(1));
+        assert_eq!(first_divergence(&t(&[1, 2]), &t(&[1, 2, 3])), None);
+    }
+
+    #[test]
+    fn advantage_extremes() {
+        // All identical → 0.
+        assert_eq!(
+            distinguishing_advantage(&[t(&[1, 2]), t(&[1, 2]), t(&[1, 2])]),
+            0.0
+        );
+        // All distinct → 1.
+        assert_eq!(
+            distinguishing_advantage(&[t(&[1]), t(&[2]), t(&[3])]),
+            1.0
+        );
+        // Empty set → 0 by convention.
+        assert_eq!(distinguishing_advantage(&[]), 0.0);
+    }
+}

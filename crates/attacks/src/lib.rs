@@ -1,0 +1,45 @@
+//! Executable adversary models for the HPCA'14 reproduction.
+//!
+//! The paper argues from the adversary's seat: §1.1's malicious program
+//! that modulates LLC misses, §3.2's root-bucket probe that reads ORAM
+//! access times out of shared DRAM, §4.3/§8's replaying server, and
+//! §8.1's subtly broken determinism-based defense. This crate makes each
+//! of them a runnable object so the defenses in `otc-core` can be tested
+//! *against the actual attack*, not just against a property statement:
+//!
+//! * [`MaliciousProgram`] / [`decode_trace`] — Fig. 1(a)'s P1 encodes
+//!   secret bits into its miss pattern; the decoder recovers them from an
+//!   unprotected ORAM's timing trace.
+//! * [`RootBucketProbe`] — §3.2: polls the root bucket's ciphertext to
+//!   learn when accesses happen (and cannot tell dummies from real ones).
+//! * [`traces_identical`] and friends — operational distinguishability.
+//! * [`ReplayAttacker`] / [`demonstrate_broken_determinism`] — §8/§8.1.
+//!
+//! # Example
+//!
+//! ```
+//! use otc_attacks::{MaliciousProgram, recovery_accuracy};
+//! use otc_sim::instr::InstructionStream;
+//!
+//! let mut p1 = MaliciousProgram::new(vec![true, false, true]);
+//! assert!(!p1.finished());
+//! let _ = p1.next_instr(); // runs like any other workload
+//! assert_eq!(recovery_accuracy(&[true, false], &[true, false]), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distinguish;
+mod malicious;
+mod probe;
+mod replay;
+
+pub use distinguish::{
+    distinguishing_advantage, first_divergence, traces_identical, traces_identical_prefix,
+};
+pub use malicious::{decode_trace, recovery_accuracy, MaliciousProgram};
+pub use probe::{ProbeSample, RootBucketProbe};
+pub use replay::{
+    demonstrate_broken_determinism, session_fixture, ReplayAttacker, ReplayOutcome,
+};

@@ -1,0 +1,122 @@
+//! **Ablation study** (extension; DESIGN.md §5): design choices inside
+//! the rate learner.
+//!
+//! 1. Divider implementation (§7.2): Algorithm 1's shift-register divide
+//!    (rounds AccessCount up to the next power of two, undersetting the
+//!    rate by ≤2×) vs an exact divide.
+//! 2. Predictor (§7.3): the simple Equation-1 averager vs the
+//!    overhead-aware knee-finder the paper sketches, at two sharpness
+//!    settings.
+//!
+//! The paper's claims to check: the shifter's underset bias is harmless
+//! (it compensates for burstiness); the sophisticated predictor "chooses
+//! similar rates" at |R| = 4.
+
+use otc_bench::{instruction_budget, print_table, run_pair, RunConfig};
+use otc_core::{
+    DividerImpl, EpochSchedule, OverheadPredictor, PerfCounters, RatePredictor, RateSet, Scheme,
+};
+use otc_workloads::SpecBenchmark;
+
+fn main() {
+    let cfg = RunConfig {
+        instructions: instruction_budget(1_000_000),
+        ..Default::default()
+    };
+    let benches = [
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Gobmk,
+        SpecBenchmark::Hmmer,
+        SpecBenchmark::H264ref,
+    ];
+
+    // --- Part 1: divider ablation, measured end-to-end. ---
+    println!("== Ablation 1: Algorithm-1 shifter vs exact divide (end-to-end) ==");
+    let mut rows = Vec::new();
+    for bench in benches {
+        let base = run_pair(bench, &Scheme::BaseDram, &cfg);
+        let mut cells = Vec::new();
+        for divider in [DividerImpl::ShiftRegister, DividerImpl::Exact] {
+            // Scheme::Dynamic uses the shifter; build the exact variant
+            // via a custom run below. Reuse run_pair by swapping in the
+            // enforcer directly:
+            let r = run_with_divider(bench, divider, &cfg);
+            cells.push(format!("{:.2}", r / base.stats.cycles as f64));
+        }
+        rows.push((bench.full_name().to_string(), cells));
+    }
+    print_table(
+        "perf overhead x vs base_dram",
+        &["shifter", "exact"],
+        &rows,
+    );
+    println!(
+        "expectation: near-identical columns — the ≤2x underset bias moves raw \
+         predictions within a lg-spaced candidate gap (§7.2/§7.3)."
+    );
+
+    // --- Part 2: predictor ablation on a synthetic load sweep. ---
+    println!("\n== Ablation 2: Equation-1 averager vs §7.3 overhead-aware knee ==");
+    let rates = RateSet::paper(4);
+    let olat = 1_488;
+    let epoch = 1u64 << 22;
+    let simple = RatePredictor::new(DividerImpl::Exact);
+    let knee_tight = OverheadPredictor::new(olat, 0.05);
+    let knee_loose = OverheadPredictor::new(olat, 0.30);
+    let mut rows = Vec::new();
+    for gap_exp in [7u32, 9, 11, 13, 15] {
+        let gap = 1u64 << gap_exp;
+        let accesses = epoch / (gap + olat);
+        let c = PerfCounters {
+            access_count: accesses,
+            oram_cycles: accesses * olat,
+            waste: 0,
+        };
+        rows.push((
+            format!("offered_gap=2^{gap_exp}"),
+            vec![
+                simple.predict(epoch, &c, &rates).to_string(),
+                knee_tight.predict(epoch, &c, &rates).to_string(),
+                knee_loose.predict(epoch, &c, &rates).to_string(),
+            ],
+        ));
+    }
+    print_table(
+        "chosen rate per offered load",
+        &["eq1_simple", "knee_s=.05", "knee_s=.30"],
+        &rows,
+    );
+    println!(
+        "expectation: agreement at the extremes; the sharpness knob shifts \
+         mid-load choices toward slower (power-saving) rates — the paper's \
+         performance/power trade-off dial (§7.3)."
+    );
+    let _ = EpochSchedule::scaled(4); // (schedule constant across ablations)
+}
+
+/// Runs one benchmark with the dynamic scheme using `divider`, returning
+/// total cycles.
+fn run_with_divider(bench: SpecBenchmark, divider: DividerImpl, cfg: &RunConfig) -> f64 {
+    use otc_core::{RateLimitedOramBackend, RatePolicy};
+    use otc_dram::DdrConfig;
+    use otc_sim::{SimConfig, Simulator};
+
+    let ddr = DdrConfig::default();
+    let mut wl = bench.workload(cfg.instructions);
+    let sim = Simulator::new(SimConfig::default());
+    let warm = sim.warm_caches(&mut wl, cfg.warmup_instructions);
+    let mut backend = RateLimitedOramBackend::new(
+        cfg.oram.clone(),
+        &ddr,
+        RatePolicy::Dynamic {
+            rates: RateSet::paper(4),
+            schedule: EpochSchedule::scaled(4),
+            divider,
+            initial_rate: 10_000,
+        },
+    )
+    .expect("valid config");
+    backend.set_trace_recording(false);
+    let stats = sim.run_warm(&mut wl, &mut backend, cfg.instructions, warm);
+    stats.cycles as f64
+}

@@ -1,0 +1,84 @@
+//! **Figure 8a / §9.5**: leakage-reduction study over `|R|`. With epoch
+//! doubling fixed (E2), vary the candidate-rate count |R| in
+//! {16, 8, 4, 2} and report per-benchmark performance overhead and power.
+//! Halving lg|R| halves the ORAM-timing leakage; the paper reports that
+//! going from R16 to R4 costs ~2% performance and ~7% power while halving
+//! the leakage, and that R2 hurts mid-range benchmarks (neither extreme
+//! rate fits them).
+
+use otc_bench::{geomean, instruction_budget, mean, print_table, run_pair, RunConfig};
+use otc_core::Scheme;
+use otc_workloads::SpecBenchmark;
+
+fn main() {
+    let cfg = RunConfig {
+        instructions: instruction_budget(1_500_000),
+        ..Default::default()
+    };
+    let rate_counts = [16usize, 8, 4, 2];
+    let benches = SpecBenchmark::figure6_lineup();
+
+    println!(
+        "Figure 8a reproduction: {} instructions per run",
+        cfg.instructions
+    );
+
+    let mut perf_rows = Vec::new();
+    let mut power_rows = Vec::new();
+    let mut per_cfg_perf: Vec<Vec<f64>> = vec![Vec::new(); rate_counts.len()];
+    let mut per_cfg_power: Vec<Vec<f64>> = vec![Vec::new(); rate_counts.len()];
+
+    for bench in &benches {
+        let base = run_pair(*bench, &Scheme::BaseDram, &cfg);
+        let mut perf_cells = Vec::new();
+        let mut power_cells = Vec::new();
+        for (ci, &rc) in rate_counts.iter().enumerate() {
+            let r = run_pair(*bench, &Scheme::dynamic(rc, 2), &cfg);
+            let overhead = otc_bench::perf_overhead(&r, &base);
+            per_cfg_perf[ci].push(overhead);
+            per_cfg_power[ci].push(r.power.total_watts());
+            perf_cells.push(format!("{overhead:.2}"));
+            power_cells.push(format!("{:.3}", r.power.total_watts()));
+        }
+        perf_rows.push((bench.short_name().to_string(), perf_cells));
+        power_rows.push((bench.short_name().to_string(), power_cells));
+    }
+
+    let labels: Vec<String> = rate_counts
+        .iter()
+        .map(|rc| format!("dynamic_R{rc}_E2"))
+        .collect();
+    let columns: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+
+    perf_rows.push((
+        "Avg".into(),
+        per_cfg_perf
+            .iter()
+            .map(|v| format!("{:.2}", geomean(v)))
+            .collect(),
+    ));
+    power_rows.push((
+        "Avg".into(),
+        per_cfg_power
+            .iter()
+            .map(|v| format!("{:.3}", mean(v)))
+            .collect(),
+    ));
+    print_table(
+        "Figure 8a (top): perf overhead x vs base_dram, varying |R|",
+        &columns,
+        &perf_rows,
+    );
+    print_table("Figure 8a (bottom): power, Watts", &columns, &power_rows);
+
+    println!("\nleakage bound per configuration (scaled schedule preserves paper epoch counts):");
+    for &rc in &rate_counts {
+        let s = Scheme::dynamic(rc, 2);
+        println!("  {:<16} {:>6.0} bits", s.label(), s.oram_timing_leakage_bits());
+    }
+    println!(
+        "paper: R16→R4 at E2 improves performance ~2%, costs ~7% power, halves leakage \
+         (128→64 bits at paper scale); R2 raises power on mid-range benchmarks \
+         (gobmk, gcc) because {{256, 32768}} fits neither."
+    );
+}

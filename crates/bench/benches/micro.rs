@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks for the core data structures: Path ORAM
+//! access throughput, rate-learner arithmetic, discretization, leakage
+//! bignum, cache lookups, enforcer request path and workload generation.
+//! These quantify the *simulator's* costs (not the simulated machine's).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use otc_core::{
+    unprotected_trace_count, DividerImpl, PerfCounters, RateLimitedOramBackend, RatePolicy,
+    RatePredictor, RateSet,
+};
+use otc_dram::DdrConfig;
+use otc_oram::{OramConfig, RecursivePathOram};
+use otc_sim::instr::InstructionStream;
+use otc_sim::{AccessKind, CacheConfig, MemoryBackend};
+use otc_workloads::SpecBenchmark;
+
+fn bench_oram_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oram");
+    group.bench_function("small_config_read", |b| {
+        let mut oram = RecursivePathOram::new(OramConfig::small()).expect("valid");
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 97) % 200;
+            std::hint::black_box(oram.read(addr));
+        });
+    });
+    group.bench_function("paper_config_read", |b| {
+        let mut oram = RecursivePathOram::new(OramConfig::paper()).expect("valid");
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 7919) % 100_000;
+            std::hint::black_box(oram.read(addr));
+        });
+    });
+    group.bench_function("paper_config_dummy", |b| {
+        let mut oram = RecursivePathOram::new(OramConfig::paper()).expect("valid");
+        b.iter(|| oram.dummy_access());
+    });
+    group.finish();
+}
+
+fn bench_learner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learner");
+    let counters = PerfCounters {
+        access_count: 12_345,
+        oram_cycles: 12_345 * 1_488,
+        waste: 1_000_000,
+    };
+    let rates = RateSet::paper(4);
+    group.bench_function("predict_shift", |b| {
+        let p = RatePredictor::new(DividerImpl::ShiftRegister);
+        b.iter(|| std::hint::black_box(p.predict(1 << 30, &counters, &rates)));
+    });
+    group.bench_function("predict_exact", |b| {
+        let p = RatePredictor::new(DividerImpl::Exact);
+        b.iter(|| std::hint::black_box(p.predict(1 << 30, &counters, &rates)));
+    });
+    group.bench_function("discretize_r16", |b| {
+        let r16 = RateSet::paper(16);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 997) % 40_000;
+            std::hint::black_box(r16.discretize(x));
+        });
+    });
+    group.finish();
+}
+
+fn bench_enforcer(c: &mut Criterion) {
+    c.bench_function("enforcer/request_static", |b| {
+        b.iter_batched(
+            || {
+                let mut be = RateLimitedOramBackend::new(
+                    OramConfig::small(),
+                    &DdrConfig::default(),
+                    RatePolicy::Static { rate: 256 },
+                )
+                .expect("valid");
+                be.set_trace_recording(false);
+                be
+            },
+            |mut be| {
+                let mut now = 0;
+                for i in 0..64u64 {
+                    now = be.request(i, AccessKind::Read, now);
+                }
+                std::hint::black_box(be.slots_served())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_leakage(c: &mut Criterion) {
+    c.bench_function("leakage/trace_count_t10k_olat1488", |b| {
+        b.iter(|| std::hint::black_box(unprotected_trace_count(10_000, 1_488)));
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l2_access", |b| {
+        let mut cache = otc_sim::Cache::new(CacheConfig {
+            capacity_bytes: 1 << 20,
+            ways: 16,
+            line_bytes: 64,
+            hit_latency: 10,
+            miss_extra: 4,
+        });
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 7919) % 100_000;
+            std::hint::black_box(cache.access(line, false));
+        });
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    c.bench_function("workload/mcf_instr_gen", |b| {
+        let mut wl = SpecBenchmark::Mcf.workload(1_000_000);
+        b.iter(|| std::hint::black_box(wl.next_instr()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_oram_access,
+    bench_learner,
+    bench_enforcer,
+    bench_leakage,
+    bench_cache,
+    bench_workloads
+);
+criterion_main!(benches);

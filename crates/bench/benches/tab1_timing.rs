@@ -1,0 +1,88 @@
+//! **Table 1 / §9.1.2**: the timing model and its derived quantities.
+//! Prints the configured microarchitecture next to the paper's values and
+//! verifies the two headline derivations: 1488 CPU cycles per ORAM access
+//! and 24.2 KB moved over the pins per access (758 sixteen-byte chunks
+//! per direction).
+
+use otc_dram::{DdrConfig, FlatDram};
+use otc_oram::{OramConfig, OramTiming};
+use otc_sim::SimConfig;
+
+fn main() {
+    let sim = SimConfig::default();
+    let ddr = DdrConfig::default();
+    let oram = OramConfig::paper();
+    let timing = OramTiming::derive(&oram, &ddr);
+
+    println!("== Table 1: timing model (reproduction vs paper) ==");
+    println!("core: in-order single-issue @ 1 GHz");
+    println!(
+        "  int alu/mul/div latencies: {}/{}/{} (paper 1/4/12)",
+        sim.core.int_alu, sim.core.int_mul, sim.core.int_div
+    );
+    println!(
+        "  fp alu/mul/div latencies:  {}/{}/{} (paper 2/4/10)",
+        sim.core.fp_alu, sim.core.fp_mul, sim.core.fp_div
+    );
+    println!(
+        "  write buffer entries: {} (paper 8, non-blocking)",
+        sim.write_buffer_entries
+    );
+    println!(
+        "caches: L1I {} KB/{}-way, L1D {} KB/{}-way, L2 {} MB/{}-way, {} B lines",
+        sim.l1i.capacity_bytes >> 10,
+        sim.l1i.ways,
+        sim.l1d.capacity_bytes >> 10,
+        sim.l1d.ways,
+        sim.l2.capacity_bytes >> 20,
+        sim.l2.ways,
+        sim.l2.line_bytes
+    );
+    println!(
+        "  latencies: L1I {}+{}, L1D {}+{}, L2 {}+{} (paper 1+0 / 2+1 / 10+4)",
+        sim.l1i.hit_latency,
+        sim.l1i.miss_extra,
+        sim.l1d.hit_latency,
+        sim.l1d.miss_extra,
+        sim.l2.hit_latency,
+        sim.l2.miss_extra
+    );
+    println!(
+        "memory: {} channels, {} B/DRAM-cycle pins; base_dram flat latency {} cycles (paper 40)",
+        ddr.channels,
+        ddr.pin_bytes_per_dram_cycle,
+        FlatDram::paper_default().latency()
+    );
+
+    println!("\n== Derived ORAM access profile (reproduction vs paper §9.1.2) ==");
+    println!(
+        "ORAM capacity:            {} GB      (paper 4 GB, 1 GB working set)",
+        oram.capacity_bytes() >> 30
+    );
+    println!(
+        "recursion:                {} posmap levels (paper 3), Z = {}, 64 B data / 32 B posmap blocks",
+        oram.posmaps.len(),
+        oram.data.z()
+    );
+    println!(
+        "bytes per direction:      {} B   = {} chunks (paper 12.1 KB = 758 chunks)",
+        oram.bytes_per_direction(),
+        oram.bytes_per_direction() / 16
+    );
+    println!(
+        "bytes per access:         {} B   (paper 24.2 KB)",
+        timing.transfer.bytes
+    );
+    println!(
+        "DRAM cycles per access:   {}       (paper 1984)",
+        timing.dram_cycles
+    );
+    println!(
+        "CPU-cycle access latency: {}       (paper 1488)",
+        timing.latency
+    );
+
+    assert_eq!(timing.latency, 1488, "calibration must match the paper");
+    assert_eq!(timing.transfer.bytes, 24_256);
+    println!("\nall Table 1 derivations match the paper exactly.");
+}

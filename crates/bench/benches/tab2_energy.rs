@@ -1,0 +1,48 @@
+//! **Table 2 / §9.1.3–9.1.4**: the energy model. Prints every coefficient
+//! and reproduces the paper's per-ORAM-access energy derivation:
+//! `2·758 chunks × (AES 0.416 + stash 0.134) + 1984 DRAM cycles × 0.076
+//! ≈ 984 nJ`.
+
+use otc_dram::DdrConfig;
+use otc_oram::{OramConfig, OramTiming};
+use otc_power::{oram_access_energy_nj, EnergyCoefficients};
+
+fn main() {
+    let c = EnergyCoefficients::table2();
+    println!("== Table 2: processor energy model, 45 nm (nJ) ==");
+    let rows = [
+        ("ALU/FPU (per instruction)", c.alu_fpu_per_instr, 0.0148),
+        ("Reg file int (per instruction)", c.regfile_int_per_instr, 0.0032),
+        ("Reg file fp (per instruction)", c.regfile_fp_per_instr, 0.0048),
+        ("Fetch buffer (256 bits)", c.fetch_buffer_read, 0.0003),
+        ("L1 I hit/refill (line)", c.l1i_access, 0.162),
+        ("L1 D hit (64 bits)", c.l1d_hit, 0.041),
+        ("L1 D refill (line)", c.l1d_refill, 0.320),
+        ("L2 hit/refill (line)", c.l2_access, 0.810),
+        ("DRAM controller (line)", c.dram_ctrl_per_line, 0.303),
+        ("L1 I leakage (per cycle)", c.l1i_leak_per_cycle, 0.018),
+        ("L1 D leakage (per cycle)", c.l1d_leak_per_cycle, 0.019),
+        ("L2 leakage (per hit/refill)", c.l2_leak_per_access, 0.767),
+        ("AES (per 16 B chunk)", c.aes_per_chunk, 0.416),
+        ("Stash (per 16 B rd/wr)", c.stash_per_chunk, 0.134),
+    ];
+    for (name, ours, paper) in rows {
+        println!("  {name:<34} {ours:>8.4}  (paper {paper})");
+        assert!((ours - paper).abs() < 1e-9, "{name} drifted from Table 2");
+    }
+
+    println!("\n== §9.1.4: energy per ORAM access ==");
+    let timing = OramTiming::derive(&OramConfig::paper(), &DdrConfig::default());
+    let nj = oram_access_energy_nj(timing.chunks_per_access(), timing.dram_cycles, &c);
+    println!(
+        "  {} chunks x ({} + {}) + {} DRAM cycles x {} = {:.1} nJ  (paper ~984 nJ)",
+        timing.chunks_per_access(),
+        c.aes_per_chunk,
+        c.stash_per_chunk,
+        timing.dram_cycles,
+        c.dram_ctrl_per_cycle,
+        nj
+    );
+    assert!((nj - 984.0).abs() < 2.0);
+    println!("\nall Table 2 values and the 984 nJ derivation match the paper.");
+}

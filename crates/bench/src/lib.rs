@@ -1,0 +1,276 @@
+//! Shared experiment harness for the per-figure/per-table bench targets.
+//!
+//! Each `benches/*.rs` target (run via `cargo bench`) regenerates one
+//! table or figure from the paper's evaluation (§9), printing the
+//! reproduction's rows next to the paper's reference numbers. This crate
+//! holds the common machinery: building a (benchmark, scheme) pair,
+//! running it on the cycle-level simulator, and extracting the metrics
+//! the paper reports.
+//!
+//! Scale note (`DESIGN.md` §2): instruction budgets default to a few
+//! million per run so `cargo bench --workspace` completes in minutes; set
+//! `OTC_BENCH_INSTRUCTIONS` to raise them. Epoch schedules are the scaled
+//! ones (first epoch 2^20 cycles, Tmax 2^52), which preserve the paper's
+//! epoch counts and therefore its leakage bounds exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use otc_core::{EpochTransition, RateLimitedOramBackend, Scheme, UnprotectedOramBackend};
+use otc_dram::DdrConfig;
+use otc_oram::OramConfig;
+use otc_power::{PowerModel, PowerReport};
+use otc_sim::{DramBackend, SimConfig, SimStats, Simulator};
+use otc_workloads::SpecBenchmark;
+
+/// Instruction budget per run: `OTC_BENCH_INSTRUCTIONS` or the default.
+pub fn instruction_budget(default: u64) -> u64 {
+    std::env::var("OTC_BENCH_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One (benchmark, scheme) experiment configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Instructions to retire.
+    pub instructions: u64,
+    /// Record a window sample every this many instructions (None = off).
+    pub window_instructions: Option<u64>,
+    /// LLC capacity in bytes (paper default 1 MB).
+    pub llc_bytes: u64,
+    /// ORAM geometry (paper default).
+    pub oram: OramConfig,
+    /// Whether the backend should record its observable trace (memory-
+    /// hungry on long runs; off for sweeps).
+    pub record_trace: bool,
+    /// Fast-forward instructions before measurement (the paper
+    /// fast-forwards 1-20B instructions to get out of initialization,
+    /// §9.1.1; this is the scaled equivalent and runs over flat DRAM).
+    pub warmup_instructions: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            instructions: 2_000_000,
+            window_instructions: None,
+            llc_bytes: 1 << 20,
+            oram: OramConfig::paper(),
+            record_trace: false,
+            warmup_instructions: 1_000_000,
+        }
+    }
+}
+
+/// The measurements one run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme label (`base_dram`, `dynamic_R4_E4`, …).
+    pub scheme: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Raw simulator statistics.
+    pub stats: SimStats,
+    /// Power breakdown per the Table 2 model.
+    pub power: PowerReport,
+    /// Fraction of ORAM slots that were dummy accesses (0 for
+    /// `base_dram`/`base_oram`).
+    pub dummy_fraction: f64,
+    /// Epoch transitions (dynamic schemes only).
+    pub transitions: Vec<EpochTransition>,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Runs one benchmark under one scheme.
+pub fn run_pair(bench: SpecBenchmark, scheme: &Scheme, cfg: &RunConfig) -> RunResult {
+    let mut workload = bench.workload(cfg.instructions);
+    run_stream(&mut workload, scheme, cfg)
+}
+
+/// Runs an arbitrary instruction stream under one scheme (used for the
+/// malicious-program experiments, which are not SPEC-shaped).
+pub fn run_stream<S>(workload: &mut S, scheme: &Scheme, cfg: &RunConfig) -> RunResult
+where
+    S: otc_sim::InstructionStream + ?Sized,
+{
+    let mut sim_cfg = SimConfig::default().with_llc_capacity(cfg.llc_bytes);
+    sim_cfg.window_instructions = cfg.window_instructions;
+    let sim = Simulator::new(sim_cfg);
+    let ddr = DdrConfig::default();
+
+    let timing = otc_oram::OramTiming::derive(&cfg.oram, &ddr);
+    let power_model =
+        PowerModel::paper().with_oram_access(timing.chunks_per_access(), timing.dram_cycles);
+
+    let benchmark = workload.name().to_string();
+    let warm = sim.warm_caches(workload, cfg.warmup_instructions);
+    let (stats, dummy_fraction, transitions) = match scheme {
+        Scheme::BaseDram => {
+            let mut backend = DramBackend::new();
+            let stats = sim.run_warm(workload, &mut backend, cfg.instructions, warm);
+            (stats, 0.0, Vec::new())
+        }
+        Scheme::BaseOram => {
+            let mut backend =
+                UnprotectedOramBackend::new(cfg.oram.clone(), &ddr).expect("valid ORAM config");
+            backend.set_trace_recording(cfg.record_trace);
+            let stats = sim.run_warm(workload, &mut backend, cfg.instructions, warm);
+            (stats, 0.0, Vec::new())
+        }
+        Scheme::Static { rate } => {
+            let mut backend = RateLimitedOramBackend::new(
+                cfg.oram.clone(),
+                &ddr,
+                otc_core::RatePolicy::Static { rate: *rate },
+            )
+            .expect("valid ORAM config");
+            backend.set_trace_recording(cfg.record_trace);
+            let stats = sim.run_warm(workload, &mut backend, cfg.instructions, warm);
+            (stats, backend.dummy_fraction(), Vec::new())
+        }
+        Scheme::Dynamic {
+            rate_count,
+            schedule,
+            ..
+        } => {
+            let mut backend = RateLimitedOramBackend::new(
+                cfg.oram.clone(),
+                &ddr,
+                otc_core::RatePolicy::Dynamic {
+                    rates: otc_core::RateSet::paper(*rate_count),
+                    schedule: *schedule,
+                    divider: otc_core::DividerImpl::ShiftRegister,
+                    initial_rate: 10_000,
+                },
+            )
+            .expect("valid ORAM config");
+            backend.set_trace_recording(cfg.record_trace);
+            let stats = sim.run_warm(workload, &mut backend, cfg.instructions, warm);
+            (
+                stats,
+                backend.dummy_fraction(),
+                backend.transitions().to_vec(),
+            )
+        }
+    };
+
+    let power = power_model.power(&stats);
+    RunResult {
+        scheme: scheme.label(),
+        benchmark,
+        stats,
+        power,
+        dummy_fraction,
+        transitions,
+    }
+}
+
+/// Performance overhead of `run` relative to a `base` run of the same
+/// benchmark: cycles ratio (same instruction count on both sides).
+pub fn perf_overhead(run: &RunResult, base: &RunResult) -> f64 {
+    run.stats.cycles as f64 / base.stats.cycles.max(1) as f64
+}
+
+/// Pretty-prints a table: header row + rows of (label, values).
+pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<String>)]) {
+    println!("\n== {title} ==");
+    print!("{:<18}", "");
+    for c in columns {
+        print!("{c:>15}");
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:<18}");
+        for v in values {
+            print!("{v:>15}");
+        }
+        println!();
+    }
+}
+
+/// Geometric mean (the right average for overhead ratios).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn run_pair_smoke_base_dram_vs_base_oram() {
+        let cfg = RunConfig {
+            instructions: 40_000,
+            ..Default::default()
+        };
+        let dram = run_pair(SpecBenchmark::Mcf, &Scheme::BaseDram, &cfg);
+        let oram = run_pair(SpecBenchmark::Mcf, &Scheme::BaseOram, &cfg);
+        assert_eq!(dram.stats.instructions, 40_000);
+        assert_eq!(oram.stats.instructions, 40_000);
+        // ORAM with no protection is far slower than DRAM on mcf.
+        let overhead = perf_overhead(&oram, &dram);
+        assert!(overhead > 2.0, "overhead {overhead}");
+        // And burns far more memory power.
+        assert!(oram.power.memory_watts > dram.power.memory_watts * 10.0);
+    }
+
+    #[test]
+    fn dynamic_scheme_reports_dummies() {
+        // A pure-compute loop (no memory traffic at all): every enforced
+        // slot is a dummy access.
+        struct AluLoop(u32);
+        impl otc_sim::InstructionStream for AluLoop {
+            fn next_instr(&mut self) -> otc_sim::Instr {
+                self.0 = (self.0 + 1) % 16;
+                if self.0 == 0 {
+                    otc_sim::Instr::Branch { taken: true, target: 0x1000 }
+                } else {
+                    otc_sim::Instr::IntAlu
+                }
+            }
+            fn name(&self) -> &str {
+                "alu_loop"
+            }
+        }
+        let cfg = RunConfig {
+            instructions: 200_000,
+            ..Default::default()
+        };
+        let dyn_run = run_stream(&mut AluLoop(0), &Scheme::dynamic(4, 2), &cfg);
+        assert!(dyn_run.dummy_fraction > 0.9, "{}", dyn_run.dummy_fraction);
+        assert_eq!(dyn_run.benchmark, "alu_loop");
+    }
+
+    #[test]
+    fn instruction_budget_env_default() {
+        // No env set in tests → default.
+        assert_eq!(instruction_budget(123), 123);
+    }
+}

@@ -1,0 +1,222 @@
+//! A minimal arbitrary-precision natural number.
+//!
+//! Example 6.1 counts the timing traces an *unprotected* ORAM can
+//! generate: for realistic `T` the count is astronomical ("making the
+//! resulting leakage astronomical"), far beyond `u128`. Rather than add a
+//! bignum dependency, this module implements the few operations the
+//! leakage calculator needs: addition, comparison, bit length and decimal
+//! rendering.
+
+/// An arbitrary-precision unsigned integer (little-endian 64-bit limbs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigNat {
+    /// Limbs, least significant first; no trailing zero limbs.
+    limbs: Vec<u64>,
+}
+
+impl BigNat {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Self { limbs: out }
+    }
+
+    /// Number of significant bits (0 for zero). `2^(bits()-1) <= self`.
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
+            }
+        }
+    }
+
+    /// `log2(self)` as a float (`-inf` for zero) — the paper's `lg` used
+    /// for bit-leakage math.
+    pub fn log2(&self) -> f64 {
+        match self.limbs.len() {
+            0 => f64::NEG_INFINITY,
+            1 => (self.limbs[0] as f64).log2(),
+            n => {
+                // Use the top two limbs for ~128-bit precision.
+                let hi = self.limbs[n - 1] as f64;
+                let lo = self.limbs[n - 2] as f64;
+                let mantissa = hi * 2f64.powi(64) + lo;
+                mantissa.log2() + 64.0 * (n as f64 - 2.0)
+            }
+        }
+    }
+
+    /// Converts to `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Divides in place by a small divisor, returning the remainder.
+    fn div_rem_small(&mut self, d: u64) -> u64 {
+        let mut rem: u128 = 0;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | *limb as u128;
+            *limb = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        rem as u64
+    }
+}
+
+impl std::fmt::Display for BigNat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut n = self.clone();
+        while !n.is_zero() {
+            digits.push(n.div_rem_small(10) as u8);
+        }
+        for d in digits.iter().rev() {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<u64> for BigNat {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl PartialOrd for BigNat {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigNat {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            if a != b {
+                return a.cmp(b);
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigNat::zero().is_zero());
+        assert_eq!(BigNat::one().to_u64(), Some(1));
+        assert_eq!(BigNat::zero().to_string(), "0");
+        assert_eq!(BigNat::zero().bits(), 0);
+    }
+
+    #[test]
+    fn addition_with_carry() {
+        let a = BigNat::from_u64(u64::MAX);
+        let b = BigNat::one();
+        let c = a.add(&b);
+        assert_eq!(c.to_u64(), None);
+        assert_eq!(c.bits(), 65);
+        assert_eq!(c.to_string(), "18446744073709551616"); // 2^64
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigNat::from_u64(1234567890).to_string(), "1234567890");
+    }
+
+    #[test]
+    fn log2_of_powers() {
+        let mut n = BigNat::one();
+        for _ in 0..100 {
+            n = n.add(&n); // double
+        }
+        assert!((n.log2() - 100.0).abs() < 1e-9);
+        assert_eq!(n.bits(), 101);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(BigNat::from_u64(5) < BigNat::from_u64(6));
+        let big = BigNat::from_u64(u64::MAX).add(&BigNat::one());
+        assert!(BigNat::from_u64(u64::MAX) < big);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let sum = BigNat::from_u64(a).add(&BigNat::from_u64(b));
+            let expect = a as u128 + b as u128;
+            prop_assert_eq!(sum.to_string(), expect.to_string());
+        }
+
+        #[test]
+        fn prop_bits_matches_u64(a in 1u64..) {
+            prop_assert_eq!(BigNat::from_u64(a).bits(), 64 - a.leading_zeros() as u64);
+        }
+
+        #[test]
+        fn prop_log2_close_to_float(a in 1u64..) {
+            let l = BigNat::from_u64(a).log2();
+            prop_assert!((l - (a as f64).log2()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_display_matches_u64(a in any::<u64>()) {
+            prop_assert_eq!(BigNat::from_u64(a).to_string(), a.to_string());
+        }
+    }
+}

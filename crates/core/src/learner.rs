@@ -1,0 +1,220 @@
+//! The rate learner: performance counters, the Equation-1 predictor, and
+//! the Algorithm-1 shift-register divider (§7).
+//!
+//! Three counters sit at the ORAM controller and watch the LLC↔ORAM queue
+//! (§7.1.1, Fig. 4):
+//!
+//! * `AccessCount` — real (non-dummy) ORAM requests this epoch.
+//! * `ORAMCycles` — cycles real requests spent being serviced, summed.
+//! * `Waste` — cycles lost to the current rate: a real request waiting for
+//!   its slot or blocked behind a dummy access (Fig. 4, Req 1/2), plus one
+//!   rate-length per back-to-back queued request (Req 3).
+//!
+//! At each epoch transition the predictor computes the offered-load
+//! interval (Equation 1) and the discretizer maps it to the nearest
+//! candidate in `R`.
+
+use crate::rate::RateSet;
+use otc_dram::Cycle;
+
+/// The three per-epoch performance counters (§7.1.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Real ORAM requests made during the current epoch.
+    pub access_count: u64,
+    /// Cycles real ORAM requests were outstanding (service time), summed.
+    pub oram_cycles: u64,
+    /// Cycles ORAM had real work but was waiting/dummy-blocked because of
+    /// the current rate.
+    pub waste: u64,
+}
+
+impl PerfCounters {
+    /// Fresh counters (epoch start resets all, §7.1.1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one real access: its service latency, and the waste
+    /// attributable to the rate before it could start.
+    pub fn record_real_access(&mut self, service_cycles: Cycle, waste_cycles: Cycle) {
+        self.access_count += 1;
+        self.oram_cycles += service_cycles;
+        self.waste += waste_cycles;
+    }
+}
+
+/// How the divide in Equation 1 is implemented (§7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DividerImpl {
+    /// Algorithm 1: round `AccessCount` up to the *next* power of two
+    /// (even when it already is one) and divide by right-shifting. The
+    /// paper's hardware choice; undersets the rate by up to 2×, which
+    /// §7.3 notes also compensates for bursty behavior.
+    #[default]
+    ShiftRegister,
+    /// An exact divide (e.g. borrowing the core's divide unit, §7.2).
+    Exact,
+}
+
+/// The Equation-1 rate predictor.
+///
+/// # Example
+///
+/// ```
+/// use otc_core::{DividerImpl, PerfCounters, RatePredictor, RateSet};
+///
+/// let mut c = PerfCounters::new();
+/// // 4 real accesses, each serviced in 1488 cycles with no waste, in an
+/// // epoch of 65536 cycles: offered interval = (65536 − 4·1488)/4.
+/// for _ in 0..4 { c.record_real_access(1488, 0); }
+/// let p = RatePredictor::new(DividerImpl::Exact);
+/// assert_eq!(p.predict_raw(65_536, &c), (65_536 - 4 * 1488) / 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RatePredictor {
+    divider: DividerImpl,
+}
+
+impl RatePredictor {
+    /// Creates a predictor with the given divider implementation.
+    pub fn new(divider: DividerImpl) -> Self {
+        Self { divider }
+    }
+
+    /// Equation 1: `NewIntRaw = (EpochCycles − Waste − ORAMCycles) /
+    /// AccessCount`, with the divide realized per [`DividerImpl`].
+    ///
+    /// Two boundary conditions the paper leaves implicit:
+    /// * `AccessCount == 0` (no demand all epoch) → returns `u64::MAX`,
+    ///   which the discretizer maps to the slowest candidate.
+    /// * The numerator saturates at zero (an epoch fully consumed by
+    ///   accesses and waste predicts the fastest rate).
+    pub fn predict_raw(&self, epoch_cycles: Cycle, counters: &PerfCounters) -> u64 {
+        if counters.access_count == 0 {
+            return u64::MAX;
+        }
+        let numerator = epoch_cycles
+            .saturating_sub(counters.waste)
+            .saturating_sub(counters.oram_cycles);
+        match self.divider {
+            DividerImpl::Exact => numerator / counters.access_count,
+            DividerImpl::ShiftRegister => {
+                numerator >> Self::shift_amount(counters.access_count)
+            }
+        }
+    }
+
+    /// Predicts and discretizes in one step (§7.1.2–§7.1.3).
+    pub fn predict(&self, epoch_cycles: Cycle, counters: &PerfCounters, rates: &RateSet) -> Cycle {
+        rates.discretize(self.predict_raw(epoch_cycles, counters))
+    }
+
+    /// Algorithm 1's rounding: `AccessCount` rounded up to the *next*
+    /// power of two — strictly greater, "including the case when
+    /// AccessCount is already a power of 2" (§7.2) — expressed as a shift
+    /// amount.
+    fn shift_amount(access_count: u64) -> u32 {
+        debug_assert!(access_count > 0);
+        // next power of two strictly greater than access_count
+        64 - access_count.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shift_amount_rounds_strictly_up() {
+        // 1 → divide by 2 (shift 1); 2 → 4 (shift 2); 3 → 4 (shift 2);
+        // 4 → 8 (shift 3); 7 → 8 (shift 3); 8 → 16 (shift 4).
+        assert_eq!(RatePredictor::shift_amount(1), 1);
+        assert_eq!(RatePredictor::shift_amount(2), 2);
+        assert_eq!(RatePredictor::shift_amount(3), 2);
+        assert_eq!(RatePredictor::shift_amount(4), 3);
+        assert_eq!(RatePredictor::shift_amount(7), 3);
+        assert_eq!(RatePredictor::shift_amount(8), 4);
+    }
+
+    #[test]
+    fn zero_accesses_predicts_slowest() {
+        let p = RatePredictor::default();
+        let raw = p.predict_raw(1 << 20, &PerfCounters::new());
+        assert_eq!(raw, u64::MAX);
+        assert_eq!(
+            p.predict(1 << 20, &PerfCounters::new(), &RateSet::paper(4)),
+            32768
+        );
+    }
+
+    #[test]
+    fn saturated_epoch_predicts_fastest() {
+        let mut c = PerfCounters::new();
+        // Waste + ORAMCycles exceed the epoch (possible with queued
+        // requests each charging a rate-length of waste).
+        c.record_real_access(900, 200);
+        c.record_real_access(900, 200);
+        let p = RatePredictor::new(DividerImpl::Exact);
+        assert_eq!(p.predict_raw(2_000, &c), 0);
+        assert_eq!(p.predict(2_000, &c, &RateSet::paper(4)), 256);
+    }
+
+    #[test]
+    fn shifter_undersets_by_at_most_2x() {
+        let mut c = PerfCounters::new();
+        for _ in 0..6 {
+            c.record_real_access(1488, 100);
+        }
+        let exact = RatePredictor::new(DividerImpl::Exact).predict_raw(1 << 20, &c);
+        let shifted = RatePredictor::new(DividerImpl::ShiftRegister).predict_raw(1 << 20, &c);
+        assert!(shifted <= exact);
+        assert!(shifted >= exact / 2 - 1, "shifted {shifted} exact {exact}");
+    }
+
+    #[test]
+    fn equation_1_worked_example() {
+        // Fig. 4-style epoch: 3 real accesses; service 1488 each; waste
+        // 500 + 300 + (queued) 256.
+        let mut c = PerfCounters::new();
+        c.record_real_access(1488, 500);
+        c.record_real_access(1488, 300);
+        c.record_real_access(1488, 256);
+        let epoch = 100_000;
+        let expect = (epoch - 1056 - 3 * 1488) / 3;
+        assert_eq!(
+            RatePredictor::new(DividerImpl::Exact).predict_raw(epoch, &c),
+            expect
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shift_is_floor_div_by_next_pow2(
+            epoch in 0u64..u64::MAX / 2,
+            accesses in 1u64..1_000_000,
+        ) {
+            let mut c = PerfCounters::new();
+            c.access_count = accesses;
+            let raw = RatePredictor::new(DividerImpl::ShiftRegister).predict_raw(epoch, &c);
+            let next_pow2 = (accesses + 1).next_power_of_two().max(accesses.next_power_of_two() * if accesses.is_power_of_two() { 2 } else { 1 });
+            prop_assert_eq!(raw, epoch / next_pow2);
+        }
+
+        #[test]
+        fn prop_shifter_never_exceeds_exact(
+            epoch in 0u64..u64::MAX / 2,
+            accesses in 1u64..10_000,
+            waste in 0u64..1_000_000,
+            oram in 0u64..1_000_000,
+        ) {
+            let c = PerfCounters { access_count: accesses, oram_cycles: oram, waste };
+            let exact = RatePredictor::new(DividerImpl::Exact).predict_raw(epoch, &c);
+            let shift = RatePredictor::new(DividerImpl::ShiftRegister).predict_raw(epoch, &c);
+            prop_assert!(shift <= exact);
+            // And at least (exact/2 − 1): dividing by ≤ 2× the true count.
+            prop_assert!(shift >= exact / 2 - (exact / 2).min(1));
+        }
+    }
+}

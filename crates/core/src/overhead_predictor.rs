@@ -1,0 +1,251 @@
+//! The "more sophisticated predictor" of §7.3 (extension).
+//!
+//! The paper sketches — and then omits for space — a second rate
+//! predictor: one that "simultaneously predicts an upper bound on
+//! performance overhead for each candidate rate in R and sets the rate to
+//! the point where performance overhead increases 'sharply'", with a
+//! tunable parameter deciding what counts as sharp (trading performance
+//! against power: "if the performance loss of a slower rate is small, we
+//! should choose the slower rate to save power").
+//!
+//! This module reconstructs that design from the sketch:
+//!
+//! 1. From the epoch's counters, estimate the offered inter-arrival gap
+//!    `I` (Equation 1's quantity) and the demand `AccessCount`.
+//! 2. For each candidate rate `r`, bound the per-access stall a real
+//!    request would suffer: an access arriving uniformly within an
+//!    enforcement period waits on average `max(0, (r − I)/2)` extra
+//!    cycles beyond the unavoidable `OLAT` (overset case), plus a full
+//!    `r` when it queues behind an in-flight slot (underset case, `I <
+//!    r + OLAT`).
+//! 3. Convert to a predicted epoch-relative overhead and walk from the
+//!    slowest candidate toward the fastest, stopping at the first rate
+//!    whose overhead is within `sharpness` of the best achievable — i.e.
+//!    the knee of the curve.
+//!
+//! §7.3's conclusion is also reproduced here as a property test: with the
+//! paper's small `|R| = 4`, this predictor and the simple averaging one
+//! choose the same rate almost everywhere (rate selection is coarse
+//! enough that the extra machinery rarely changes the answer).
+
+use crate::learner::PerfCounters;
+use crate::rate::RateSet;
+use otc_dram::Cycle;
+
+/// Overhead-aware rate predictor (§7.3), an alternative to
+/// [`crate::RatePredictor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadPredictor {
+    /// ORAM access latency (`OLAT`), needed to model stalls.
+    pub olat: Cycle,
+    /// Fractional overhead slack tolerated relative to the best candidate
+    /// before the curve counts as rising "sharply". 0.0 = always pick the
+    /// performance-optimal rate; larger values trade performance for
+    /// power by accepting slower rates.
+    pub sharpness: f64,
+}
+
+impl OverheadPredictor {
+    /// Creates a predictor with the paper-scale access latency and a
+    /// given sharpness knob.
+    pub fn new(olat: Cycle, sharpness: f64) -> Self {
+        assert!(sharpness >= 0.0, "sharpness is a non-negative fraction");
+        Self { olat, sharpness }
+    }
+
+    /// Predicted fractional performance overhead of running the *next*
+    /// epoch (assumed to repeat the measured one) at rate `r`.
+    pub fn predicted_overhead(
+        &self,
+        epoch_cycles: Cycle,
+        counters: &PerfCounters,
+        r: Cycle,
+    ) -> f64 {
+        if counters.access_count == 0 {
+            return 0.0; // no demand: every rate performs identically
+        }
+        let offered_gap = epoch_cycles
+            .saturating_sub(counters.waste)
+            .saturating_sub(counters.oram_cycles) as f64
+            / counters.access_count as f64;
+        let period = (r + self.olat) as f64;
+        let stall_per_access = if offered_gap >= period {
+            // Overset: a request lands somewhere inside the enforcement
+            // gap; expected residual wait is half the gap.
+            r as f64 / 2.0
+        } else {
+            // Underset/saturated: requests queue; each waits out the
+            // remainder of the period beyond its own arrival spacing.
+            (period - offered_gap).max(0.0) + r as f64 / 2.0
+        };
+        (stall_per_access * counters.access_count as f64) / epoch_cycles as f64
+    }
+
+    /// Chooses the next epoch's rate: the *slowest* candidate whose
+    /// predicted overhead is within `sharpness` (absolute fraction) of
+    /// the best candidate's — the knee-finding rule of §7.3.
+    pub fn predict(
+        &self,
+        epoch_cycles: Cycle,
+        counters: &PerfCounters,
+        rates: &RateSet,
+    ) -> Cycle {
+        let overheads: Vec<(Cycle, f64)> = rates
+            .rates()
+            .iter()
+            .map(|&r| (r, self.predicted_overhead(epoch_cycles, counters, r)))
+            .collect();
+        let best = overheads
+            .iter()
+            .map(|&(_, o)| o)
+            .fold(f64::INFINITY, f64::min);
+        // Walk from slowest to fastest; take the first within tolerance.
+        overheads
+            .iter()
+            .rev()
+            .find(|&&(_, o)| o <= best + self.sharpness)
+            .map(|&(r, _)| r)
+            .unwrap_or_else(|| rates.slowest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::{DividerImpl, RatePredictor};
+    use proptest::prelude::*;
+
+    const OLAT: Cycle = 1_488;
+
+    fn counters(accesses: u64, epoch: Cycle, busy_fraction: f64) -> PerfCounters {
+        PerfCounters {
+            access_count: accesses,
+            oram_cycles: accesses * OLAT,
+            waste: ((epoch as f64) * busy_fraction) as u64 / 4,
+        }
+    }
+
+    #[test]
+    fn idle_epoch_picks_slowest() {
+        let p = OverheadPredictor::new(OLAT, 0.05);
+        let r = RateSet::paper(4);
+        assert_eq!(p.predict(1 << 20, &PerfCounters::new(), &r), 32768);
+    }
+
+    #[test]
+    fn saturated_epoch_picks_fastest() {
+        let p = OverheadPredictor::new(OLAT, 0.02);
+        let r = RateSet::paper(4);
+        // Demand nearly back-to-back: offered gap ≈ 300 cycles.
+        let epoch = 1 << 20;
+        let accesses = epoch / (OLAT + 300);
+        let c = counters(accesses, epoch, 0.9);
+        assert_eq!(p.predict(epoch, &c, &r), 256);
+    }
+
+    #[test]
+    fn overhead_is_monotone_in_rate_under_load() {
+        let p = OverheadPredictor::new(OLAT, 0.0);
+        let epoch = 1 << 20;
+        let c = counters(200, epoch, 0.3);
+        let r = RateSet::paper(16);
+        let mut prev = -1.0;
+        for &rate in r.rates() {
+            let o = p.predicted_overhead(epoch, &c, rate);
+            assert!(o >= prev, "overhead must not fall as rate slows");
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn sharpness_trades_toward_slower_rates() {
+        let epoch = 1 << 20;
+        // Moderate demand: offered gap around 4000 cycles.
+        let accesses = epoch / 4_000;
+        let c = counters(accesses, epoch, 0.1);
+        let r = RateSet::paper(4);
+        let strict = OverheadPredictor::new(OLAT, 0.0).predict(epoch, &c, &r);
+        let relaxed = OverheadPredictor::new(OLAT, 0.5).predict(epoch, &c, &r);
+        assert!(relaxed > strict, "strict {strict} relaxed {relaxed}");
+        // At this load: strict picks the performance-optimal 256; a 50%
+        // overhead allowance climbs one step to 1290 (6501 would cost
+        // ~1.8x — beyond any reasonable knee).
+        assert_eq!(strict, 256);
+        assert_eq!(relaxed, 1290);
+    }
+
+    /// §7.3's empirical claim: with small |R|, the sophisticated
+    /// predictor "chooses similar rates as the more sophisticated
+    /// predictor" — here checked as: identical choices at the extremes,
+    /// and never more than one candidate apart anywhere.
+    #[test]
+    fn tracks_simple_predictor_within_one_step() {
+        let r = RateSet::paper(4);
+        let simple = RatePredictor::new(DividerImpl::Exact);
+        let fancy = OverheadPredictor::new(OLAT, 0.10);
+        let epoch: Cycle = 1 << 22;
+        let pos = |rate: Cycle| {
+            r.rates()
+                .iter()
+                .position(|&x| x == rate)
+                .expect("member of R")
+        };
+        for gap_exp in 6..16u32 {
+            let gap = 1u64 << gap_exp; // offered gaps 64..32768
+            let accesses = epoch / (gap + OLAT);
+            let c = PerfCounters {
+                access_count: accesses,
+                oram_cycles: accesses * OLAT,
+                waste: 0,
+            };
+            let a = simple.predict(epoch, &c, &r);
+            let b = fancy.predict(epoch, &c, &r);
+            let dist = pos(a).abs_diff(pos(b));
+            assert!(dist <= 1, "gap {gap}: simple {a} vs overhead-aware {b}");
+        }
+        // Extremes: an idle epoch and a saturated epoch agree exactly.
+        assert_eq!(
+            simple.predict(epoch, &PerfCounters::new(), &r),
+            fancy.predict(epoch, &PerfCounters::new(), &r)
+        );
+        let sat = PerfCounters {
+            access_count: epoch / (OLAT + 64),
+            oram_cycles: (epoch / (OLAT + 64)) * OLAT,
+            waste: 0,
+        };
+        assert_eq!(simple.predict(epoch, &sat, &r), fancy.predict(epoch, &sat, &r));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prediction_is_member(accesses in 0u64..10_000, waste in 0u64..1_000_000) {
+            let p = OverheadPredictor::new(OLAT, 0.05);
+            let r = RateSet::paper(8);
+            let c = PerfCounters {
+                access_count: accesses,
+                oram_cycles: accesses.saturating_mul(OLAT),
+                waste,
+            };
+            let chosen = p.predict(1 << 21, &c, &r);
+            prop_assert!(r.rates().contains(&chosen));
+        }
+
+        #[test]
+        fn prop_larger_sharpness_never_speeds_up(
+            accesses in 1u64..5_000,
+            s1 in 0.0f64..0.3,
+            s2 in 0.0f64..0.3,
+        ) {
+            let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+            let r = RateSet::paper(4);
+            let c = PerfCounters {
+                access_count: accesses,
+                oram_cycles: accesses * OLAT,
+                waste: 0,
+            };
+            let strict = OverheadPredictor::new(OLAT, lo).predict(1 << 21, &c, &r);
+            let relaxed = OverheadPredictor::new(OLAT, hi).predict(1 << 21, &c, &r);
+            prop_assert!(relaxed >= strict);
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! The user–server protocol (§5) and replay-attack prevention (§8).
+//!
+//! Roles in the simulation:
+//!
+//! * **User** — owns private data `D`, wants `P(D)` computed remotely.
+//! * **Server** — curious and malicious (§4): forwards messages, picks the
+//!   program and leakage parameters, and may try to re-run ("replay") the
+//!   user's encrypted data to leak `L` bits per run.
+//! * **Processor** — trusted hardware with a key pair, a one-session key
+//!   register, and a manufacturing- or session-configured leakage limit.
+//!
+//! The §8 defense implemented here: the session key `K` exists *only* in
+//! the processor's dedicated register and the user's hands; when the
+//! session ends the register is reset, so `encrypt_K(D)` becomes
+//! undecryptable and replays die at step one. The subtly-broken
+//! HMAC-determinism scheme of §8.1 is reproduced in `otc-attacks`.
+
+use crate::epoch::EpochSchedule;
+use crate::leakage::LeakageModel;
+use otc_crypto::{
+    Ciphertext, KeyRegister, Mac, ProbCipher, ProcessorKeyPair, SealedKey, SplitMix64,
+    SymmetricKey,
+};
+
+/// Errors surfaced by the protocol simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The sealed user key was not produced for this processor.
+    BadSealedKey,
+    /// No session is active (e.g. the key register was reset).
+    NoActiveSession,
+    /// The requested leakage parameters exceed the processor's limit
+    /// (§10, "Letting the user choose L").
+    LeakageLimitExceeded {
+        /// Bits the offered parameters could leak.
+        requested_bits: u64,
+        /// The processor's configured limit.
+        limit_bits: u64,
+    },
+    /// The HMAC binding program/data/parameters failed to verify.
+    BindingMismatch,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::BadSealedKey => write!(f, "sealed key not bound to this processor"),
+            SessionError::NoActiveSession => write!(f, "no active session key"),
+            SessionError::LeakageLimitExceeded {
+                requested_bits,
+                limit_bits,
+            } => write!(
+                f,
+                "leakage parameters allow {requested_bits} bits, limit is {limit_bits}"
+            ),
+            SessionError::BindingMismatch => write!(f, "HMAC binding verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Leakage parameters the server proposes for a run (§5 step 2: "the
+/// server sends P and leakage parameters (e.g., R)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakageParams {
+    /// `|R|`.
+    pub rate_count: usize,
+    /// Epoch schedule.
+    pub schedule: EpochSchedule,
+}
+
+impl LeakageParams {
+    /// Worst-case ORAM-timing bits these parameters permit.
+    pub fn oram_timing_bits(&self) -> f64 {
+        LeakageModel::new(self.rate_count, self.schedule).oram_timing_bits()
+    }
+
+    /// Canonical byte encoding for HMAC binding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend((self.rate_count as u64).to_le_bytes());
+        v.extend(self.schedule.first_epoch().to_le_bytes());
+        v.extend((self.schedule.growth() as u64).to_le_bytes());
+        v.extend((self.schedule.tmax_log2() as u64).to_le_bytes());
+        v
+    }
+}
+
+/// The trusted processor's protocol state machine.
+#[derive(Debug)]
+pub struct SecureProcessor {
+    keypair: ProcessorKeyPair,
+    register: KeyRegister,
+    /// The bit-leakage limit `L` over the ORAM timing channel (fixed at
+    /// manufacture, or re-bound per session via HMAC, §10).
+    leakage_limit_bits: u64,
+}
+
+impl SecureProcessor {
+    /// Manufactures a processor with leakage limit `L` bits.
+    pub fn manufacture(rng: &mut SplitMix64, leakage_limit_bits: u64) -> Self {
+        Self {
+            keypair: ProcessorKeyPair::generate(rng),
+            register: KeyRegister::empty(),
+            leakage_limit_bits,
+        }
+    }
+
+    /// Step 1 (expanded per §8): the user's sealed key `K'` arrives; the
+    /// processor generates a fresh session key `K`, stores it in the
+    /// dedicated register, and returns `encrypt_{K'}(K)` for the user.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::BadSealedKey`] if the blob wasn't sealed to this
+    /// processor.
+    pub fn begin_session(
+        &mut self,
+        sealed_user_key: &SealedKey,
+        rng: &mut SplitMix64,
+    ) -> Result<Ciphertext, SessionError> {
+        let k_prime = self
+            .keypair
+            .unseal(sealed_user_key)
+            .ok_or(SessionError::BadSealedKey)?;
+        // `SymmetricKey` is opaque by design (no material extraction), so
+        // the session key is transported as a fresh *derivation seed*:
+        // both ends call `SymmetricKey::from_seed` on it. Equivalent to
+        // shipping K itself in the real protocol.
+        let seed = rng.next_u64();
+        let k = SymmetricKey::from_seed(seed);
+        self.register.load(k);
+        // encrypt_{K'}(K): ship the session key under the user's key.
+        let mut cipher = ProbCipher::new(k_prime);
+        Ok(cipher.encrypt(&seed.to_le_bytes()))
+    }
+
+    /// Step 3: run a program on the user's encrypted data under proposed
+    /// leakage parameters. Returns the encrypted result.
+    ///
+    /// The "program" here is abstract (`compute` maps plaintext to
+    /// plaintext); cycle-level execution is the simulator's job — this
+    /// object enforces the *protocol*: session key present, leakage
+    /// parameters within `L`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionError::NoActiveSession`] after `end_session`.
+    /// * [`SessionError::LeakageLimitExceeded`] if `params` exceed `L`.
+    pub fn run_program<F>(
+        &mut self,
+        encrypted_data: &Ciphertext,
+        params: &LeakageParams,
+        compute: F,
+    ) -> Result<Ciphertext, SessionError>
+    where
+        F: FnOnce(&[u8]) -> Vec<u8>,
+    {
+        let key = self.register.key().ok_or(SessionError::NoActiveSession)?;
+        let requested = params.oram_timing_bits().ceil() as u64;
+        if requested > self.leakage_limit_bits {
+            return Err(SessionError::LeakageLimitExceeded {
+                requested_bits: requested,
+                limit_bits: self.leakage_limit_bits,
+            });
+        }
+        let mut cipher = ProbCipher::new(key);
+        let plaintext = cipher.decrypt(encrypted_data);
+        let result = compute(&plaintext);
+        Ok(cipher.encrypt(&result))
+    }
+
+    /// Variant of [`SecureProcessor::run_program`] that additionally
+    /// verifies an HMAC binding `(program_hash ‖ data ‖ params)` produced
+    /// by the user (§10: restricting the processor to a certified
+    /// program).
+    ///
+    /// # Errors
+    ///
+    /// All of [`SecureProcessor::run_program`]'s errors, plus
+    /// [`SessionError::BindingMismatch`].
+    pub fn run_bound_program<F>(
+        &mut self,
+        encrypted_data: &Ciphertext,
+        program_hash: &[u8],
+        params: &LeakageParams,
+        binding: &otc_crypto::MacTag,
+        compute: F,
+    ) -> Result<Ciphertext, SessionError>
+    where
+        F: FnOnce(&[u8]) -> Vec<u8>,
+    {
+        let key = self.register.key().ok_or(SessionError::NoActiveSession)?;
+        let mac = Mac::new(key);
+        let msg = binding_message(program_hash, encrypted_data, params);
+        if !mac.verify(&msg, binding) {
+            return Err(SessionError::BindingMismatch);
+        }
+        self.run_program(encrypted_data, params, compute)
+    }
+
+    /// Step 4 / §8: session ends; the key register is reset. The user's
+    /// `encrypt_K(D)` is now undecryptable by anyone but the user —
+    /// replays are dead.
+    pub fn end_session(&mut self) {
+        self.register.forget();
+    }
+
+    /// The processor's public key (distributed to users).
+    pub fn public_key(&self) -> otc_crypto::keys::ProcessorPublicKey {
+        self.keypair.public_key()
+    }
+
+    /// Access for the protocol's toy sealing (see `otc_crypto::keys`).
+    pub fn keypair(&self) -> &ProcessorKeyPair {
+        &self.keypair
+    }
+
+    /// The configured leakage limit in bits.
+    pub fn leakage_limit_bits(&self) -> u64 {
+        self.leakage_limit_bits
+    }
+}
+
+/// The user's side of the protocol.
+#[derive(Debug)]
+pub struct UserSession {
+    session_key: SymmetricKey,
+}
+
+impl UserSession {
+    /// Establishes a session: generates `K'`, seals it to the processor,
+    /// calls [`SecureProcessor::begin_session`], and decrypts the returned
+    /// session key `K`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the processor's errors.
+    pub fn establish(
+        processor: &mut SecureProcessor,
+        rng: &mut SplitMix64,
+    ) -> Result<Self, SessionError> {
+        let k_prime = SymmetricKey::generate(rng);
+        let sealed = processor.public_key().seal(k_prime, processor.keypair());
+        let transported = processor.begin_session(&sealed, rng)?;
+        let cipher = ProbCipher::new(k_prime);
+        let seed_bytes = cipher.decrypt(&transported);
+        let seed = u64::from_le_bytes(
+            seed_bytes
+                .as_slice()
+                .try_into()
+                .map_err(|_| SessionError::BadSealedKey)?,
+        );
+        Ok(Self {
+            session_key: SymmetricKey::from_seed(seed),
+        })
+    }
+
+    /// `encrypt_K(D)` — what the user uploads (§5 step 2).
+    pub fn encrypt_data(&self, data: &[u8]) -> Ciphertext {
+        ProbCipher::new(self.session_key).encrypt(data)
+    }
+
+    /// Decrypts the final result `encrypt_K(P(D))`.
+    pub fn decrypt_result(&self, result: &Ciphertext) -> Vec<u8> {
+        ProbCipher::new(self.session_key).decrypt(result)
+    }
+
+    /// Binds a certified program hash + data + leakage parameters (§10).
+    pub fn bind(
+        &self,
+        program_hash: &[u8],
+        encrypted_data: &Ciphertext,
+        params: &LeakageParams,
+    ) -> otc_crypto::MacTag {
+        Mac::new(self.session_key).tag(&binding_message(program_hash, encrypted_data, params))
+    }
+}
+
+fn binding_message(
+    program_hash: &[u8],
+    encrypted_data: &Ciphertext,
+    params: &LeakageParams,
+) -> Vec<u8> {
+    let mut msg = Vec::new();
+    msg.extend((program_hash.len() as u64).to_le_bytes());
+    msg.extend_from_slice(program_hash);
+    msg.extend(encrypted_data.nonce.to_le_bytes());
+    msg.extend_from_slice(&encrypted_data.bytes);
+    msg.extend(params.encode());
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaled_params() -> LeakageParams {
+        LeakageParams {
+            rate_count: 4,
+            schedule: EpochSchedule::scaled(4),
+        }
+    }
+
+    fn setup() -> (SecureProcessor, UserSession, SplitMix64) {
+        let mut rng = SplitMix64::new(0xBEEF);
+        let mut proc = SecureProcessor::manufacture(&mut rng, 32);
+        let user = UserSession::establish(&mut proc, &mut rng).expect("establish");
+        (proc, user, rng)
+    }
+
+    #[test]
+    fn full_protocol_roundtrip() {
+        let (mut proc, user, _) = setup();
+        let data = b"the user's private input data".to_vec();
+        let enc = user.encrypt_data(&data);
+        let result = proc
+            .run_program(&enc, &scaled_params(), |d| {
+                // "P(D)": reverse the data.
+                d.iter().rev().copied().collect()
+            })
+            .expect("run");
+        let plain = user.decrypt_result(&result);
+        assert_eq!(plain, data.iter().rev().copied().collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn leakage_limit_enforced() {
+        let (mut proc, user, _) = setup(); // limit = 32 bits
+        let enc = user.encrypt_data(b"d");
+        // R4/E2 at scale = 32 epochs * 2 bits = 64 bits > 32.
+        let params = LeakageParams {
+            rate_count: 4,
+            schedule: EpochSchedule::scaled(2),
+        };
+        let err = proc
+            .run_program(&enc, &params, |d| d.to_vec())
+            .expect_err("should exceed limit");
+        assert_eq!(
+            err,
+            SessionError::LeakageLimitExceeded {
+                requested_bits: 64,
+                limit_bits: 32
+            }
+        );
+    }
+
+    #[test]
+    fn replay_fails_after_session_end() {
+        let (mut proc, user, _) = setup();
+        let enc = user.encrypt_data(b"secret");
+        proc.run_program(&enc, &scaled_params(), |d| d.to_vec())
+            .expect("first run works");
+        proc.end_session();
+        // §8: the register was reset; the replay cannot proceed.
+        let err = proc
+            .run_program(&enc, &scaled_params(), |d| d.to_vec())
+            .expect_err("replay must fail");
+        assert_eq!(err, SessionError::NoActiveSession);
+    }
+
+    #[test]
+    fn bound_program_accepts_matching_binding() {
+        let (mut proc, user, _) = setup();
+        let enc = user.encrypt_data(b"data");
+        let params = scaled_params();
+        let tag = user.bind(b"certified-program-hash", &enc, &params);
+        let out = proc.run_bound_program(&enc, b"certified-program-hash", &params, &tag, |d| {
+            d.to_vec()
+        });
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn bound_program_rejects_swapped_parameters() {
+        // The server tries to mix-and-match: same data + binding, laxer
+        // leakage parameters.
+        let (mut proc, user, _) = setup();
+        let enc = user.encrypt_data(b"data");
+        let params = scaled_params();
+        let tag = user.bind(b"certified-program-hash", &enc, &params);
+        let other_params = LeakageParams {
+            rate_count: 2,
+            schedule: EpochSchedule::scaled(8),
+        };
+        let err = proc
+            .run_bound_program(&enc, b"certified-program-hash", &other_params, &tag, |d| {
+                d.to_vec()
+            })
+            .expect_err("mismatched params must fail");
+        assert_eq!(err, SessionError::BindingMismatch);
+    }
+
+    #[test]
+    fn bound_program_rejects_wrong_program() {
+        let (mut proc, user, _) = setup();
+        let enc = user.encrypt_data(b"data");
+        let params = scaled_params();
+        let tag = user.bind(b"certified-program-hash", &enc, &params);
+        let err = proc
+            .run_bound_program(&enc, b"malicious-program", &params, &tag, |d| d.to_vec())
+            .expect_err("wrong program must fail");
+        assert_eq!(err, SessionError::BindingMismatch);
+    }
+
+    #[test]
+    fn wrong_processor_cannot_establish() {
+        let mut rng = SplitMix64::new(1);
+        let proc_a = SecureProcessor::manufacture(&mut rng, 32);
+        let mut proc_b = SecureProcessor::manufacture(&mut rng, 32);
+        // Seal to A, hand to B.
+        let k_prime = SymmetricKey::from_seed(9);
+        let sealed = proc_a.public_key().seal(k_prime, proc_a.keypair());
+        let err = proc_b.begin_session(&sealed, &mut rng).expect_err("fails");
+        assert_eq!(err, SessionError::BadSealedKey);
+    }
+
+    #[test]
+    fn leakage_params_encode_is_injective_on_fields() {
+        let a = scaled_params();
+        let mut b = a;
+        b.rate_count = 8;
+        assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = SessionError::LeakageLimitExceeded {
+            requested_bits: 64,
+            limit_bits: 32,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(SessionError::NoActiveSession.to_string().contains("no active"));
+    }
+}

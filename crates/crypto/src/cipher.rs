@@ -1,0 +1,158 @@
+//! A 128-bit block cipher stand-in for the ORAM controller's AES engine.
+//!
+//! The paper's ORAM controller encrypts/decrypts every 16-byte chunk that
+//! crosses the chip pins with AES-128 at fixed latency (§9.1.4, Table 2).
+//! We model the *interface and timing* of that engine; the permutation
+//! itself is a small ARX (add-rotate-xor) construction that is invertible
+//! and key-dependent but **not cryptographically secure** (see the crate
+//! docs).
+
+use crate::keys::SymmetricKey;
+
+/// A 128-bit cipher block, the unit the simulated AES engine works on.
+///
+/// The paper calls these "16 Byte chunks"; one chunk crosses the chip pins
+/// per DRAM cycle (§9.1.2).
+pub type Block = [u8; 16];
+
+const ROUNDS: usize = 8;
+
+/// A fixed-latency 128-bit block cipher (simulated AES-128).
+///
+/// # Example
+///
+/// ```
+/// use otc_crypto::{BlockCipher, SymmetricKey};
+///
+/// let cipher = BlockCipher::new(SymmetricKey::from_seed(1));
+/// let pt = *b"sixteen BytE blk";
+/// let ct = cipher.encrypt_block(&pt);
+/// assert_ne!(ct, pt);
+/// assert_eq!(cipher.decrypt_block(&ct), pt);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockCipher {
+    round_keys: [(u64, u64); ROUNDS],
+}
+
+impl BlockCipher {
+    /// Creates a cipher keyed with `key`.
+    pub fn new(key: SymmetricKey) -> Self {
+        let mut ks = crate::rng::SplitMix64::new(key.material());
+        let mut round_keys = [(0u64, 0u64); ROUNDS];
+        for rk in &mut round_keys {
+            *rk = (ks.next_u64(), ks.next_u64());
+        }
+        Self { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, plaintext: &Block) -> Block {
+        let (mut a, mut b) = split(plaintext);
+        for &(k0, k1) in &self.round_keys {
+            a = a.wrapping_add(k0);
+            b ^= a.rotate_left(17);
+            b = b.wrapping_add(k1);
+            a ^= b.rotate_left(41);
+        }
+        join(a, b)
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, ciphertext: &Block) -> Block {
+        let (mut a, mut b) = split(ciphertext);
+        for &(k0, k1) in self.round_keys.iter().rev() {
+            a ^= b.rotate_left(41);
+            b = b.wrapping_sub(k1);
+            b ^= a.rotate_left(17);
+            a = a.wrapping_sub(k0);
+        }
+        join(a, b)
+    }
+}
+
+fn split(block: &Block) -> (u64, u64) {
+    let a = u64::from_le_bytes(block[..8].try_into().expect("8-byte half"));
+    let b = u64::from_le_bytes(block[8..].try_into().expect("8-byte half"));
+    (a, b)
+}
+
+fn join(a: u64, b: u64) -> Block {
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&a.to_le_bytes());
+    out[8..].copy_from_slice(&b.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let c = BlockCipher::new(SymmetricKey::from_seed(3));
+        let pt: Block = [7u8; 16];
+        assert_eq!(c.decrypt_block(&c.encrypt_block(&pt)), pt);
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let c1 = BlockCipher::new(SymmetricKey::from_seed(1));
+        let c2 = BlockCipher::new(SymmetricKey::from_seed(2));
+        let pt: Block = [0u8; 16];
+        assert_ne!(c1.encrypt_block(&pt), c2.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn encryption_changes_plaintext() {
+        let c = BlockCipher::new(SymmetricKey::from_seed(9));
+        for i in 0..32u8 {
+            let pt: Block = [i; 16];
+            assert_ne!(c.encrypt_block(&pt), pt);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_key() {
+        let c1 = BlockCipher::new(SymmetricKey::from_seed(11));
+        let c2 = BlockCipher::new(SymmetricKey::from_seed(11));
+        let pt: Block = *b"0123456789abcdef";
+        assert_eq!(c1.encrypt_block(&pt), c2.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn single_bit_flip_diffuses() {
+        // Avalanche sanity: flipping one plaintext bit should change many
+        // ciphertext bits. (ARX rounds give decent diffusion.)
+        let c = BlockCipher::new(SymmetricKey::from_seed(4));
+        let pt0: Block = [0u8; 16];
+        let mut pt1 = pt0;
+        pt1[0] ^= 1;
+        let ct0 = c.encrypt_block(&pt0);
+        let ct1 = c.encrypt_block(&pt1);
+        let differing: u32 = ct0
+            .iter()
+            .zip(ct1.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert!(differing > 20, "only {differing} bits differ");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(seed in any::<u64>(), pt in any::<[u8; 16]>()) {
+            let c = BlockCipher::new(SymmetricKey::from_seed(seed));
+            prop_assert_eq!(c.decrypt_block(&c.encrypt_block(&pt)), pt);
+        }
+
+        #[test]
+        fn prop_injective_on_samples(seed in any::<u64>(),
+                                     p1 in any::<[u8; 16]>(),
+                                     p2 in any::<[u8; 16]>()) {
+            prop_assume!(p1 != p2);
+            let c = BlockCipher::new(SymmetricKey::from_seed(seed));
+            prop_assert_ne!(c.encrypt_block(&p1), c.encrypt_block(&p2));
+        }
+    }
+}

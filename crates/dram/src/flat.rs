@@ -1,0 +1,122 @@
+//! The insecure-baseline DRAM model (`base_dram`).
+//!
+//! §9.1.2: "We model main memory latency for insecure systems (base_dram
+//! in §9.1.6) with a flat 40 cycles." On top of the flat latency we model
+//! channel occupancy — each cache-line transfer holds one of the two
+//! channels for its pin time — so that bursts of non-blocking write-buffer
+//! misses (Table 1's 8-entry write buffer) queue realistically instead of
+//! enjoying infinite bandwidth.
+
+use crate::{DdrConfig, Cycle};
+
+/// Flat-latency DRAM with per-channel occupancy.
+///
+/// # Example
+///
+/// ```
+/// use otc_dram::FlatDram;
+///
+/// let mut dram = FlatDram::new(40, 64);
+/// let done = dram.access(100);
+/// assert_eq!(done, 140); // 40-cycle flat latency
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatDram {
+    latency: Cycle,
+    line_occupancy: Cycle,
+    channel_free: Vec<Cycle>,
+    accesses: u64,
+}
+
+impl FlatDram {
+    /// Creates the model with a given flat `latency` (CPU cycles) for a
+    /// cache line of `line_bytes`.
+    pub fn new(latency: Cycle, line_bytes: u64) -> Self {
+        let ddr = DdrConfig::default();
+        // Per-channel pin rate: aggregate 16 B/DRAM-cycle over 2 channels.
+        let per_channel = ddr.pin_bytes_per_dram_cycle / ddr.channels as u64;
+        let occupancy_dram = line_bytes.div_ceil(per_channel.max(1));
+        Self {
+            latency,
+            line_occupancy: crate::dram_to_cpu_cycles(occupancy_dram),
+            channel_free: vec![0; ddr.channels],
+            accesses: 0,
+        }
+    }
+
+    /// The paper's configuration: 40-cycle latency, 64 B lines.
+    pub fn paper_default() -> Self {
+        Self::new(40, 64)
+    }
+
+    /// Issues a cache-line access at time `now`; returns its completion
+    /// time. Picks the earliest-free channel.
+    pub fn access(&mut self, now: Cycle) -> Cycle {
+        self.accesses += 1;
+        let ch = self
+            .channel_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .expect("at least one channel");
+        let start = now.max(self.channel_free[ch]);
+        self.channel_free[ch] = start + self.line_occupancy;
+        start + self.latency
+    }
+
+    /// Total accesses served (for power accounting: each moves one cache
+    /// line through the DRAM controller).
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The flat latency in CPU cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_access_flat_latency() {
+        let mut d = FlatDram::paper_default();
+        assert_eq!(d.access(0), 40);
+        assert_eq!(d.access_count(), 1);
+    }
+
+    #[test]
+    fn two_channels_overlap() {
+        let mut d = FlatDram::paper_default();
+        // Two simultaneous accesses use the two channels: same completion.
+        assert_eq!(d.access(0), 40);
+        assert_eq!(d.access(0), 40);
+        // A third must wait for a channel (64 B / 8 B-per-DRAM-cycle = 8
+        // DRAM cycles = 6 CPU cycles occupancy).
+        let third = d.access(0);
+        assert!(third > 40, "third access should queue, got {third}");
+    }
+
+    #[test]
+    fn idle_channels_do_not_delay() {
+        let mut d = FlatDram::paper_default();
+        d.access(0);
+        // Much later access sees no queueing.
+        assert_eq!(d.access(1000), 1040);
+    }
+
+    #[test]
+    fn burst_of_eight_queues_on_bandwidth() {
+        // The 8-entry write buffer can burst 8 concurrent misses; with 2
+        // channels each occupied ~6 cycles, the last completes later than
+        // the first but far sooner than serialized 8*40.
+        let mut d = FlatDram::paper_default();
+        let completions: Vec<Cycle> = (0..8).map(|_| d.access(0)).collect();
+        assert_eq!(completions[0], 40);
+        let last = *completions.last().expect("non-empty");
+        assert!(last > 40 && last < 8 * 40, "last = {last}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Configuration of the full (recursive) Path ORAM.
+
+use crate::geometry::TreeGeometry;
+
+/// Bytes per position-map entry as stored in recursive posmap blocks.
+pub const POSMAP_ENTRY_BYTES: usize = 4;
+
+/// Configuration for a [`crate::RecursivePathOram`].
+///
+/// The default reproduces §9.1.2: a 4 GB-address-space data ORAM with a
+/// 1 GB working set, Z = 3 everywhere, 64 B data blocks, 3 levels of
+/// recursion with 32 B posmap blocks — which works out to 758 sixteen-byte
+/// chunks per path direction (12.1 KB), 24.2 KB per access, and (with
+/// [`otc_dram::DdrConfig::default`]) a 1488-CPU-cycle access latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OramConfig {
+    /// Geometry of the data ORAM tree.
+    pub data: TreeGeometry,
+    /// Geometries of the recursive position-map ORAMs, ordered from the
+    /// one holding the *data* ORAM's positions (`posmaps[0]`) to the
+    /// smallest one (whose own positions live on-chip).
+    pub posmaps: Vec<TreeGeometry>,
+    /// Seed from which all ORAM-internal randomness (leaf remaps,
+    /// fingerprints, default positions) derives. Fixed seed → bit-for-bit
+    /// reproducible experiments.
+    pub seed: u64,
+}
+
+impl Default for OramConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl OramConfig {
+    /// The paper's configuration (§9.1.2). See [`OramConfig`] docs.
+    pub fn paper() -> Self {
+        Self {
+            data: TreeGeometry::new(26, 3, 64, 16),
+            posmaps: vec![
+                TreeGeometry::new(23, 3, 32, 16),
+                TreeGeometry::new(20, 3, 32, 16),
+                TreeGeometry::new(17, 3, 32, 16),
+            ],
+            seed: 0x07A3_5EED,
+        }
+    }
+
+    /// A small configuration for unit tests and examples: a few thousand
+    /// blocks, same structure (3 recursion levels), fast to exercise
+    /// exhaustively.
+    pub fn small() -> Self {
+        Self {
+            data: TreeGeometry::new(8, 3, 64, 16),
+            posmaps: vec![
+                TreeGeometry::new(6, 3, 32, 16),
+                TreeGeometry::new(4, 3, 32, 16),
+                TreeGeometry::new(3, 3, 32, 16),
+            ],
+            seed: 0x5EED,
+        }
+    }
+
+    /// Position entries per posmap block (8 with 32 B blocks and 4 B
+    /// entries — the recursion fan-out).
+    pub fn entries_per_posmap_block(&self) -> usize {
+        let b = self
+            .posmaps
+            .first()
+            .map(|g| g.block_bytes())
+            .unwrap_or(self.data.block_bytes());
+        b / POSMAP_ENTRY_BYTES
+    }
+
+    /// Number of addressable data blocks (the ORAM's logical capacity).
+    ///
+    /// With the paper geometry this is 2^26 blocks × 64 B = 4 GB.
+    pub fn data_block_capacity(&self) -> u64 {
+        // One tree level deeper than the leaves: standard 2-blocks-per-
+        // leaf nominal load (2^26 blocks over 2^25 leaves by default).
+        self.data.leaf_count() * 2
+    }
+
+    /// Bytes of addressable capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.data_block_capacity() * self.data.block_bytes() as u64
+    }
+
+    /// Total buckets across all trees (row activations per access charge
+    /// one per bucket on each accessed path).
+    pub fn total_path_buckets(&self) -> u64 {
+        self.data.levels() as u64
+            + self
+                .posmaps
+                .iter()
+                .map(|g| g.levels() as u64)
+                .sum::<u64>()
+    }
+
+    /// Bytes moved per ORAM access in one direction (path read *or*
+    /// write): the sum over all trees of their path bytes.
+    pub fn bytes_per_direction(&self) -> u64 {
+        self.data.path_bytes()
+            + self
+                .posmaps
+                .iter()
+                .map(|g| g.path_bytes())
+                .sum::<u64>()
+    }
+
+    /// Bytes moved per ORAM access (read + write back).
+    pub fn bytes_per_access(&self) -> u64 {
+        2 * self.bytes_per_direction()
+    }
+
+    /// Validates internal consistency (posmap chain covers the data
+    /// ORAM's position entries). Returns a human-readable error rather
+    /// than panicking so builders can surface it.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.posmaps.is_empty() {
+            return Err("at least one recursive posmap level is required".into());
+        }
+        let entries = self.entries_per_posmap_block() as u64;
+        if entries == 0 {
+            return Err("posmap blocks must hold at least one entry".into());
+        }
+        // Each level must be able to address the blocks of the level below.
+        let mut blocks_below = self.data_block_capacity();
+        for (i, pm) in self.posmaps.iter().enumerate() {
+            let pm_blocks = blocks_below.div_ceil(entries);
+            let pm_capacity = pm.leaf_count() * 2;
+            if pm_capacity < pm_blocks {
+                return Err(format!(
+                    "posmap level {i} holds {pm_capacity} blocks but needs {pm_blocks}"
+                ));
+            }
+            blocks_below = pm_blocks;
+        }
+        Ok(())
+    }
+
+    /// Number of entries the on-chip position map must hold (positions of
+    /// the smallest posmap ORAM's blocks).
+    pub fn onchip_entries(&self) -> u64 {
+        let entries = self.entries_per_posmap_block() as u64;
+        let mut blocks = self.data_block_capacity();
+        for _ in &self.posmaps {
+            blocks = blocks.div_ceil(entries);
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_validates() {
+        OramConfig::paper().validate().expect("paper config valid");
+    }
+
+    #[test]
+    fn small_config_validates() {
+        OramConfig::small().validate().expect("small config valid");
+    }
+
+    #[test]
+    fn paper_chunk_count_matches_paper() {
+        // §9.1.2: 12.1 KB per direction = 758 sixteen-byte chunks;
+        // 24.2 KB per access.
+        let c = OramConfig::paper();
+        assert_eq!(c.bytes_per_direction(), 12_128);
+        assert_eq!(c.bytes_per_direction() / 16, 758);
+        assert_eq!(c.bytes_per_access(), 24_256);
+    }
+
+    #[test]
+    fn paper_capacity_is_4gb() {
+        let c = OramConfig::paper();
+        assert_eq!(c.capacity_bytes(), 4 << 30);
+    }
+
+    #[test]
+    fn paper_path_buckets() {
+        // 26 + 23 + 20 + 17 = 86 buckets per accessed path set.
+        assert_eq!(OramConfig::paper().total_path_buckets(), 86);
+    }
+
+    #[test]
+    fn onchip_posmap_is_small() {
+        let c = OramConfig::paper();
+        // 2^26 blocks / 8^3 = 2^17 on-chip entries — ~0.5 MB of u32s in
+        // the simulator, a few hundred KB of packed bits in hardware.
+        assert_eq!(c.onchip_entries(), 1 << 17);
+    }
+
+    #[test]
+    fn recursion_fanout_is_8() {
+        assert_eq!(OramConfig::paper().entries_per_posmap_block(), 8);
+    }
+
+    #[test]
+    fn invalid_config_reports_error() {
+        let mut c = OramConfig::small();
+        c.posmaps = vec![TreeGeometry::new(2, 3, 32, 16)]; // far too small
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,393 @@
+//! The full recursive Path ORAM controller.
+//!
+//! One logical access touches four trees in sequence (§9.1.2: "3 levels of
+//! recursion"): the on-chip position map yields the leaf of a block in the
+//! smallest posmap ORAM; reading that block yields the leaf of a block in
+//! the next posmap ORAM; and so on down to the data ORAM. Every touched
+//! block is remapped to a fresh random leaf as it is accessed — the
+//! critical security step (§3.1).
+
+use crate::config::{OramConfig, POSMAP_ENTRY_BYTES};
+use crate::posmap::SparseLeafMap;
+use crate::stats::OramStats;
+use crate::tree::{DefaultPayload, TreeOram};
+use crate::types::{BlockId, Leaf, NodeIndex, OramOp};
+use otc_crypto::{Prf, SplitMix64, SymmetricKey};
+
+/// A complete Path ORAM with recursive position maps.
+///
+/// # Example
+///
+/// ```
+/// use otc_oram::{OramConfig, RecursivePathOram};
+///
+/// let mut oram = RecursivePathOram::new(OramConfig::small()).expect("valid config");
+/// oram.write(3, &[0xCD; 64]);
+/// assert_eq!(oram.read(3), vec![0xCD; 64]);
+/// // Every access (including the read) touched all four trees:
+/// assert_eq!(oram.stats().real_accesses, 2);
+/// ```
+pub struct RecursivePathOram {
+    config: OramConfig,
+    data: TreeOram,
+    /// `posmaps[0]` holds data-ORAM positions, …, last is smallest.
+    posmaps: Vec<TreeOram>,
+    onchip: SparseLeafMap,
+    rng: SplitMix64,
+    stats: OramStats,
+}
+
+impl std::fmt::Debug for RecursivePathOram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecursivePathOram")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RecursivePathOram {
+    /// Builds an ORAM from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error if `config` fails
+    /// [`OramConfig::validate`].
+    pub fn new(config: OramConfig) -> Result<Self, String> {
+        config.validate()?;
+        let key = SymmetricKey::from_seed(config.seed);
+        let data = TreeOram::new(
+            config.data,
+            DefaultPayload::Zeros,
+            Prf::new(key, b"fingerprint/data"),
+        );
+        let entries = config.entries_per_posmap_block();
+        let mut posmaps = Vec::with_capacity(config.posmaps.len());
+        // posmaps[i] stores the positions of the tree "below" it:
+        // below posmaps[0] is the data tree; below posmaps[i] is
+        // posmaps[i-1].
+        let mut child_leaf_count = config.data.leaf_count();
+        for (i, geom) in config.posmaps.iter().enumerate() {
+            let label = format!("posmap{i}");
+            posmaps.push(TreeOram::new(
+                *geom,
+                DefaultPayload::PosmapPrf {
+                    prf: Prf::new(key, label.as_bytes()),
+                    entries_per_block: entries,
+                    child_leaf_count,
+                },
+                Prf::new(key, format!("fingerprint/{label}").as_bytes()),
+            ));
+            child_leaf_count = geom.leaf_count();
+        }
+        let smallest_leaves = config
+            .posmaps
+            .last()
+            .expect("validated: non-empty")
+            .leaf_count();
+        let onchip = SparseLeafMap::new(Prf::new(key, b"onchip"), smallest_leaves);
+        let rng_seed = config.seed ^ 0x5EAF_5EED;
+        Ok(Self {
+            config,
+            data,
+            posmaps,
+            onchip,
+            rng: SplitMix64::new(rng_seed),
+            stats: OramStats::default(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OramConfig {
+        &self.config
+    }
+
+    /// Reads the cache line at block address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds [`OramConfig::data_block_capacity`].
+    pub fn read(&mut self, addr: u64) -> Vec<u8> {
+        self.access(addr, OramOp::Read, None)
+    }
+
+    /// Writes the cache line at block address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range or `data` is not one data block
+    /// long.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        self.access(addr, OramOp::Write, Some(data));
+    }
+
+    /// Performs an indistinguishable dummy access (§1.1.2): a random path
+    /// is read and written in every tree, with all the same data movement
+    /// and re-encryption as a real access.
+    pub fn dummy_access(&mut self) {
+        for i in (0..self.posmaps.len()).rev() {
+            let leaf = Leaf(self.rng.next_below(self.posmaps[i].geometry().leaf_count()));
+            self.posmaps[i].dummy_access(leaf);
+        }
+        let leaf = Leaf(self.rng.next_below(self.data.geometry().leaf_count()));
+        self.data.dummy_access(leaf);
+        self.stats.dummy_accesses += 1;
+        self.stats.bytes_moved += self.config.bytes_per_access();
+    }
+
+    fn access(&mut self, addr: u64, op: OramOp, data: Option<&[u8]>) -> Vec<u8> {
+        assert!(
+            addr < self.config.data_block_capacity(),
+            "address {addr} beyond ORAM capacity {}",
+            self.config.data_block_capacity()
+        );
+        let entries = self.config.entries_per_posmap_block() as u64;
+
+        // Block indices at each recursion level, data-level first.
+        // posmap block covering data block `a` is `a / entries`, etc.
+        let mut covering = Vec::with_capacity(self.posmaps.len());
+        let mut b = addr;
+        for _ in &self.posmaps {
+            b /= entries;
+            covering.push(b);
+        }
+        // covering[i] = block index within posmaps[i].
+
+        // 1. On-chip posmap: leaf of the smallest posmap ORAM's block.
+        let smallest = self.posmaps.len() - 1;
+        let top_block = BlockId(covering[smallest]);
+        let new_top_leaf = Leaf(
+            self.rng
+                .next_below(self.posmaps[smallest].geometry().leaf_count()),
+        );
+        let top_leaf = self.onchip.set(top_block, new_top_leaf);
+
+        // 2. Walk down the posmap chain. Reading posmaps[i] yields the
+        //    leaf for the block in the tree below (posmaps[i-1] or data).
+        let mut leaf_for_below = Leaf(0);
+        let mut cur_leaf = top_leaf;
+        let mut cur_new = new_top_leaf;
+        for i in (0..self.posmaps.len()).rev() {
+            let block = BlockId(covering[i]);
+            let below_index = if i == 0 { addr } else { covering[i - 1] };
+            let slot = (below_index % entries) as usize;
+            let below_leaves = if i == 0 {
+                self.data.geometry().leaf_count()
+            } else {
+                self.posmaps[i - 1].geometry().leaf_count()
+            };
+            let new_below_leaf = Leaf(self.rng.next_below(below_leaves));
+            let mut old_below_leaf = Leaf(0);
+            self.posmaps[i].access_update(block, cur_leaf, cur_new, |payload| {
+                let off = slot * POSMAP_ENTRY_BYTES;
+                let bytes: [u8; 4] = payload[off..off + 4]
+                    .try_into()
+                    .expect("entry within block");
+                old_below_leaf = Leaf(u64::from(u32::from_le_bytes(bytes)));
+                payload[off..off + 4]
+                    .copy_from_slice(&(new_below_leaf.0 as u32).to_le_bytes());
+            });
+            leaf_for_below = old_below_leaf;
+            // Prepare next iteration: the tree below is accessed with the
+            // leaf we just read, remapped to the one we just installed.
+            cur_leaf = leaf_for_below;
+            cur_new = new_below_leaf;
+        }
+
+        // 3. Data ORAM access.
+        let result = match (op, data) {
+            (OramOp::Write, Some(bytes)) => {
+                self.data.write(BlockId(addr), cur_leaf, cur_new, bytes)
+            }
+            (OramOp::Read, _) => self.data.read(BlockId(addr), cur_leaf, cur_new),
+            (OramOp::Write, None) => unreachable!("write always carries data"),
+        };
+        let _ = leaf_for_below;
+
+        self.stats.real_accesses += 1;
+        self.stats.bytes_moved += self.config.bytes_per_access();
+        self.stats.stash_peak = self
+            .stats
+            .stash_peak
+            .max(self.data.stats().stash_peak)
+            .max(
+                self.posmaps
+                    .iter()
+                    .map(|t| t.stats().stash_peak)
+                    .max()
+                    .unwrap_or(0),
+            );
+        result
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> OramStats {
+        let mut s = self.stats;
+        s.stash_peak = s
+            .stash_peak
+            .max(self.data.stats().stash_peak)
+            .max(
+                self.posmaps
+                    .iter()
+                    .map(|t| t.stats().stash_peak)
+                    .max()
+                    .unwrap_or(0),
+            );
+        s
+    }
+
+    /// Ciphertext fingerprint of the *data tree's root bucket* — the §3.2
+    /// probe target. Changes on every access of any kind.
+    pub fn root_fingerprint(&self) -> u64 {
+        self.data.root_fingerprint()
+    }
+
+    /// Fingerprint of an arbitrary data-tree bucket.
+    pub fn bucket_fingerprint(&self, node: NodeIndex) -> u64 {
+        self.data.bucket_fingerprint(node)
+    }
+
+    /// Checks the Path ORAM invariant in every tree. Test/debug helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tree violates the invariant.
+    pub fn check_invariants(&self) {
+        self.data.check_invariant();
+        for t in &self.posmaps {
+            t.check_invariant();
+        }
+    }
+
+    /// Peak stash occupancy across all trees.
+    pub fn stash_peak(&self) -> usize {
+        self.stats().stash_peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> RecursivePathOram {
+        RecursivePathOram::new(OramConfig::small()).expect("valid")
+    }
+
+    #[test]
+    fn fresh_reads_are_zero() {
+        let mut o = small();
+        assert_eq!(o.read(0), vec![0u8; 64]);
+        assert_eq!(o.read(100), vec![0u8; 64]);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut o = small();
+        o.write(42, &[7u8; 64]);
+        assert_eq!(o.read(42), vec![7u8; 64]);
+    }
+
+    #[test]
+    fn many_blocks_roundtrip_with_invariants() {
+        let mut o = small();
+        for i in 0..128u64 {
+            o.write(i, &[i as u8; 64]);
+        }
+        o.check_invariants();
+        for i in (0..128u64).rev() {
+            assert_eq!(o.read(i), vec![i as u8; 64], "block {i}");
+        }
+        o.check_invariants();
+    }
+
+    #[test]
+    fn repeated_access_remaps() {
+        // Accessing the same block repeatedly must keep working (the
+        // position map is updated on every access).
+        let mut o = small();
+        o.write(9, &[1u8; 64]);
+        for _ in 0..50 {
+            assert_eq!(o.read(9), vec![1u8; 64]);
+        }
+        o.check_invariants();
+    }
+
+    #[test]
+    fn dummy_accesses_preserve_data_and_count_separately() {
+        let mut o = small();
+        o.write(5, &[3u8; 64]);
+        for _ in 0..20 {
+            o.dummy_access();
+        }
+        assert_eq!(o.read(5), vec![3u8; 64]);
+        let s = o.stats();
+        assert_eq!(s.dummy_accesses, 20);
+        assert_eq!(s.real_accesses, 2);
+        assert_eq!(
+            s.bytes_moved,
+            22 * o.config().bytes_per_access()
+        );
+    }
+
+    #[test]
+    fn root_fingerprint_changes_on_real_and_dummy() {
+        let mut o = small();
+        let f0 = o.root_fingerprint();
+        o.read(0);
+        let f1 = o.root_fingerprint();
+        o.dummy_access();
+        let f2 = o.root_fingerprint();
+        assert_ne!(f0, f1);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond ORAM capacity")]
+    fn out_of_range_address_panics() {
+        small().read(u64::MAX);
+    }
+
+    #[test]
+    fn paper_config_instantiates_lazily() {
+        let mut o = RecursivePathOram::new(OramConfig::paper()).expect("valid");
+        // 2^26 blocks addressable; pick one near the top of the range.
+        let addr = (1u64 << 26) - 5;
+        o.write(addr, &[9u8; 64]);
+        assert_eq!(o.read(addr), vec![9u8; 64]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random mixed workload against a HashMap oracle, with dummy
+        /// accesses interleaved, invariants checked, stash bounded.
+        #[test]
+        fn prop_matches_oracle(seed in any::<u64>(), ops in 1usize..120) {
+            let mut o = small();
+            let mut oracle: std::collections::HashMap<u64, Vec<u8>> =
+                std::collections::HashMap::new();
+            let mut rng = SplitMix64::new(seed);
+            let addr_space = 200u64;
+            for step in 0..ops {
+                match rng.next_below(4) {
+                    0 => {
+                        let addr = rng.next_below(addr_space);
+                        let val = vec![(step as u8) ^ 0x5A; 64];
+                        o.write(addr, &val);
+                        oracle.insert(addr, val);
+                    }
+                    1 | 2 => {
+                        let addr = rng.next_below(addr_space);
+                        let got = o.read(addr);
+                        let expect = oracle.get(&addr).cloned().unwrap_or(vec![0u8; 64]);
+                        prop_assert_eq!(got, expect);
+                    }
+                    _ => o.dummy_access(),
+                }
+            }
+            o.check_invariants();
+            prop_assert!(o.stash_peak() < 64, "stash peak {}", o.stash_peak());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The on-chip stash.
+//!
+//! Blocks read off a path that cannot be immediately evicted back wait in
+//! a small on-chip memory ([26] sizes it at 128 KB and the power model
+//! charges stash reads/writes per 16 B chunk, Table 2). Path ORAM's
+//! security argument requires the stash occupancy to stay small with
+//! overwhelming probability; the property tests in `tree.rs` exercise
+//! this.
+
+use crate::types::{BlockId, Leaf};
+use crate::bucket::StoredBlock;
+use std::collections::HashMap;
+
+/// On-chip stash: an associative store of blocks awaiting eviction.
+#[derive(Debug, Clone, Default)]
+pub struct Stash {
+    blocks: HashMap<BlockId, StoredBlock>,
+    peak: usize,
+}
+
+impl Stash {
+    /// An empty stash.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the stash is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Largest occupancy ever observed (reported by experiments; the
+    /// paper's hardware provisions a fixed-size stash).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Inserts a block (replacing any stale copy with the same id).
+    pub fn insert(&mut self, block: StoredBlock) {
+        self.blocks.insert(block.id, block);
+        self.peak = self.peak.max(self.blocks.len());
+    }
+
+    /// Looks up a block without removing it.
+    pub fn get(&self, id: BlockId) -> Option<&StoredBlock> {
+        self.blocks.get(&id)
+    }
+
+    /// Mutable lookup (used by read-modify-write accesses).
+    pub fn get_mut(&mut self, id: BlockId) -> Option<&mut StoredBlock> {
+        self.blocks.get_mut(&id)
+    }
+
+    /// Whether a block is resident.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// Removes and returns every block that may legally be evicted into
+    /// the bucket at `level` on the path to `path_leaf`, up to `limit`
+    /// blocks (the bucket's free capacity).
+    ///
+    /// `may_place(block_leaf)` is the geometry predicate — the block's own
+    /// path must pass through that bucket.
+    pub fn drain_for_bucket<F>(
+        &mut self,
+        limit: usize,
+        mut may_place: F,
+    ) -> Vec<StoredBlock>
+    where
+        F: FnMut(Leaf) -> bool,
+    {
+        if limit == 0 {
+            return Vec::new();
+        }
+        let mut chosen: Vec<BlockId> = Vec::with_capacity(limit);
+        for (id, blk) in self.blocks.iter() {
+            if may_place(blk.leaf) {
+                chosen.push(*id);
+                if chosen.len() == limit {
+                    break;
+                }
+            }
+        }
+        chosen
+            .into_iter()
+            .map(|id| self.blocks.remove(&id).expect("chosen from stash"))
+            .collect()
+    }
+
+    /// Iterates over resident blocks (for invariant checks).
+    pub fn iter(&self) -> impl Iterator<Item = &StoredBlock> {
+        self.blocks.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(id: u64, leaf: u64) -> StoredBlock {
+        StoredBlock {
+            id: BlockId(id),
+            leaf: Leaf(leaf),
+            payload: vec![id as u8],
+        }
+    }
+
+    #[test]
+    fn insert_get_contains() {
+        let mut s = Stash::new();
+        s.insert(blk(1, 0));
+        assert!(s.contains(BlockId(1)));
+        assert_eq!(s.get(BlockId(1)).map(|b| b.leaf), Some(Leaf(0)));
+        assert!(!s.contains(BlockId(2)));
+    }
+
+    #[test]
+    fn insert_same_id_replaces() {
+        let mut s = Stash::new();
+        s.insert(blk(1, 0));
+        s.insert(blk(1, 5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(BlockId(1)).map(|b| b.leaf), Some(Leaf(5)));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut s = Stash::new();
+        for i in 0..10 {
+            s.insert(blk(i, 0));
+        }
+        let drained = s.drain_for_bucket(10, |_| true);
+        assert_eq!(drained.len(), 10);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.peak(), 10);
+    }
+
+    #[test]
+    fn drain_respects_limit_and_predicate() {
+        let mut s = Stash::new();
+        s.insert(blk(1, 0));
+        s.insert(blk(2, 1));
+        s.insert(blk(3, 0));
+        let drained = s.drain_for_bucket(1, |leaf| leaf == Leaf(0));
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].leaf, Leaf(0));
+        assert_eq!(s.len(), 2);
+        let drained2 = s.drain_for_bucket(5, |leaf| leaf == Leaf(0));
+        assert_eq!(drained2.len(), 1);
+        let drained3 = s.drain_for_bucket(5, |_| true);
+        assert_eq!(drained3.len(), 1);
+        assert_eq!(drained3[0].leaf, Leaf(1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drain_zero_limit_is_noop() {
+        let mut s = Stash::new();
+        s.insert(blk(1, 0));
+        assert!(s.drain_for_bucket(0, |_| true).is_empty());
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Derived timing of one ORAM access.
+//!
+//! Combines the ORAM geometry ([`crate::OramConfig`]) with the DRAM
+//! channel model ([`otc_dram::DdrConfig`]) to produce the access latency
+//! the rest of the stack uses. With both at their defaults this reproduces
+//! §9.1.2 exactly: 24.2 KB per access, 1984 DRAM cycles, 1488 CPU cycles.
+
+use crate::config::OramConfig;
+use otc_dram::{Cycle, DdrConfig, TransferSpec};
+
+/// The timing profile of one (real or dummy) ORAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OramTiming {
+    /// The pin-level transfer one access performs.
+    pub transfer: TransferSpec,
+    /// DRAM cycles the memory system is busy per access.
+    pub dram_cycles: u64,
+    /// CPU-cycle latency of one access (`OLAT` in the paper's notation).
+    pub latency: Cycle,
+}
+
+impl OramTiming {
+    /// Derives the timing of one access of `oram` over `ddr`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use otc_oram::{OramConfig, OramTiming};
+    /// use otc_dram::DdrConfig;
+    ///
+    /// let t = OramTiming::derive(&OramConfig::paper(), &DdrConfig::default());
+    /// assert_eq!(t.latency, 1488);          // §9.1.2
+    /// assert_eq!(t.transfer.bytes, 24_256); // 24.2 KB
+    /// ```
+    pub fn derive(oram: &OramConfig, ddr: &DdrConfig) -> Self {
+        let transfer = TransferSpec {
+            bytes: oram.bytes_per_access(),
+            // One row activation per bucket: the row stays open across the
+            // bucket's read and its write-back.
+            row_activations: oram.total_path_buckets(),
+            // Read phase -> write phase -> back to reads.
+            direction_switches: 2,
+        };
+        let dram_cycles = ddr.busy_dram_cycles(&transfer);
+        Self {
+            transfer,
+            dram_cycles,
+            latency: ddr.busy_cpu_cycles(&transfer),
+        }
+    }
+
+    /// Sixteen-byte chunks moved per access (the unit of AES and stash
+    /// energy in Table 2).
+    pub fn chunks_per_access(&self) -> u64 {
+        self.transfer.bytes / 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let t = OramTiming::derive(&OramConfig::paper(), &DdrConfig::default());
+        assert_eq!(t.transfer.bytes, 24_256);
+        assert_eq!(t.chunks_per_access(), 1516); // 2 * 758
+        assert_eq!(t.dram_cycles, 1984);
+        assert_eq!(t.latency, 1488);
+    }
+
+    #[test]
+    fn small_config_is_faster() {
+        let paper = OramTiming::derive(&OramConfig::paper(), &DdrConfig::default());
+        let small = OramTiming::derive(&OramConfig::small(), &DdrConfig::default());
+        assert!(small.latency < paper.latency);
+        assert!(small.latency > 0);
+    }
+
+    #[test]
+    fn latency_scales_with_levels() {
+        let mut c = OramConfig::paper();
+        let base = OramTiming::derive(&c, &DdrConfig::default()).latency;
+        c.data = crate::geometry::TreeGeometry::new(28, 3, 64, 16);
+        let deeper = OramTiming::derive(&c, &DdrConfig::default()).latency;
+        assert!(deeper > base);
+    }
+}

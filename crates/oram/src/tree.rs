@@ -1,0 +1,478 @@
+//! A single Path ORAM tree: buckets, stash, path read/write, eviction.
+//!
+//! [`TreeOram`] implements the mechanics of one tree. Position management
+//! lives *outside* (in [`crate::RecursivePathOram`] or the caller): every
+//! access is told which leaf the block is currently mapped to and which
+//! leaf it is being remapped to, mirroring how a hardware controller's
+//! datapath is driven by the position-map lookup pipeline.
+//!
+//! Buckets are lazily materialized: an untouched bucket is all dummies and
+//! costs no host memory, so paper-scale trees (2^25 leaves) are cheap to
+//! instantiate.
+
+use crate::bucket::{Bucket, StoredBlock};
+use crate::geometry::TreeGeometry;
+use crate::stash::Stash;
+use crate::types::{BlockId, Leaf, NodeIndex};
+use otc_crypto::Prf;
+use std::collections::HashMap;
+
+/// Synthesizes the payload of a block that has never been written.
+///
+/// * The data ORAM returns zeroed cache lines (fresh memory).
+/// * Recursive position-map ORAMs return PRF-derived default positions, so
+///   the position map is lazily materializable (see `DESIGN.md` §3).
+#[derive(Clone)]
+pub enum DefaultPayload {
+    /// All-zero payload of the tree's block size.
+    Zeros,
+    /// Position-map default: entry `j` of block `b` is
+    /// `PRF(b * entries + j) mod child_leaf_count`, encoded little-endian
+    /// as fixed-width `u32`s.
+    PosmapPrf {
+        /// PRF used to derive default child positions.
+        prf: Prf,
+        /// Number of position entries packed per block.
+        entries_per_block: usize,
+        /// Leaf count of the ORAM whose positions this map stores.
+        child_leaf_count: u64,
+    },
+}
+
+impl std::fmt::Debug for DefaultPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DefaultPayload::Zeros => write!(f, "DefaultPayload::Zeros"),
+            DefaultPayload::PosmapPrf {
+                entries_per_block,
+                child_leaf_count,
+                ..
+            } => write!(
+                f,
+                "DefaultPayload::PosmapPrf {{ entries_per_block: {entries_per_block}, \
+                 child_leaf_count: {child_leaf_count} }}"
+            ),
+        }
+    }
+}
+
+impl DefaultPayload {
+    fn synthesize(&self, id: BlockId, block_bytes: usize) -> Vec<u8> {
+        match self {
+            DefaultPayload::Zeros => vec![0u8; block_bytes],
+            DefaultPayload::PosmapPrf {
+                prf,
+                entries_per_block,
+                child_leaf_count,
+            } => {
+                let mut out = vec![0u8; block_bytes];
+                for j in 0..*entries_per_block {
+                    let idx = id.0 * *entries_per_block as u64 + j as u64;
+                    let pos = prf.eval_below(idx, *child_leaf_count) as u32;
+                    out[j * 4..j * 4 + 4].copy_from_slice(&pos.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Statistics for one tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Path accesses performed (real + dummy).
+    pub path_accesses: u64,
+    /// Bytes moved through the pins by this tree (read + write).
+    pub bytes_moved: u64,
+    /// Peak stash occupancy.
+    pub stash_peak: usize,
+}
+
+/// One Path ORAM tree.
+pub struct TreeOram {
+    geom: TreeGeometry,
+    buckets: HashMap<NodeIndex, Bucket>,
+    stash: Stash,
+    default_payload: DefaultPayload,
+    /// Fingerprint PRF: models what ciphertext an adversary would see for
+    /// a bucket (changes on every write-back).
+    fingerprint_prf: Prf,
+    accesses: u64,
+}
+
+impl std::fmt::Debug for TreeOram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreeOram")
+            .field("geom", &self.geom)
+            .field("materialized_buckets", &self.buckets.len())
+            .field("stash_len", &self.stash.len())
+            .field("accesses", &self.accesses)
+            .finish()
+    }
+}
+
+impl TreeOram {
+    /// Creates an empty tree.
+    pub fn new(geom: TreeGeometry, default_payload: DefaultPayload, fingerprint_prf: Prf) -> Self {
+        Self {
+            geom,
+            buckets: HashMap::new(),
+            stash: Stash::new(),
+            default_payload,
+            fingerprint_prf,
+            accesses: 0,
+        }
+    }
+
+    /// The tree's geometry.
+    pub fn geometry(&self) -> &TreeGeometry {
+        &self.geom
+    }
+
+    /// Performs one real access.
+    ///
+    /// Reads the path to `leaf` into the stash, applies `update` to the
+    /// payload of `id` (synthesizing a default payload if the block was
+    /// never written), remaps the block to `new_leaf`, then evicts and
+    /// writes the path back. Returns the payload *after* `update` ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf`/`new_leaf` are out of range, or if the invariant
+    /// "the block is on the claimed path or in the stash" is violated —
+    /// which would mean the caller's position map is inconsistent.
+    pub fn access_update<F>(
+        &mut self,
+        id: BlockId,
+        leaf: Leaf,
+        new_leaf: Leaf,
+        update: F,
+    ) -> Vec<u8>
+    where
+        F: FnOnce(&mut Vec<u8>),
+    {
+        assert!(new_leaf.0 < self.geom.leaf_count(), "new_leaf out of range");
+        self.read_path_into_stash(leaf);
+
+        // The block must now be in the stash: either it came off the path,
+        // it was already waiting in the stash, or it has never been
+        // written and we synthesize it.
+        if !self.stash.contains(id) {
+            let payload = self
+                .default_payload
+                .synthesize(id, self.geom.block_bytes());
+            self.stash.insert(StoredBlock {
+                id,
+                leaf,
+                payload,
+            });
+        }
+
+        let block = self.stash.get_mut(id).expect("block staged in stash");
+        block.leaf = new_leaf;
+        update(&mut block.payload);
+        let result = block.payload.clone();
+
+        self.write_path_from_stash(leaf);
+        self.accesses += 1;
+        result
+    }
+
+    /// Convenience read (no modification).
+    pub fn read(&mut self, id: BlockId, leaf: Leaf, new_leaf: Leaf) -> Vec<u8> {
+        self.access_update(id, leaf, new_leaf, |_| {})
+    }
+
+    /// Convenience write (payload replaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `block_bytes` long.
+    pub fn write(&mut self, id: BlockId, leaf: Leaf, new_leaf: Leaf, data: &[u8]) -> Vec<u8> {
+        assert_eq!(
+            data.len(),
+            self.geom.block_bytes(),
+            "payload must be block-sized"
+        );
+        self.access_update(id, leaf, new_leaf, |p| p.copy_from_slice(data))
+    }
+
+    /// Performs a dummy access: read and write back the path to `leaf`
+    /// without touching any logical block (§1.1.2 footnote 1, §3).
+    /// Indistinguishable from a real access by construction — the same
+    /// bytes move and every bucket is re-encrypted.
+    pub fn dummy_access(&mut self, leaf: Leaf) {
+        self.read_path_into_stash(leaf);
+        self.write_path_from_stash(leaf);
+        self.accesses += 1;
+    }
+
+    /// The ciphertext fingerprint of a bucket, as an adversary snapshotting
+    /// DRAM would see it (§3.2). Changes on every write-back because
+    /// buckets are re-encrypted probabilistically.
+    pub fn bucket_fingerprint(&self, node: NodeIndex) -> u64 {
+        let counter = self
+            .buckets
+            .get(&node)
+            .map(|b| b.encryption_counter)
+            .unwrap_or(0);
+        self.fingerprint_prf.eval2(node.0, counter)
+    }
+
+    /// Fingerprint of the root bucket (§3.2's probe target: the root is on
+    /// *every* path, so it is rewritten by *every* access).
+    pub fn root_fingerprint(&self) -> u64 {
+        self.bucket_fingerprint(self.geom.root())
+    }
+
+    /// Current stash occupancy.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            path_accesses: self.accesses,
+            bytes_moved: self.accesses * 2 * self.geom.path_bytes(),
+            stash_peak: self.stash.peak(),
+        }
+    }
+
+    /// Number of buckets that have ever been written (host-memory
+    /// footprint diagnostic).
+    pub fn materialized_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn read_path_into_stash(&mut self, leaf: Leaf) {
+        assert!(leaf.0 < self.geom.leaf_count(), "leaf out of range");
+        for node in self.geom.path_nodes(leaf).collect::<Vec<_>>() {
+            if let Some(bucket) = self.buckets.get_mut(&node) {
+                for block in bucket.take_blocks() {
+                    self.stash.insert(block);
+                }
+            }
+        }
+    }
+
+    fn write_path_from_stash(&mut self, leaf: Leaf) {
+        // Evict greedily from the leaf upward: deeper placements free more
+        // stash space and are strictly harder to satisfy, so fill them
+        // first (standard Path ORAM eviction).
+        for level in (0..self.geom.levels()).rev() {
+            let node = self.geom.node_at(leaf, level);
+            let geom = self.geom;
+            let placed = self
+                .stash
+                .drain_for_bucket(geom.z(), |block_leaf| {
+                    geom.paths_share_level(leaf, block_leaf, level)
+                });
+            let bucket = self.buckets.entry(node).or_insert_with(Bucket::empty);
+            debug_assert!(bucket.blocks.is_empty(), "path was read before write");
+            bucket.blocks = placed;
+            // Probabilistic re-encryption of every bucket on the path.
+            bucket.encryption_counter += 1;
+        }
+    }
+
+    /// Verifies the Path ORAM invariant for every materialized block:
+    /// a block mapped to leaf `l` must lie on the path to `l` (or in the
+    /// stash). Returns the number of blocks checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a diagnostic) if the invariant is violated. Intended
+    /// for tests and debug assertions, not production paths.
+    pub fn check_invariant(&self) -> usize {
+        let mut checked = 0;
+        for (node, bucket) in &self.buckets {
+            assert!(
+                bucket.blocks.len() <= self.geom.z(),
+                "bucket {node:?} over capacity"
+            );
+            for block in &bucket.blocks {
+                let on_path = self
+                    .geom
+                    .path_nodes(block.leaf)
+                    .any(|n| n == *node);
+                assert!(
+                    on_path,
+                    "block {} mapped to {} stored off-path at node {:?}",
+                    block.id, block.leaf, node
+                );
+                checked += 1;
+            }
+        }
+        checked + self.stash.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otc_crypto::{Prf, SymmetricKey};
+    use proptest::prelude::*;
+
+    fn test_tree(levels: u32) -> TreeOram {
+        let key = SymmetricKey::from_seed(1234);
+        TreeOram::new(
+            TreeGeometry::new(levels, 3, 64, 16),
+            DefaultPayload::Zeros,
+            Prf::new(key, b"fingerprint"),
+        )
+    }
+
+    /// Deterministic "random" leaf sequence for tests.
+    fn leaf_seq(geom: &TreeGeometry, seed: u64) -> impl FnMut() -> Leaf + '_ {
+        let mut rng = otc_crypto::SplitMix64::new(seed);
+        move || Leaf(rng.next_below(geom.leaf_count()))
+    }
+
+    #[test]
+    fn fresh_block_reads_zero() {
+        let mut t = test_tree(4);
+        let data = t.read(BlockId(5), Leaf(2), Leaf(3));
+        assert_eq!(data, vec![0u8; 64]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut t = test_tree(4);
+        let payload = vec![0xAB; 64];
+        t.write(BlockId(7), Leaf(1), Leaf(4), &payload);
+        // Must read via the *new* leaf.
+        let got = t.read(BlockId(7), Leaf(4), Leaf(0));
+        assert_eq!(got, payload);
+        t.check_invariant();
+    }
+
+    #[test]
+    fn root_fingerprint_changes_every_access() {
+        let mut t = test_tree(4);
+        let f0 = t.root_fingerprint();
+        t.dummy_access(Leaf(0));
+        let f1 = t.root_fingerprint();
+        t.dummy_access(Leaf(7));
+        let f2 = t.root_fingerprint();
+        assert_ne!(f0, f1);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn off_path_bucket_fingerprint_stable() {
+        let mut t = test_tree(4);
+        // Access leaf 0 repeatedly; the leaf-level bucket of leaf 7 is
+        // never on that path, so its ciphertext never changes.
+        let node7 = t.geometry().node_at(Leaf(7), 3);
+        let before = t.bucket_fingerprint(node7);
+        for _ in 0..5 {
+            t.dummy_access(Leaf(0));
+        }
+        assert_eq!(t.bucket_fingerprint(node7), before);
+    }
+
+    #[test]
+    fn dummy_access_preserves_contents() {
+        let mut t = test_tree(4);
+        t.write(BlockId(3), Leaf(6), Leaf(6), &vec![9u8; 64]);
+        for leaf in 0..8 {
+            t.dummy_access(Leaf(leaf));
+        }
+        assert_eq!(t.read(BlockId(3), Leaf(6), Leaf(1)), vec![9u8; 64]);
+        t.check_invariant();
+    }
+
+    #[test]
+    fn access_counts_and_bytes() {
+        let mut t = test_tree(4);
+        t.dummy_access(Leaf(0));
+        t.read(BlockId(0), Leaf(0), Leaf(0));
+        let s = t.stats();
+        assert_eq!(s.path_accesses, 2);
+        assert_eq!(s.bytes_moved, 2 * 2 * t.geometry().path_bytes());
+    }
+
+    #[test]
+    fn posmap_default_payload_is_prf_derived() {
+        let key = SymmetricKey::from_seed(9);
+        let prf = Prf::new(key, b"posmap");
+        let dp = DefaultPayload::PosmapPrf {
+            prf,
+            entries_per_block: 8,
+            child_leaf_count: 16,
+        };
+        let payload = dp.synthesize(BlockId(2), 32);
+        for j in 0..8usize {
+            let v = u32::from_le_bytes(payload[j * 4..j * 4 + 4].try_into().expect("4 bytes"));
+            assert_eq!(u64::from(v), prf.eval_below(2 * 8 + j as u64, 16));
+            assert!(u64::from(v) < 16);
+        }
+    }
+
+    #[test]
+    fn paper_scale_tree_is_cheap_to_instantiate() {
+        // 26 levels = 2^26-1 buckets; lazy materialization means only the
+        // touched paths cost memory.
+        let mut t = test_tree(26);
+        let geom = *t.geometry();
+        let (l, l2) = {
+            let mut next = leaf_seq(&geom, 42);
+            (next(), next())
+        };
+        assert!(l.0 < geom.leaf_count());
+        t.write(BlockId(123_456), l, l2, &vec![1u8; 64]);
+        assert!(t.materialized_buckets() <= 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload must be block-sized")]
+    fn wrong_payload_size_panics() {
+        test_tree(4).write(BlockId(0), Leaf(0), Leaf(0), &[1, 2, 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Read-your-writes under random interleavings, with the invariant
+        /// checked continuously and the stash staying bounded.
+        #[test]
+        fn prop_read_your_writes(seed in any::<u64>(), ops in 1usize..60) {
+            let mut t = test_tree(5); // 16 leaves
+            let geom = *t.geometry();
+            let mut rng = otc_crypto::SplitMix64::new(seed);
+            // Model of truth: block id -> (expected payload, current leaf).
+            let mut model: std::collections::HashMap<u64, (Vec<u8>, Leaf)> =
+                std::collections::HashMap::new();
+            for step in 0..ops {
+                let id = rng.next_below(12); // ≤ 12 distinct blocks in 16-leaf tree
+                let new_leaf = Leaf(rng.next_below(geom.leaf_count()));
+                let entry = model.get(&id).cloned();
+                let cur_leaf = entry
+                    .as_ref()
+                    .map(|(_, l)| *l)
+                    .unwrap_or(Leaf(rng.next_below(geom.leaf_count())));
+                if rng.next_below(2) == 0 {
+                    // write
+                    let payload = vec![(step as u8).wrapping_mul(31); 64];
+                    t.write(BlockId(id), cur_leaf, new_leaf, &payload);
+                    model.insert(id, (payload, new_leaf));
+                } else {
+                    // read
+                    let got = t.read(BlockId(id), cur_leaf, new_leaf);
+                    if let Some((expect, _)) = entry {
+                        prop_assert_eq!(&got, &expect);
+                    } else {
+                        prop_assert_eq!(&got, &vec![0u8; 64]);
+                    }
+                    model
+                        .entry(id)
+                        .and_modify(|e| e.1 = new_leaf)
+                        .or_insert((vec![0u8; 64], new_leaf));
+                }
+                t.check_invariant();
+                prop_assert!(t.stash_len() <= 40, "stash grew to {}", t.stash_len());
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Energy/power model for the HPCA'14 reproduction — §9.1.3, §9.1.4 and
+//! Table 2 of the paper.
+//!
+//! The paper's power methodology: count accesses to each on-chip
+//! component, multiply by per-event energy coefficients (45 nm numbers
+//! drawn from CACTI and published circuit papers), sum, and divide by
+//! cycles. Dynamic energy only, except L1/L2 parasitic leakage. Each Path
+//! ORAM access additionally charges the AES and stash SRAM per 16-byte
+//! chunk moved plus the DRAM controller for its busy cycles — 984 nJ per
+//! access at the paper's geometry.
+//!
+//! # Example
+//!
+//! ```
+//! use otc_power::PowerModel;
+//! use otc_sim::{DramBackend, SimConfig, Simulator};
+//! use otc_sim::instr::{Instr, InstructionStream};
+//!
+//! struct Alu(u32);
+//! impl InstructionStream for Alu {
+//!     fn next_instr(&mut self) -> Instr {
+//!         self.0 = (self.0 + 1) % 16;
+//!         if self.0 == 0 { Instr::Branch { taken: true, target: 0x1000 } }
+//!         else { Instr::IntAlu }
+//!     }
+//! }
+//!
+//! let stats = Simulator::new(SimConfig::default())
+//!     .run(&mut Alu(0), &mut DramBackend::new(), 10_000);
+//! let power = PowerModel::paper().power(&stats);
+//! assert!(power.total_watts() > 0.0 && power.total_watts() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coefficients;
+mod model;
+
+pub use coefficients::EnergyCoefficients;
+pub use model::{oram_access_energy_nj, EnergyBreakdown, PowerModel, PowerReport};

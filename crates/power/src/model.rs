@@ -1,0 +1,231 @@
+//! The power model: maps simulation statistics to Watts (§9.1.3–9.1.4).
+//!
+//! "To calculate Power (in Watts): we count all accesses made to each
+//! component, multiply each count with its energy coefficient, sum all
+//! products and divide by cycle count" — at the 1 GHz clock, nJ/cycle is
+//! numerically nJ/ns = Watts, so the division is direct.
+
+use crate::coefficients::EnergyCoefficients;
+use otc_sim::SimStats;
+
+/// Energy per full ORAM access, derived as in §9.1.4:
+/// `chunks × (AES + stash) + dram_cycles × DRAM-controller cycle energy`.
+///
+/// # Example
+///
+/// ```
+/// use otc_power::{oram_access_energy_nj, EnergyCoefficients};
+///
+/// // The paper's configuration: 2·758 chunks, 1984 DRAM cycles → ≈984 nJ.
+/// let nj = oram_access_energy_nj(1516, 1984, &EnergyCoefficients::table2());
+/// assert!((nj - 984.0).abs() < 2.0, "{nj}");
+/// ```
+pub fn oram_access_energy_nj(
+    chunks_per_access: u64,
+    dram_cycles_per_access: u64,
+    c: &EnergyCoefficients,
+) -> f64 {
+    chunks_per_access as f64 * (c.aes_per_chunk + c.stash_per_chunk)
+        + dram_cycles_per_access as f64 * c.dram_ctrl_per_cycle
+}
+
+/// Energy totals for one simulation, split the way Fig. 6 plots power:
+/// non-main-memory components (the white-dashed bars) vs. the DRAM/ORAM
+/// controllers (the colored bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core, register files, fetch, caches, parasitic leakage — in nJ.
+    pub chip_nj: f64,
+    /// DRAM controller + ORAM controller — in nJ.
+    pub memory_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.chip_nj + self.memory_nj
+    }
+}
+
+/// Average power over one simulation, in Watts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerReport {
+    /// Non-main-memory power (Fig. 6's white-dashed bars).
+    pub chip_watts: f64,
+    /// DRAM/ORAM controller power (Fig. 6's colored bars).
+    pub memory_watts: f64,
+}
+
+impl PowerReport {
+    /// Total Watts.
+    pub fn total_watts(&self) -> f64 {
+        self.chip_watts + self.memory_watts
+    }
+}
+
+/// The power model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerModel {
+    coefficients: EnergyCoefficients,
+    /// nJ per ORAM access; configure via [`PowerModel::with_oram_access`]
+    /// to match the active ORAM geometry (defaults to the paper's 984 nJ
+    /// configuration).
+    oram_access_nj: f64,
+}
+
+impl PowerModel {
+    /// A model with Table 2 coefficients and the paper's ORAM geometry
+    /// (1516 chunks / 1984 DRAM cycles per access).
+    pub fn paper() -> Self {
+        let c = EnergyCoefficients::table2();
+        Self {
+            coefficients: c,
+            oram_access_nj: oram_access_energy_nj(1516, 1984, &c),
+        }
+    }
+
+    /// Overrides the per-ORAM-access energy for a different geometry.
+    pub fn with_oram_access(mut self, chunks: u64, dram_cycles: u64) -> Self {
+        self.oram_access_nj =
+            oram_access_energy_nj(chunks, dram_cycles, &self.coefficients);
+        self
+    }
+
+    /// nJ charged per ORAM access under this model.
+    pub fn oram_access_nj(&self) -> f64 {
+        self.oram_access_nj
+    }
+
+    /// Computes the energy breakdown for a finished simulation.
+    pub fn energy(&self, stats: &SimStats) -> EnergyBreakdown {
+        let c = &self.coefficients;
+        let comp = &stats.components;
+        let instr_ops = (comp.int_alu_ops + comp.int_mul_ops + comp.int_div_ops + comp.fp_ops)
+            as f64
+            + stats.branches as f64; // branches use the ALU
+        let mut chip = instr_ops * c.alu_fpu_per_instr;
+        chip += comp.int_regfile_accesses as f64 * c.regfile_int_per_instr;
+        chip += comp.fp_regfile_accesses as f64 * c.regfile_fp_per_instr;
+        chip += comp.fetch_buffer_reads as f64 * c.fetch_buffer_read;
+        chip += (comp.l1i_hits + comp.l1i_refills) as f64 * c.l1i_access;
+        chip += comp.l1d_hits as f64 * c.l1d_hit;
+        chip += comp.l1d_refills as f64 * c.l1d_refill;
+        chip += comp.l2_accesses as f64 * (c.l2_access + c.l2_leak_per_access);
+        chip += stats.cycles as f64 * (c.l1i_leak_per_cycle + c.l1d_leak_per_cycle);
+
+        let memory = stats.backend.dram_ctrl_lines as f64 * c.dram_ctrl_per_line
+            + stats.backend.oram_accesses as f64 * self.oram_access_nj;
+
+        EnergyBreakdown {
+            chip_nj: chip,
+            memory_nj: memory,
+        }
+    }
+
+    /// Computes average power in Watts (energy / cycles at 1 GHz).
+    pub fn power(&self, stats: &SimStats) -> PowerReport {
+        let e = self.energy(stats);
+        let cycles = stats.cycles.max(1) as f64;
+        PowerReport {
+            chip_watts: e.chip_nj / cycles,
+            memory_watts: e.memory_nj / cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otc_sim::{BackendEnergyProfile, ComponentCounts};
+
+    fn stats_with(backend: BackendEnergyProfile, cycles: u64) -> SimStats {
+        SimStats {
+            cycles,
+            instructions: cycles,
+            backend,
+            components: ComponentCounts {
+                int_alu_ops: cycles,
+                int_regfile_accesses: cycles,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn paper_oram_access_energy() {
+        // §9.1.4: 2·758·(.416+.134) + 1984·.076 ≈ 984 nJ.
+        let m = PowerModel::paper();
+        assert!((m.oram_access_nj() - 984.0).abs() < 2.0, "{}", m.oram_access_nj());
+    }
+
+    #[test]
+    fn oram_dominates_memory_power_when_busy() {
+        let m = PowerModel::paper();
+        // One ORAM access every 1744 cycles (rate 256 + OLAT 1488):
+        // memory power ≈ 984/1744 ≈ 0.56 W — the scale of Fig. 6's
+        // heaviest bars.
+        let s = stats_with(
+            BackendEnergyProfile {
+                dram_ctrl_lines: 0,
+                oram_accesses: 1_000,
+                oram_dummy_accesses: 0,
+            },
+            1_744_000,
+        );
+        let p = m.power(&s);
+        assert!((p.memory_watts - 0.564).abs() < 0.01, "{}", p.memory_watts);
+    }
+
+    #[test]
+    fn dram_memory_power_is_small() {
+        let m = PowerModel::paper();
+        let s = stats_with(
+            BackendEnergyProfile {
+                dram_ctrl_lines: 1_000,
+                oram_accesses: 0,
+                oram_dummy_accesses: 0,
+            },
+            1_744_000,
+        );
+        let p = m.power(&s);
+        assert!(p.memory_watts < 0.001);
+    }
+
+    #[test]
+    fn chip_power_scales_with_activity_not_idle() {
+        let m = PowerModel::paper();
+        let busy = stats_with(BackendEnergyProfile::default(), 1_000_000);
+        let mut idle = busy.clone();
+        idle.components.int_alu_ops = 0;
+        idle.components.int_regfile_accesses = 0;
+        let p_busy = m.power(&busy);
+        let p_idle = m.power(&idle);
+        assert!(p_busy.chip_watts > p_idle.chip_watts);
+        // Idle still pays L1 parasitic leakage.
+        assert!(p_idle.chip_watts > 0.0);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let m = PowerModel::paper();
+        let s = stats_with(
+            BackendEnergyProfile {
+                dram_ctrl_lines: 10,
+                oram_accesses: 10,
+                oram_dummy_accesses: 5,
+            },
+            1_000,
+        );
+        let e = m.energy(&s);
+        assert!((e.total_nj() - (e.chip_nj + e.memory_nj)).abs() < 1e-9);
+        let p = m.power(&s);
+        assert!((p.total_watts() - (p.chip_watts + p.memory_watts)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_geometry_changes_oram_energy() {
+        let small = PowerModel::paper().with_oram_access(100, 200);
+        assert!(small.oram_access_nj() < PowerModel::paper().oram_access_nj());
+    }
+}

@@ -1,0 +1,116 @@
+//! The simulator's instruction abstraction.
+//!
+//! The paper simulates MIPS binaries on SESC; our synthetic workloads
+//! (see `otc-workloads`) emit instruction *streams* directly. Each
+//! instruction carries exactly the information the timing and power
+//! models consume: its latency class, and its memory/control effect.
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Integer ALU op (1 cycle).
+    IntAlu,
+    /// Integer multiply (4 cycles).
+    IntMul,
+    /// Integer divide (12 cycles).
+    IntDiv,
+    /// Floating-point add/sub (2 cycles).
+    FpAlu,
+    /// Floating-point multiply (4 cycles).
+    FpMul,
+    /// Floating-point divide (10 cycles).
+    FpDiv,
+    /// Load from a byte address.
+    Load {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// Store to a byte address (drains through the write buffer).
+    Store {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// Control transfer. `target` is the new program counter if taken;
+    /// fall-through otherwise. The PC drives the I-cache model.
+    Branch {
+        /// Whether the branch is taken.
+        taken: bool,
+        /// Absolute byte target when taken.
+        target: u64,
+    },
+}
+
+impl Instr {
+    /// Whether this instruction references data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// Whether this is a floating-point operation.
+    pub fn is_fp(&self) -> bool {
+        matches!(self, Instr::FpAlu | Instr::FpMul | Instr::FpDiv)
+    }
+}
+
+/// A source of dynamic instructions (implemented by every synthetic
+/// workload in `otc-workloads`).
+///
+/// Streams are infinite: the simulator decides when to stop (instruction
+/// budget or program-defined termination via [`InstructionStream::finished`]).
+pub trait InstructionStream {
+    /// Produces the next dynamic instruction.
+    fn next_instr(&mut self) -> Instr;
+
+    /// Human-readable workload name (for reports).
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+
+    /// Whether the program has terminated on its own (early termination,
+    /// §6 of the paper). Most synthetic workloads run forever and rely on
+    /// the simulator's instruction budget.
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+impl<S: InstructionStream + ?Sized> InstructionStream for &mut S {
+    fn next_instr(&mut self) -> Instr {
+        (**self).next_instr()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn finished(&self) -> bool {
+        (**self).finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Instr::Load { addr: 0 }.is_memory());
+        assert!(Instr::Store { addr: 0 }.is_memory());
+        assert!(!Instr::IntAlu.is_memory());
+        assert!(Instr::FpDiv.is_fp());
+        assert!(!Instr::IntDiv.is_fp());
+    }
+
+    #[test]
+    fn stream_by_mut_ref() {
+        struct OneOp;
+        impl InstructionStream for OneOp {
+            fn next_instr(&mut self) -> Instr {
+                Instr::IntAlu
+            }
+        }
+        fn takes_stream<S: InstructionStream>(mut s: S) -> Instr {
+            s.next_instr()
+        }
+        let mut s = OneOp;
+        assert_eq!(takes_stream(&mut s), Instr::IntAlu);
+    }
+}

@@ -1,0 +1,54 @@
+//! Cycle-level secure-processor simulator — the substrate under every
+//! experiment in the HPCA'14 reproduction.
+//!
+//! The paper models its secure processor with SESC (a MIPS cycle-level
+//! simulator); this crate is a from-scratch equivalent of the
+//! configuration in the paper's Table 1:
+//!
+//! * in-order, single-issue core with per-class instruction latencies,
+//! * 32 KB 4-way L1 I/D caches, a 1 MB 16-way inclusive unified L2 (the
+//!   LLC), 64 B lines,
+//! * an 8-entry non-blocking write buffer that can generate multiple
+//!   concurrent outstanding LLC misses,
+//! * a pluggable [`MemoryBackend`] below the LLC.
+//!
+//! The insecure [`DramBackend`] (flat 40-cycle DRAM) lives here; the ORAM
+//! backends — unprotected, static-rate and the paper's dynamic
+//! leakage-bounded scheme — are provided by `otc-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use otc_sim::{DramBackend, SimConfig, Simulator};
+//! use otc_sim::instr::{Instr, InstructionStream};
+//!
+//! /// A trivial pointer-free workload.
+//! struct Alu;
+//! impl InstructionStream for Alu {
+//!     fn next_instr(&mut self) -> Instr { Instr::IntAlu }
+//! }
+//!
+//! let stats = Simulator::new(SimConfig::default())
+//!     .run(&mut Alu, &mut DramBackend::new(), 10_000);
+//! assert_eq!(stats.instructions, 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+pub mod instr;
+mod memory;
+mod processor;
+mod stats;
+mod write_buffer;
+
+pub use cache::{AccessOutcome, Cache};
+pub use config::{CacheConfig, CoreConfig, SimConfig};
+pub use instr::{Instr, InstructionStream};
+pub use memory::{AccessKind, DramBackend, MemoryBackend};
+pub use otc_dram::Cycle;
+pub use processor::{SimResult, Simulator, WarmState};
+pub use stats::{BackendEnergyProfile, ComponentCounts, SimStats, WindowSample};
+pub use write_buffer::WriteBuffer;

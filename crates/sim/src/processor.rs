@@ -1,0 +1,585 @@
+//! The in-order, single-issue core and its memory hierarchy — the
+//! simulation main loop.
+//!
+//! Timing semantics (matching Table 1 and §9.1.2's simple core):
+//!
+//! * One instruction issues at a time; its latency is its class latency
+//!   plus any memory stall.
+//! * Instruction fetch is modeled at cache-line granularity: crossing into
+//!   a new 64 B line (sequentially or via a taken branch) performs an L1 I
+//!   access. L1 I hits overlap with execution (no added stall); misses
+//!   stall the core for the L2/backend round trip.
+//! * Loads are blocking: L1 D hit costs its hit latency; misses walk to L2
+//!   and (on LLC miss) to the memory backend. The paper's store-to-load
+//!   overlap is captured by the write buffer (below).
+//! * Stores retire into the 8-entry non-blocking write buffer and drain in
+//!   the background, generating concurrent outstanding LLC misses
+//!   (Fig. 4, Req 3). A full buffer stalls the core.
+//! * The L2 is inclusive: L2 evictions back-invalidate L1; dirty LLC
+//!   evictions issue write-backs to the backend (ORAM is invoked "on LLC
+//!   misses and evictions", §3.1).
+
+use crate::cache::Cache;
+use crate::config::SimConfig;
+use crate::instr::{Instr, InstructionStream};
+use crate::memory::{AccessKind, MemoryBackend};
+use crate::stats::{SimStats, WindowSample};
+use crate::write_buffer::WriteBuffer;
+use otc_dram::Cycle;
+
+/// Outcome of one simulation run.
+pub type SimResult = SimStats;
+
+/// The simulator: drives an [`InstructionStream`] through the Table 1
+/// microarchitecture over an arbitrary [`MemoryBackend`].
+///
+/// # Example
+///
+/// ```
+/// use otc_sim::{DramBackend, SimConfig, Simulator};
+/// use otc_sim::instr::{Instr, InstructionStream};
+///
+/// /// Fifteen ALU ops then a loop-back branch, forever.
+/// struct Loop(u32);
+/// impl InstructionStream for Loop {
+///     fn next_instr(&mut self) -> Instr {
+///         self.0 = (self.0 + 1) % 16;
+///         if self.0 == 0 {
+///             Instr::Branch { taken: true, target: 0x1000 }
+///         } else {
+///             Instr::IntAlu
+///         }
+///     }
+/// }
+///
+/// let mut backend = DramBackend::new();
+/// let stats = Simulator::new(SimConfig::default())
+///     .run(&mut Loop(0), &mut backend, 1_600);
+/// assert_eq!(stats.instructions, 1_600);
+/// assert!(stats.ipc() > 0.8); // tight ALU loop retires near 1 per cycle
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+/// Warm microarchitectural state carried from a fast-forward pass into a
+/// measured run (the paper fast-forwards 1–20 billion instructions before
+/// measuring, §9.1.1; this is the scaled equivalent).
+#[derive(Debug)]
+pub struct WarmState {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+}
+
+impl Simulator {
+    /// Creates a simulator with `config`.
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `workload` over `backend` for at most `max_instructions`
+    /// (stopping earlier if the stream reports
+    /// [`InstructionStream::finished`]).
+    pub fn run<S, B>(&self, workload: &mut S, backend: &mut B, max_instructions: u64) -> SimResult
+    where
+        S: InstructionStream + ?Sized,
+        B: MemoryBackend + ?Sized,
+    {
+        let mut m = Machine::new(&self.config, backend);
+        while m.stats.instructions < max_instructions && !workload.finished() {
+            let instr = workload.next_instr();
+            m.step(instr);
+        }
+        m.finish()
+    }
+
+    /// Fast-forward pass: advances `workload` by `instructions` over a
+    /// throwaway flat-DRAM backend, returning the warmed cache state.
+    /// Timing of this pass is discarded — it exists to populate the
+    /// caches, exactly like the paper's SESC fast-forward.
+    pub fn warm_caches<S>(&self, workload: &mut S, instructions: u64) -> WarmState
+    where
+        S: InstructionStream + ?Sized,
+    {
+        let mut backend = crate::memory::DramBackend::new();
+        let mut m = Machine::new(&self.config, &mut backend);
+        while m.stats.instructions < instructions && !workload.finished() {
+            let instr = workload.next_instr();
+            m.step(instr);
+        }
+        WarmState {
+            l1i: m.l1i,
+            l1d: m.l1d,
+            l2: m.l2,
+        }
+    }
+
+    /// Measured run starting from [`WarmState`]: cache contents persist,
+    /// cycle counting starts at zero, and the backend sees a fresh
+    /// timeline (epoch schedules begin with the measurement, as they
+    /// would when a secure processor starts timing at program start).
+    pub fn run_warm<S, B>(
+        &self,
+        workload: &mut S,
+        backend: &mut B,
+        max_instructions: u64,
+        warm: WarmState,
+    ) -> SimResult
+    where
+        S: InstructionStream + ?Sized,
+        B: MemoryBackend + ?Sized,
+    {
+        let mut m = Machine::new(&self.config, backend);
+        m.l1i = warm.l1i;
+        m.l1d = warm.l1d;
+        m.l2 = warm.l2;
+        while m.stats.instructions < max_instructions && !workload.finished() {
+            let instr = workload.next_instr();
+            m.step(instr);
+        }
+        m.finish()
+    }
+}
+
+/// Mutable machine state for one run.
+struct Machine<'a, B: MemoryBackend + ?Sized> {
+    config: &'a SimConfig,
+    backend: &'a mut B,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    wb: WriteBuffer,
+    now: Cycle,
+    pc: u64,
+    current_fetch_line: u64,
+    /// Completion time of the most recent drain through the shared L1D/L2
+    /// port (store drains serialize behind each other).
+    drain_port_free: Cycle,
+    stats: SimStats,
+    next_window: u64,
+}
+
+impl<'a, B: MemoryBackend + ?Sized> Machine<'a, B> {
+    fn new(config: &'a SimConfig, backend: &'a mut B) -> Self {
+        let line = config.l1i.line_bytes;
+        Self {
+            config,
+            backend,
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            wb: WriteBuffer::new(config.write_buffer_entries),
+            now: 0,
+            pc: 0x1000,
+            current_fetch_line: 0x1000 / line,
+            drain_port_free: 0,
+            stats: SimStats::default(),
+            next_window: config.window_instructions.unwrap_or(u64::MAX),
+        }
+    }
+
+    fn step(&mut self, instr: Instr) {
+        self.fetch(&instr);
+        let c = &self.config.core;
+        let latency = match instr {
+            Instr::IntAlu => {
+                self.stats.components.int_alu_ops += 1;
+                c.int_alu
+            }
+            Instr::IntMul => {
+                self.stats.components.int_mul_ops += 1;
+                c.int_mul
+            }
+            Instr::IntDiv => {
+                self.stats.components.int_div_ops += 1;
+                c.int_div
+            }
+            Instr::FpAlu => {
+                self.stats.components.fp_ops += 1;
+                c.fp_alu
+            }
+            Instr::FpMul => {
+                self.stats.components.fp_ops += 1;
+                c.fp_mul
+            }
+            Instr::FpDiv => {
+                self.stats.components.fp_ops += 1;
+                c.fp_div
+            }
+            Instr::Load { addr } => self.execute_load(addr),
+            Instr::Store { addr } => self.execute_store(addr),
+            Instr::Branch { taken, target } => {
+                self.stats.branches += 1;
+                if taken {
+                    self.stats.taken_branches += 1;
+                    self.pc = target;
+                    c.int_alu + c.taken_branch_penalty
+                } else {
+                    c.int_alu
+                }
+            }
+        };
+        if instr.is_fp() {
+            self.stats.components.fp_regfile_accesses += 1;
+        } else {
+            self.stats.components.int_regfile_accesses += 1;
+        }
+        self.now += latency;
+        self.stats.instructions += 1;
+        self.pc += 4; // fixed-width ISA (MIPS-like)
+        if self.stats.instructions >= self.next_window {
+            self.stats.windows.push(WindowSample {
+                instructions: self.stats.instructions,
+                cycle: self.now,
+                backend_requests: self.backend.request_count(),
+            });
+            self.next_window += self
+                .config
+                .window_instructions
+                .expect("windows enabled");
+        }
+    }
+
+    /// Models instruction delivery: an L1 I access per new fetch line.
+    fn fetch(&mut self, _instr: &Instr) {
+        let line = self.pc / self.config.l1i.line_bytes;
+        // One fetch-buffer read per 256-bit (32 B) group → every 8
+        // instructions on average; modeled per line crossing for
+        // simplicity (2 groups per 64 B line).
+        if line != self.current_fetch_line {
+            self.current_fetch_line = line;
+            self.stats.components.fetch_buffer_reads += 2;
+            let outcome = self.l1i.access(line, false);
+            if outcome.hit {
+                self.stats.components.l1i_hits += 1;
+                // Overlapped with execute: no stall on a hit.
+            } else {
+                self.stats.components.l1i_refills += 1;
+                let done = self.l2_fill(line, false, self.now + self.config.l1i.miss_extra);
+                self.now = done;
+            }
+        }
+    }
+
+    fn execute_load(&mut self, addr: u64) -> Cycle {
+        self.stats.loads += 1;
+        self.retire_wb();
+        let line = addr / self.config.l1d.line_bytes;
+        let start = self.now;
+        let outcome = self.l1d.access(line, false);
+        let done = if outcome.hit {
+            self.stats.components.l1d_hits += 1;
+            start + self.config.l1d.hit_latency
+        } else {
+            self.stats.components.l1d_refills += 1;
+            self.handle_l1d_victim(&outcome);
+            let done = self.l2_fill(
+                line,
+                false,
+                start + self.config.l1d.hit_latency + self.config.l1d.miss_extra,
+            );
+            self.stats.load_stall_cycles += done - start - self.config.l1d.hit_latency;
+            done
+        };
+        done - start
+    }
+
+    /// Stores retire into the write buffer; the drain happens in
+    /// "background time" but is pre-computed here (the backends queue
+    /// internally, so chronology is preserved).
+    fn execute_store(&mut self, addr: u64) -> Cycle {
+        self.stats.stores += 1;
+        self.retire_wb();
+        let mut issue = self.now;
+        if self.wb.is_full() {
+            let free_at = self.wb.earliest_completion();
+            self.stats.wb_stall_cycles += free_at - self.now;
+            issue = free_at;
+            self.wb.retire_completed(free_at);
+        }
+        let line = addr / self.config.l1d.line_bytes;
+        // The drain uses the cache port once the previous drain finished.
+        let drain_start = issue.max(self.drain_port_free);
+        let outcome = self.l1d.access(line, true);
+        let drain_done = if outcome.hit {
+            self.stats.components.l1d_hits += 1;
+            drain_start + self.config.l1d.hit_latency
+        } else {
+            self.stats.components.l1d_refills += 1;
+            self.handle_l1d_victim(&outcome);
+            self.l2_fill(
+                line,
+                true,
+                drain_start + self.config.l1d.hit_latency + self.config.l1d.miss_extra,
+            )
+        };
+        self.drain_port_free = drain_done;
+        self.wb.push(drain_done);
+        // Core-visible cost: one cycle to enqueue, plus any stall above.
+        (issue - self.now) + self.config.core.int_alu
+    }
+
+    fn retire_wb(&mut self) {
+        self.wb.retire_completed(self.now);
+    }
+
+    fn handle_l1d_victim(&mut self, outcome: &crate::cache::AccessOutcome) {
+        // Dirty L1 victims drain into L2 (eviction buffers, Table 1);
+        // charged as an L2 access for energy, overlapped for timing.
+        if let Some(victim) = outcome.writeback {
+            self.stats.components.l2_accesses += 1;
+            let out = self.l2.access(victim, true);
+            if !out.hit {
+                // Inclusive hierarchy: the line must have been in L2; a
+                // miss here means it was evicted concurrently — the fill
+                // created above will write it back. Account the traffic:
+                self.process_l2_eviction(&out, self.now);
+            }
+        }
+    }
+
+    /// An access that missed L1 and proceeds to L2 (and possibly the
+    /// backend) starting at time `t`. Returns completion time.
+    fn l2_fill(&mut self, line: u64, write: bool, t: Cycle) -> Cycle {
+        self.stats.components.l2_accesses += 1;
+        let outcome = self.l2.access(line, write);
+        let t = t + self.config.l2.hit_latency;
+        if outcome.hit {
+            return t;
+        }
+        // LLC miss → backend (ORAM or DRAM).
+        self.stats.llc_demand_misses += 1;
+        let t = t + self.config.l2.miss_extra;
+        let done = self.backend.request(line, AccessKind::Read, t);
+        self.process_l2_eviction(&outcome, done);
+        done
+    }
+
+    fn process_l2_eviction(&mut self, outcome: &crate::cache::AccessOutcome, when: Cycle) {
+        if let Some(evicted) = outcome.evicted {
+            // Inclusive L2: back-invalidate L1 copies.
+            if let Some(l1_dirty) = self.l1d.invalidate(evicted) {
+                // A dirty L1 copy makes the L2 line dirty on eviction.
+                if l1_dirty && outcome.writeback.is_none() {
+                    self.stats.llc_writebacks += 1;
+                    self.backend.request(evicted, AccessKind::Write, when);
+                    return;
+                }
+            }
+            self.l1i.invalidate(evicted);
+        }
+        if let Some(victim) = outcome.writeback {
+            // Dirty LLC eviction → ORAM/DRAM write-back (§3.1). Queued
+            // after the demand miss; does not stall the core.
+            self.stats.llc_writebacks += 1;
+            self.backend.request(victim, AccessKind::Write, when);
+        }
+    }
+
+    fn finish(mut self) -> SimStats {
+        self.backend.finish(self.now);
+        self.stats.cycles = self.now;
+        self.stats.backend = self.backend.energy_profile();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DramBackend;
+
+    /// A stream with a fixed instruction vector, repeated.
+    struct Script {
+        instrs: Vec<Instr>,
+        i: usize,
+    }
+
+    impl Script {
+        fn new(instrs: Vec<Instr>) -> Self {
+            Self { instrs, i: 0 }
+        }
+    }
+
+    impl InstructionStream for Script {
+        fn next_instr(&mut self) -> Instr {
+            let instr = self.instrs[self.i % self.instrs.len()];
+            self.i += 1;
+            instr
+        }
+        fn name(&self) -> &str {
+            "script"
+        }
+    }
+
+    /// Appends a loop-back branch so the instruction footprint stays
+    /// bounded (real programs loop; an unterminated straight-line PC walk
+    /// would stream through the I-cache forever).
+    fn looping(mut body: Vec<Instr>) -> Vec<Instr> {
+        body.push(Instr::Branch {
+            taken: true,
+            target: 0x1000,
+        });
+        body
+    }
+
+    fn run(instrs: Vec<Instr>, n: u64) -> SimStats {
+        let mut backend = DramBackend::new();
+        Simulator::new(SimConfig::default()).run(&mut Script::new(instrs), &mut backend, n)
+    }
+
+    #[test]
+    fn pure_alu_ipc_near_one() {
+        // 31 single-cycle ops + a 3-cycle loop branch = 32 instr / 34 cyc.
+        let s = run(looping(vec![Instr::IntAlu; 31]), 10_000);
+        assert_eq!(s.instructions, 10_000);
+        assert!(s.ipc() > 0.9, "ipc = {}", s.ipc());
+    }
+
+    #[test]
+    fn div_heavy_is_slow() {
+        let s = run(looping(vec![Instr::IntDiv; 31]), 1_000);
+        assert!(s.ipc() < 0.1, "ipc = {}", s.ipc());
+    }
+
+    #[test]
+    fn l1_resident_loads_cost_hit_latency() {
+        // Loads over a 4 KB footprint fit in L1D: after warmup, each load
+        // costs 2 cycles (plus the loop branch).
+        let addrs: Vec<Instr> = (0..64).map(|i| Instr::Load { addr: i * 64 }).collect();
+        let s = run(looping(addrs), 64_000);
+        assert!(s.ipc() > 0.4 && s.ipc() < 0.6, "ipc = {}", s.ipc());
+        assert!(s.components.l1d_hits > 60_000);
+    }
+
+    #[test]
+    fn llc_misses_reach_backend() {
+        // Stream over 4 MB (64k lines) — far beyond the 1 MB LLC.
+        let addrs: Vec<Instr> = (0..65_536u64)
+            .map(|i| Instr::Load { addr: i * 64 })
+            .collect();
+        let s = run(looping(addrs), 65_536);
+        assert!(
+            s.llc_demand_misses > 55_000,
+            "misses = {}",
+            s.llc_demand_misses
+        );
+        assert!(s.backend.dram_ctrl_lines > 0);
+    }
+
+    #[test]
+    fn l1_resident_stores_drain_at_port_rate() {
+        // Stores retire non-blocking, but the shared drain port sustains
+        // one L1D hit per 2 cycles, so store-only code settles near 0.5
+        // IPC — far better than blocking stores (2 cycles each + stall).
+        let addrs: Vec<Instr> = (0..16).map(|i| Instr::Store { addr: i * 64 }).collect();
+        let s = run(looping(addrs), 10_000);
+        assert!(s.ipc() > 0.4, "ipc = {}", s.ipc());
+        assert!(s.stores > 9_000);
+    }
+
+    #[test]
+    fn store_bursts_to_memory_stall_on_full_buffer() {
+        // Stores streaming over 8 MB miss everywhere; 8 entries fill up
+        // and the core must stall on DRAM.
+        let addrs: Vec<Instr> = (0..131_072u64)
+            .map(|i| Instr::Store { addr: i * 64 })
+            .collect();
+        let s = run(looping(addrs), 50_000);
+        assert!(s.wb_stall_cycles > 0, "no wb stalls recorded");
+        assert!(s.ipc() < 0.9);
+    }
+
+    #[test]
+    fn taken_branch_penalty_costs_cycles() {
+        // Same instruction stream, penalty 2 vs penalty 0.
+        let body = looping(vec![Instr::IntAlu; 7]);
+        let mut backend = DramBackend::new();
+        let base = Simulator::new(SimConfig::default()).run(
+            &mut Script::new(body.clone()),
+            &mut backend,
+            8_000,
+        );
+        let mut cfg = SimConfig::default();
+        cfg.core.taken_branch_penalty = 0;
+        let mut backend2 = DramBackend::new();
+        let fast = Simulator::new(cfg).run(&mut Script::new(body), &mut backend2, 8_000);
+        assert!(base.cycles > fast.cycles);
+        assert_eq!(base.taken_branches, 1_000);
+    }
+
+    #[test]
+    fn windows_recorded_when_enabled() {
+        let mut cfg = SimConfig::default();
+        cfg.window_instructions = Some(1_000);
+        let mut backend = DramBackend::new();
+        let s = Simulator::new(cfg).run(
+            &mut Script::new(vec![Instr::IntAlu]),
+            &mut backend,
+            10_000,
+        );
+        assert_eq!(s.windows.len(), 10);
+        assert_eq!(s.windows[0].instructions, 1_000);
+        assert!(s.windows[9].cycle > s.windows[0].cycle);
+    }
+
+    #[test]
+    fn finished_stream_stops_early() {
+        struct Short(u32);
+        impl InstructionStream for Short {
+            fn next_instr(&mut self) -> Instr {
+                self.0 += 1;
+                Instr::IntAlu
+            }
+            fn finished(&self) -> bool {
+                self.0 >= 10
+            }
+        }
+        let mut backend = DramBackend::new();
+        let s = Simulator::new(SimConfig::default()).run(&mut Short(0), &mut backend, 1_000);
+        assert_eq!(s.instructions, 10);
+    }
+
+    #[test]
+    fn warm_run_skips_compulsory_misses() {
+        // Loads over a 512 KB footprint: cold run pays ~8k compulsory
+        // misses; a warmed run over the same lines pays none.
+        let body: Vec<Instr> = (0..8192u64).map(|i| Instr::Load { addr: i * 64 }).collect();
+        let sim = Simulator::new(SimConfig::default());
+        let mut cold_backend = DramBackend::new();
+        let cold = sim.run(
+            &mut Script::new(looping(body.clone())),
+            &mut cold_backend,
+            30_000,
+        );
+        let mut wl = Script::new(looping(body));
+        let warm = sim.warm_caches(&mut wl, 20_000);
+        let mut warm_backend = DramBackend::new();
+        let warm_stats = sim.run_warm(&mut wl, &mut warm_backend, 30_000, warm);
+        assert!(
+            warm_stats.llc_demand_misses * 4 < cold.llc_demand_misses,
+            "warm {} vs cold {}",
+            warm_stats.llc_demand_misses,
+            cold.llc_demand_misses
+        );
+        assert!(warm_stats.ipc() > cold.ipc());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mk = || {
+            let addrs: Vec<Instr> = (0..4096u64)
+                .map(|i| Instr::Load {
+                    addr: (i * 7919) % (1 << 22) * 64,
+                })
+                .collect();
+            run(addrs, 20_000)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.llc_demand_misses, b.llc_demand_misses);
+    }
+}

@@ -1,0 +1,497 @@
+//! Data-address pattern generators.
+//!
+//! Each synthetic benchmark is, at bottom, a characteristic *LLC-miss
+//! arrival process*; these patterns produce it. Real programs exhibit
+//! hierarchical locality — an L1-resident hot set, an L2-resident warm
+//! set, and a cold region beyond the LLC — so the workhorse pattern is
+//! [`AddressPattern::Tiered`]; the cold percentage and footprint set the
+//! LLC-miss interval, the hot/warm split sets the baseline IPC.
+//!
+//! All patterns are deterministic given their seed and draw addresses from
+//! a private data region (so code and data never alias).
+
+use otc_crypto::SplitMix64;
+
+/// Base of the data region in the simulated address space. Keeps data
+/// clear of the code region (low addresses) while staying far below the
+/// ORAM's 4 GB capacity.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Offset added to burst-region addresses so bursts never alias the calm
+/// working set.
+const BURST_REGION_OFFSET: u64 = 256 << 20;
+
+/// Specification of how a phase generates data addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AddressPattern {
+    /// Sequential streaming over `footprint` bytes with `stride`-byte
+    /// steps. Real array code walks words, not lines: with an 8-byte
+    /// stride only every 8th access leaves L1, giving libquantum-style
+    /// steady memory-boundedness at realistic IPC.
+    Streaming {
+        /// Bytes covered before wrapping.
+        footprint: u64,
+        /// Step in bytes (8 = word-by-word; 64 = line-by-line).
+        stride: u64,
+    },
+    /// Uniformly random accesses over `footprint` bytes.
+    Random {
+        /// Bytes covered.
+        footprint: u64,
+    },
+    /// Two-level locality: a hot set absorbing `hot_percent` of accesses
+    /// plus a cold region.
+    HotCold {
+        /// Hot-set bytes.
+        hot: u64,
+        /// Cold-region bytes.
+        cold: u64,
+        /// Percent of accesses going to the hot set (0–100).
+        hot_percent: u32,
+    },
+    /// Three-level locality: hot (size it L1-resident), warm (L2-
+    /// resident), cold (beyond the LLC). The remainder percentage goes
+    /// cold.
+    Tiered {
+        /// Hot-set bytes (≲ 32 KB for L1 residence).
+        hot: u64,
+        /// Warm-set bytes (≲ 1 MB for LLC residence).
+        warm: u64,
+        /// Cold-region bytes (≫ LLC to force ORAM traffic).
+        cold: u64,
+        /// Percent of accesses to the hot set.
+        hot_percent: u32,
+        /// Percent of accesses to the warm set (hot + warm ≤ 100).
+        warm_percent: u32,
+    },
+    /// Tiered locality whose *cold footprint grows geometrically* from
+    /// `cold_initial` to `cold_final` across the phase — astar/biglakes'
+    /// drifting ORAM rate (Fig. 2 bottom). Geometric (not linear) growth
+    /// keeps the LLC-miss rate rising across the whole run instead of
+    /// saturating early, and growth only begins after
+    /// `growth_start_percent` of the phase (the search stays in its
+    /// initial neighbourhood for a while before expanding).
+    Growing {
+        /// Hot-set bytes.
+        hot: u64,
+        /// Percent of accesses to the hot set.
+        hot_percent: u32,
+        /// Cold footprint at phase start.
+        cold_initial: u64,
+        /// Cold footprint at phase end.
+        cold_final: u64,
+        /// Percent of the phase during which the footprint stays at
+        /// `cold_initial` before growth begins (0–99).
+        growth_start_percent: u32,
+    },
+    /// Alternation between a calm pattern and periodic bursts of another
+    /// pattern (gobmk/sjeng's erratic profiles, Fig. 7). Burst addresses
+    /// are offset into a disjoint region.
+    Bursty {
+        /// Pattern used between bursts.
+        calm: Box<AddressPattern>,
+        /// Pattern used during bursts.
+        burst: Box<AddressPattern>,
+        /// Memory accesses per burst period.
+        period: u64,
+        /// Of which this many (a prefix) are burst accesses.
+        burst_len: u64,
+    },
+}
+
+impl AddressPattern {
+    fn validate(&self) {
+        match self {
+            AddressPattern::Streaming { footprint, stride } => {
+                assert!(*footprint > 0 && *stride > 0, "degenerate streaming");
+            }
+            AddressPattern::Random { footprint } => {
+                assert!(*footprint > 0, "degenerate random");
+            }
+            AddressPattern::HotCold {
+                hot,
+                cold,
+                hot_percent,
+            } => {
+                assert!(*hot > 0 && *cold > 0, "degenerate hot/cold");
+                assert!(*hot_percent <= 100, "hot_percent is a percentage");
+            }
+            AddressPattern::Tiered {
+                hot,
+                warm,
+                cold,
+                hot_percent,
+                warm_percent,
+            } => {
+                assert!(*hot > 0 && *warm > 0 && *cold > 0, "degenerate tiers");
+                assert!(hot_percent + warm_percent <= 100, "tier percentages exceed 100");
+            }
+            AddressPattern::Growing {
+                hot,
+                hot_percent,
+                cold_initial,
+                cold_final,
+                growth_start_percent,
+            } => {
+                assert!(*hot > 0 && *cold_initial > 0, "degenerate growth");
+                assert!(*cold_final >= *cold_initial, "growth must not shrink");
+                assert!(*hot_percent <= 100, "hot_percent is a percentage");
+                assert!(*growth_start_percent < 100, "growth must eventually start");
+            }
+            AddressPattern::Bursty {
+                calm,
+                burst,
+                period,
+                burst_len,
+            } => {
+                assert!(*period > 0 && *burst_len <= *period, "degenerate burst shape");
+                assert!(
+                    !matches!(**calm, AddressPattern::Bursty { .. })
+                        && !matches!(**burst, AddressPattern::Bursty { .. }),
+                    "bursts do not nest"
+                );
+                calm.validate();
+                burst.validate();
+            }
+        }
+    }
+}
+
+/// Stateful sampler for one [`AddressPattern`].
+#[derive(Debug, Clone)]
+pub struct AddressSampler {
+    pattern: AddressPattern,
+    rng: SplitMix64,
+    cursor: u64,
+    /// Memory accesses produced so far in this phase.
+    count: u64,
+    /// Total accesses the phase is expected to produce (for `Growing`
+    /// interpolation; harmless elsewhere).
+    expected_total: u64,
+    /// Sub-samplers for `Bursty` (calm, burst).
+    subs: Option<Box<(AddressSampler, AddressSampler)>>,
+}
+
+impl AddressSampler {
+    /// Creates a sampler. `expected_total` is the approximate number of
+    /// memory accesses this phase will make — only `Growing` uses it (to
+    /// pace the footprint growth); pass any positive value otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate patterns (zero footprints/strides/periods,
+    /// percentages over 100, nested bursts).
+    pub fn new(pattern: AddressPattern, seed: u64, expected_total: u64) -> Self {
+        pattern.validate();
+        let subs = match &pattern {
+            AddressPattern::Bursty { calm, burst, .. } => Some(Box::new((
+                AddressSampler::new((**calm).clone(), seed ^ 0xCA17, expected_total),
+                AddressSampler::new((**burst).clone(), seed ^ 0xB57, expected_total),
+            ))),
+            _ => None,
+        };
+        Self {
+            pattern,
+            rng: SplitMix64::new(seed ^ 0xADD7_E55E),
+            cursor: 0,
+            count: 0,
+            expected_total: expected_total.max(1),
+            subs,
+        }
+    }
+
+    /// Produces the next data byte-address.
+    pub fn next_addr(&mut self) -> u64 {
+        DATA_BASE + self.next_offset()
+    }
+
+    fn next_offset(&mut self) -> u64 {
+        self.count += 1;
+        match &self.pattern {
+            AddressPattern::Streaming { footprint, stride } => {
+                let a = self.cursor;
+                self.cursor = (self.cursor + stride) % footprint;
+                a
+            }
+            AddressPattern::Random { footprint } => self.rng.next_below(*footprint),
+            AddressPattern::HotCold {
+                hot,
+                cold,
+                hot_percent,
+            } => {
+                if self.rng.next_below(100) < *hot_percent as u64 {
+                    self.rng.next_below(*hot)
+                } else {
+                    hot + self.rng.next_below(*cold)
+                }
+            }
+            AddressPattern::Tiered {
+                hot,
+                warm,
+                cold,
+                hot_percent,
+                warm_percent,
+            } => {
+                let x = self.rng.next_below(100) as u32;
+                if x < *hot_percent {
+                    self.rng.next_below(*hot)
+                } else if x < hot_percent + warm_percent {
+                    hot + self.rng.next_below(*warm)
+                } else {
+                    hot + warm + self.rng.next_below(*cold)
+                }
+            }
+            AddressPattern::Growing {
+                hot,
+                hot_percent,
+                cold_initial,
+                cold_final,
+                growth_start_percent,
+            } => {
+                if self.rng.next_below(100) < *hot_percent as u64 {
+                    self.rng.next_below(*hot)
+                } else {
+                    let progress =
+                        self.count.min(self.expected_total) as f64 / self.expected_total as f64;
+                    let start = *growth_start_percent as f64 / 100.0;
+                    let effective = ((progress - start) / (1.0 - start)).max(0.0);
+                    let ratio = *cold_final as f64 / *cold_initial as f64;
+                    let fp = (*cold_initial as f64 * ratio.powf(effective)) as u64;
+                    hot + self.rng.next_below(fp.max(1))
+                }
+            }
+            AddressPattern::Bursty {
+                period, burst_len, ..
+            } => {
+                let in_burst = self.count % *period < *burst_len;
+                let subs = self.subs.as_mut().expect("bursty has sub-samplers");
+                if in_burst {
+                    BURST_REGION_OFFSET + subs.1.next_offset()
+                } else {
+                    subs.0.next_offset()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn streaming_walks_sequentially_and_wraps() {
+        let mut s = AddressSampler::new(
+            AddressPattern::Streaming {
+                footprint: 256,
+                stride: 64,
+            },
+            1,
+            100,
+        );
+        let addrs: Vec<u64> = (0..5).map(|_| s.next_addr() - DATA_BASE).collect();
+        assert_eq!(addrs, vec![0, 64, 128, 192, 0]);
+    }
+
+    #[test]
+    fn word_streaming_revisits_lines() {
+        let mut s = AddressSampler::new(
+            AddressPattern::Streaming {
+                footprint: 1 << 20,
+                stride: 8,
+            },
+            1,
+            100,
+        );
+        let lines: Vec<u64> = (0..16).map(|_| (s.next_addr() - DATA_BASE) / 64).collect();
+        // 8 consecutive accesses share each 64 B line.
+        assert_eq!(lines[..8], [0; 8]);
+        assert_eq!(lines[8..16], [1; 8]);
+    }
+
+    #[test]
+    fn random_covers_footprint() {
+        let mut s = AddressSampler::new(AddressPattern::Random { footprint: 1024 }, 2, 100);
+        let lines: HashSet<u64> = (0..500).map(|_| (s.next_addr() - DATA_BASE) / 64).collect();
+        assert!(lines.len() > 10, "only {} distinct lines", lines.len());
+        for _ in 0..500 {
+            assert!(s.next_addr() - DATA_BASE < 1024);
+        }
+    }
+
+    #[test]
+    fn hot_cold_respects_fraction() {
+        let mut s = AddressSampler::new(
+            AddressPattern::HotCold {
+                hot: 4096,
+                cold: 1 << 20,
+                hot_percent: 90,
+            },
+            3,
+            100,
+        );
+        let mut hot_hits = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            if s.next_addr() - DATA_BASE < 4096 {
+                hot_hits += 1;
+            }
+        }
+        let frac = hot_hits as f64 / N as f64;
+        assert!((frac - 0.9).abs() < 0.03, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn tiered_respects_all_three_fractions() {
+        let (hot, warm, cold) = (4096u64, 1 << 16, 1 << 22);
+        let mut s = AddressSampler::new(
+            AddressPattern::Tiered {
+                hot,
+                warm,
+                cold,
+                hot_percent: 70,
+                warm_percent: 25,
+            },
+            4,
+            100,
+        );
+        let (mut h, mut w, mut c) = (0, 0, 0);
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let a = s.next_addr() - DATA_BASE;
+            if a < hot {
+                h += 1;
+            } else if a < hot + warm {
+                w += 1;
+            } else {
+                c += 1;
+                assert!(a < hot + warm + cold);
+            }
+        }
+        assert!((h as f64 / N as f64 - 0.70).abs() < 0.03);
+        assert!((w as f64 / N as f64 - 0.25).abs() < 0.03);
+        assert!((c as f64 / N as f64 - 0.05).abs() < 0.02);
+    }
+
+    #[test]
+    fn growing_cold_footprint_expands_geometrically() {
+        let total = 100_000;
+        let hot = 1 << 12;
+        let mut s = AddressSampler::new(
+            AddressPattern::Growing {
+                hot,
+                hot_percent: 50,
+                cold_initial: 1 << 16,
+                cold_final: 1 << 26,
+                growth_start_percent: 0,
+            },
+            4,
+            total,
+        );
+        let cold_max = |s: &mut AddressSampler, n: u64| {
+            (0..n)
+                .map(|_| s.next_addr() - DATA_BASE)
+                .filter(|&a| a >= hot)
+                .map(|a| a - hot)
+                .max()
+                .unwrap_or(0)
+        };
+        let early = cold_max(&mut s, 2_000);
+        for _ in 0..(total - 4_000) {
+            s.next_addr();
+        }
+        let late = cold_max(&mut s, 2_000);
+        assert!(early < 1 << 18, "early {early}");
+        assert!(late > 1 << 23, "late {late}");
+        assert!(late > 8 * early.max(1), "growth {early} -> {late}");
+    }
+
+    #[test]
+    fn bursty_alternates_regions() {
+        let mut s = AddressSampler::new(
+            AddressPattern::Bursty {
+                calm: Box::new(AddressPattern::Random { footprint: 4096 }),
+                burst: Box::new(AddressPattern::Random { footprint: 1 << 20 }),
+                period: 100,
+                burst_len: 10,
+            },
+            5,
+            10_000,
+        );
+        let mut burst_seen = 0;
+        for _ in 0..10_000 {
+            if s.next_addr() - DATA_BASE >= 4096 {
+                burst_seen += 1;
+            }
+        }
+        let frac = burst_seen as f64 / 10_000.0;
+        assert!((frac - 0.1).abs() < 0.02, "burst fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_footprint_panics() {
+        AddressSampler::new(AddressPattern::Random { footprint: 0 }, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn nested_bursts_rejected() {
+        let inner = AddressPattern::Bursty {
+            calm: Box::new(AddressPattern::Random { footprint: 64 }),
+            burst: Box::new(AddressPattern::Random { footprint: 64 }),
+            period: 10,
+            burst_len: 1,
+        };
+        AddressSampler::new(
+            AddressPattern::Bursty {
+                calm: Box::new(inner),
+                burst: Box::new(AddressPattern::Random { footprint: 64 }),
+                period: 10,
+                burst_len: 1,
+            },
+            1,
+            1,
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_all_addresses_in_data_region(seed in any::<u64>()) {
+            let patterns = [
+                AddressPattern::Streaming { footprint: 1 << 16, stride: 8 },
+                AddressPattern::Random { footprint: 1 << 20 },
+                AddressPattern::HotCold { hot: 1 << 12, cold: 1 << 22, hot_percent: 80 },
+                AddressPattern::Tiered {
+                    hot: 1 << 12, warm: 1 << 18, cold: 1 << 24,
+                    hot_percent: 70, warm_percent: 25,
+                },
+                AddressPattern::Growing {
+                    hot: 1 << 12, hot_percent: 60,
+                    cold_initial: 1 << 10, cold_final: 1 << 20,
+                    growth_start_percent: 25,
+                },
+            ];
+            for p in patterns {
+                let mut s = AddressSampler::new(p, seed, 1_000);
+                for _ in 0..200 {
+                    let a = s.next_addr();
+                    prop_assert!(a >= DATA_BASE);
+                    prop_assert!(a < DATA_BASE + (1u64 << 33));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_deterministic(seed in any::<u64>()) {
+            let p = AddressPattern::Random { footprint: 1 << 18 };
+            let mut a = AddressSampler::new(p.clone(), seed, 100);
+            let mut b = AddressSampler::new(p, seed, 100);
+            for _ in 0..100 {
+                prop_assert_eq!(a.next_addr(), b.next_addr());
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic SPEC-int-like workload generators for the HPCA'14
+//! reproduction.
+//!
+//! The paper evaluates 11 SPEC-int benchmarks on reference inputs
+//! (§9.1.1). SPEC is proprietary, so this crate provides deterministic
+//! generators that reproduce each benchmark's *qualitative* memory
+//! behaviour — footprint vs. the 1 MB LLC, phase structure, burstiness,
+//! input dependence — which is the entire input signal the paper's
+//! experiments consume (every figure is a function of the LLC-miss
+//! arrival process and the instruction mix).
+//!
+//! Layers:
+//!
+//! * [`InstructionMix`] — class weights (ALU/MUL/DIV/FP/load/store).
+//! * [`AddressPattern`]/[`AddressSampler`] — streaming, random,
+//!   hot/cold, growing and bursty address processes.
+//! * [`WorkloadSpec`]/[`SyntheticWorkload`] — phase-structured programs
+//!   implementing the simulator's `InstructionStream`.
+//! * [`SpecBenchmark`] — the 11-benchmark catalog with per-input variants
+//!   (`perlbench.diffmail` vs `.splitmail`, `astar.rivers` vs
+//!   `.biglakes`).
+//!
+//! # Example
+//!
+//! ```
+//! use otc_workloads::SpecBenchmark;
+//! use otc_sim::{DramBackend, SimConfig, Simulator};
+//!
+//! let mut wl = SpecBenchmark::Mcf.workload(100_000);
+//! let stats = Simulator::new(SimConfig::default())
+//!     .run(&mut wl, &mut DramBackend::new(), 100_000);
+//! assert!(stats.llc_demand_misses > 1_000); // mcf is memory-bound
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod generator;
+mod mix;
+mod spec;
+
+pub use addr::{AddressPattern, AddressSampler, DATA_BASE};
+pub use generator::{PhaseSpec, SyntheticWorkload, WorkloadSpec, CODE_BASE};
+pub use mix::{InstructionMix, SampledClass};
+pub use spec::SpecBenchmark;

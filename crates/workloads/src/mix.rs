@@ -1,0 +1,208 @@
+//! Instruction-class mixes.
+//!
+//! A mix assigns integer weights to the simulator's instruction classes;
+//! the generator samples from it. Weights rather than floats keep the
+//! sampling exact and the configurations hash-friendly.
+
+use otc_crypto::SplitMix64;
+
+/// Relative weights of instruction classes within a workload phase.
+///
+/// Branches are handled separately by the generator (they need targets and
+/// a code-layout model), so a mix covers only computational and memory
+/// classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstructionMix {
+    /// Integer ALU weight.
+    pub int_alu: u32,
+    /// Integer multiply weight.
+    pub int_mul: u32,
+    /// Integer divide weight.
+    pub int_div: u32,
+    /// FP add/sub weight.
+    pub fp_alu: u32,
+    /// FP multiply weight.
+    pub fp_mul: u32,
+    /// FP divide weight.
+    pub fp_div: u32,
+    /// Load weight.
+    pub load: u32,
+    /// Store weight.
+    pub store: u32,
+}
+
+/// What a sampled non-branch instruction should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampledClass {
+    /// Integer ALU.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// FP add/sub.
+    FpAlu,
+    /// FP multiply.
+    FpMul,
+    /// FP divide.
+    FpDiv,
+    /// Load (address supplied by the address pattern).
+    Load,
+    /// Store (address supplied by the address pattern).
+    Store,
+}
+
+impl InstructionMix {
+    /// An integer-heavy mix typical of control-flow-bound SPEC-int code.
+    pub fn int_heavy() -> Self {
+        Self {
+            int_alu: 60,
+            int_mul: 4,
+            int_div: 1,
+            fp_alu: 0,
+            fp_mul: 0,
+            fp_div: 0,
+            load: 25,
+            store: 10,
+        }
+    }
+
+    /// A memory-heavy mix (pointer chasing / streaming kernels).
+    pub fn memory_heavy() -> Self {
+        Self {
+            int_alu: 45,
+            int_mul: 2,
+            int_div: 0,
+            fp_alu: 0,
+            fp_mul: 0,
+            fp_div: 0,
+            load: 38,
+            store: 15,
+        }
+    }
+
+    /// A media/FP-flavored compute mix (h264ref-style).
+    pub fn fp_compute() -> Self {
+        Self {
+            int_alu: 40,
+            int_mul: 8,
+            int_div: 1,
+            fp_alu: 12,
+            fp_mul: 8,
+            fp_div: 1,
+            load: 22,
+            store: 8,
+        }
+    }
+
+    /// Sum of weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn total(&self) -> u32 {
+        let t = self.int_alu
+            + self.int_mul
+            + self.int_div
+            + self.fp_alu
+            + self.fp_mul
+            + self.fp_div
+            + self.load
+            + self.store;
+        assert!(t > 0, "mix must have at least one non-zero weight");
+        t
+    }
+
+    /// Samples one class.
+    pub fn sample(&self, rng: &mut SplitMix64) -> SampledClass {
+        let mut x = rng.next_below(self.total() as u64) as u32;
+        let classes = [
+            (self.int_alu, SampledClass::IntAlu),
+            (self.int_mul, SampledClass::IntMul),
+            (self.int_div, SampledClass::IntDiv),
+            (self.fp_alu, SampledClass::FpAlu),
+            (self.fp_mul, SampledClass::FpMul),
+            (self.fp_div, SampledClass::FpDiv),
+            (self.load, SampledClass::Load),
+            (self.store, SampledClass::Store),
+        ];
+        for (w, c) in classes {
+            if x < w {
+                return c;
+            }
+            x -= w;
+        }
+        unreachable!("sample within total")
+    }
+
+    /// Fraction of sampled instructions that touch memory.
+    pub fn memory_fraction(&self) -> f64 {
+        (self.load + self.store) as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_respects_weights() {
+        let mix = InstructionMix {
+            int_alu: 50,
+            int_mul: 0,
+            int_div: 0,
+            fp_alu: 0,
+            fp_mul: 0,
+            fp_div: 0,
+            load: 50,
+            store: 0,
+        };
+        let mut rng = SplitMix64::new(1);
+        let mut loads = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            if mix.sample(&mut rng) == SampledClass::Load {
+                loads += 1;
+            }
+        }
+        let frac = loads as f64 / N as f64;
+        assert!((frac - 0.5).abs() < 0.05, "load fraction {frac}");
+    }
+
+    #[test]
+    fn zero_weight_classes_never_sampled() {
+        let mix = InstructionMix::int_heavy(); // no FP
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..5_000 {
+            let c = mix.sample(&mut rng);
+            assert!(!matches!(
+                c,
+                SampledClass::FpAlu | SampledClass::FpMul | SampledClass::FpDiv
+            ));
+        }
+    }
+
+    #[test]
+    fn memory_fractions_ordered() {
+        assert!(
+            InstructionMix::memory_heavy().memory_fraction()
+                > InstructionMix::int_heavy().memory_fraction()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero weight")]
+    fn all_zero_mix_panics() {
+        InstructionMix {
+            int_alu: 0,
+            int_mul: 0,
+            int_div: 0,
+            fp_alu: 0,
+            fp_mul: 0,
+            fp_div: 0,
+            load: 0,
+            store: 0,
+        }
+        .total();
+    }
+}

@@ -1,0 +1,53 @@
+//! Replay attacks and their prevention (§8), plus the broken
+//! determinism-based alternative (§8.1).
+//!
+//! ```text
+//! cargo run --release --example replay_attack
+//! ```
+
+use oram_timing::prelude::*;
+use oram_timing::attacks::{demonstrate_broken_determinism, session_fixture};
+
+fn main() {
+    // --- The threat: N replays leak N*L bits. ---
+    let (mut processor, _user, encrypted) = session_fixture(42, 64, b"the user's secret input");
+    let attacker = ReplayAttacker::new();
+
+    println!("== Without key forgetting (hypothetical vulnerable design) ==");
+    let outcome = attacker.run(&mut processor, &encrypted, false);
+    println!(
+        "replays executed: {}; worst-case bits obtainable: {} (= L x N, §4.3)",
+        outcome.successful_runs, outcome.bits_obtainable
+    );
+
+    // --- The defense: run-once session keys. ---
+    let (mut processor, _user, encrypted) = session_fixture(43, 64, b"the user's secret input");
+    println!("\n== With §8's run-once session key ==");
+    let outcome = attacker.run(&mut processor, &encrypted, true);
+    println!(
+        "replays executed: {}; bits obtainable: {}; stopped by: {}",
+        outcome.successful_runs,
+        outcome.bits_obtainable,
+        outcome
+            .stopped_by
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "nothing".into())
+    );
+    println!("the session key register was reset -> encrypt_K(D) is undecryptable, replays die");
+
+    // --- §8.1: why HMAC-bound deterministic re-execution does NOT work. ---
+    println!("\n== §8.1: the broken alternative ==");
+    let (clean, jittered) = demonstrate_broken_determinism(800);
+    println!("rate choices, run 1 (quiet bus):     {clean:?}");
+    println!("rate choices, run 2 (contended bus): {jittered:?}");
+    println!(
+        "identical program + data + parameters, yet the traces {} — memory-bus \
+         timing noise steers the rate learner, so \"deterministic replay\" leaks \
+         fresh bits per run.",
+        if clean == jittered {
+            "matched (increase jitter!)"
+        } else {
+            "DIVERGE"
+        }
+    );
+}

@@ -1,0 +1,89 @@
+//! The Fig. 1(a) timing attack, end to end: a malicious program encodes a
+//! secret into its LLC-miss pattern; the server-side adversary watches the
+//! ORAM access times (which it can obtain with the §3.2 root-bucket probe)
+//! and decodes.
+//!
+//! Run against an unprotected ORAM the attack recovers every bit; against
+//! the rate-enforced controller the observable trace is independent of
+//! the secret.
+//!
+//! ```text
+//! cargo run --release --example timing_attack
+//! ```
+
+use oram_timing::prelude::*;
+
+fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_below(2) == 1).collect()
+}
+
+fn show(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn main() {
+    let secret = random_bits(32, 0xACCE55);
+    let sim = Simulator::new(SimConfig::default());
+    let ddr = DdrConfig::default();
+    let oram_cfg = OramConfig::paper();
+
+    println!("secret:           {}", show(&secret));
+
+    // --- Offline calibration (the program is public). ---
+    let profile = |bits: Vec<bool>| {
+        let mut cal = MaliciousProgram::new(bits);
+        let mut backend =
+            UnprotectedOramBackend::new(oram_cfg.clone(), &ddr).expect("valid config");
+        sim.run(&mut cal, &mut backend, u64::MAX).cycles
+    };
+    let prologue = profile(vec![]);
+    let zero_window = (profile(vec![false; 8]) - prologue) / 8;
+
+    // --- Attack vs base_oram. ---
+    let mut p1 = MaliciousProgram::new(secret.clone());
+    let mut backend = UnprotectedOramBackend::new(oram_cfg.clone(), &ddr).expect("valid config");
+    let stats = sim.run(&mut p1, &mut backend, u64::MAX);
+    let decoded = decode_trace(
+        backend.trace(),
+        backend.olat(),
+        p1.loads_per_one(),
+        zero_window,
+        prologue,
+        stats.cycles,
+    );
+    println!("base_oram decode: {}", show(&decoded[..decoded.len().min(32)]));
+    println!(
+        "                  -> {:.0}% of the secret recovered from access times alone",
+        recovery_accuracy(&secret, &decoded) * 100.0
+    );
+
+    // --- Same attack vs the dynamic leakage-bounded controller. ---
+    let run_protected = |bits: Vec<bool>| {
+        let mut p1 = MaliciousProgram::new(bits);
+        let mut backend = RateLimitedOramBackend::new(
+            oram_cfg.clone(),
+            &ddr,
+            RatePolicy::dynamic_paper(4, 4),
+        )
+        .expect("valid config");
+        let stats = sim.run(&mut p1, &mut backend, u64::MAX);
+        let trace: Vec<Cycle> = backend.trace().iter().map(|s| s.start).collect();
+        (trace, stats.cycles)
+    };
+    let (trace_a, end_a) = run_protected(secret.clone());
+    let (trace_b, end_b) = run_protected(random_bits(32, 0xB17B17));
+    let horizon = end_a.min(end_b);
+    let pa: Vec<Cycle> = trace_a.into_iter().filter(|&t| t < horizon).collect();
+    let pb: Vec<Cycle> = trace_b.into_iter().filter(|&t| t < horizon).collect();
+    println!(
+        "\ndynamic_R4_E4:    traces for two different secrets identical up to min \
+         termination: {}",
+        pa == pb
+    );
+    println!(
+        "                  (worst case {} bits can differ via per-epoch rate choices; \
+         this short run crossed no boundary where they did)",
+        Scheme::dynamic(4, 4).oram_timing_leakage_bits()
+    );
+}

@@ -1,0 +1,60 @@
+//! Whole-stack determinism: identical configurations replay bit-for-bit.
+//! This underpins every experiment's reproducibility and the §8.1
+//! analysis (where *breaking* determinism is the attack surface).
+
+use oram_timing::prelude::*;
+
+fn full_run(seed_shift: u64) -> (Cycle, u64, Vec<(u32, Cycle, u64)>) {
+    let mut spec = SpecBenchmark::Gobmk.spec(60_000);
+    spec.seed ^= seed_shift;
+    let mut wl = spec.build();
+    let mut backend = RateLimitedOramBackend::new(
+        OramConfig::paper(),
+        &DdrConfig::default(),
+        RatePolicy::Dynamic {
+            rates: RateSet::paper(4),
+            schedule: EpochSchedule::new(17, 2, 40),
+            divider: DividerImpl::ShiftRegister,
+            initial_rate: 10_000,
+        },
+    )
+    .expect("valid");
+    let stats = Simulator::new(SimConfig::default()).run(&mut wl, &mut backend, 60_000);
+    let transitions = backend
+        .transitions()
+        .iter()
+        .map(|t| (t.epoch, t.at, t.new_rate))
+        .collect();
+    (stats.cycles, backend.slots_served(), transitions)
+}
+
+#[test]
+fn identical_runs_replay_exactly() {
+    let a = full_run(0);
+    let b = full_run(0);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_inputs_may_differ() {
+    let a = full_run(0);
+    let b = full_run(0x5EED);
+    // Different data → (almost surely) different cycle counts; the
+    // *leakage-relevant* part (rate choices) may or may not differ, and
+    // that is exactly what the |R|^|E| bound permits.
+    assert_ne!(a.0, b.0);
+}
+
+#[test]
+fn oram_replays_functionally() {
+    let run = || {
+        let mut oram = RecursivePathOram::new(OramConfig::small()).expect("valid");
+        let mut sum = 0u64;
+        for i in 0..200u64 {
+            oram.write(i % 50, &[(i % 251) as u8; 64]);
+            sum = sum.wrapping_add(oram.read((i * 7) % 50)[0] as u64);
+        }
+        (sum, oram.stats(), oram.root_fingerprint())
+    };
+    assert_eq!(run(), run());
+}

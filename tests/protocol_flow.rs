@@ -1,0 +1,91 @@
+//! The full §5 user–server protocol exercised across crates: session
+//! establishment, leakage-parameter vetting, computation on encrypted
+//! data, result decryption, and §8 replay prevention — with the actual
+//! crypto (simulation-grade) and leakage models, not mocks.
+
+use oram_timing::attacks::session_fixture;
+use oram_timing::prelude::*;
+
+#[test]
+fn complete_protocol_with_simulated_computation() {
+    let mut rng = SplitMix64::new(2026);
+    let mut processor = SecureProcessor::manufacture(&mut rng, 32);
+    let user = UserSession::establish(&mut processor, &mut rng).expect("handshake");
+
+    // The user's data: parameters for a (tiny) computation.
+    let data: Vec<u8> = (0..64u8).collect();
+    let encrypted = user.encrypt_data(&data);
+
+    // Server proposes the paper's headline leakage parameters.
+    let params = LeakageParams {
+        rate_count: 4,
+        schedule: EpochSchedule::scaled(4),
+    };
+    assert_eq!(params.oram_timing_bits(), 32.0);
+
+    // "P(D)": sum of squares over the decrypted bytes, computed inside the
+    // enclave boundary.
+    let result = processor
+        .run_program(&encrypted, &params, |d| {
+            let s: u64 = d.iter().map(|&b| (b as u64) * (b as u64)).sum();
+            s.to_le_bytes().to_vec()
+        })
+        .expect("within leakage budget");
+    let plain = user.decrypt_result(&result);
+    let expect: u64 = (0..64u64).map(|b| b * b).sum();
+    assert_eq!(plain, expect.to_le_bytes().to_vec());
+}
+
+#[test]
+fn server_cannot_exceed_the_users_leakage_limit() {
+    let (mut processor, user, _) = session_fixture(7, 16, b"");
+    let encrypted = user.encrypt_data(b"xyz");
+    // R4/E4 would leak 32 bits — over the 16-bit limit.
+    let params = LeakageParams {
+        rate_count: 4,
+        schedule: EpochSchedule::scaled(4),
+    };
+    assert!(processor.run_program(&encrypted, &params, |d| d.to_vec()).is_err());
+    // R4/E16 leaks 16 bits — allowed.
+    let ok_params = LeakageParams {
+        rate_count: 4,
+        schedule: EpochSchedule::scaled(16),
+    };
+    assert!(processor
+        .run_program(&encrypted, &ok_params, |d| d.to_vec())
+        .is_ok());
+}
+
+#[test]
+fn replay_is_dead_after_session_end() {
+    let (mut processor, user, _) = session_fixture(9, 64, b"");
+    let encrypted = user.encrypt_data(b"user data");
+    let params = LeakageParams {
+        rate_count: 4,
+        schedule: EpochSchedule::scaled(4),
+    };
+    processor
+        .run_program(&encrypted, &params, |d| d.to_vec())
+        .expect("first run");
+    processor.end_session();
+    assert!(processor
+        .run_program(&encrypted, &params, |d| d.to_vec())
+        .is_err());
+}
+
+#[test]
+fn hmac_binding_pins_program_and_parameters() {
+    let (mut processor, user, _) = session_fixture(11, 64, b"");
+    let encrypted = user.encrypt_data(b"bound data");
+    let params = LeakageParams {
+        rate_count: 4,
+        schedule: EpochSchedule::scaled(4),
+    };
+    let tag = user.bind(b"program-v1", &encrypted, &params);
+    assert!(processor
+        .run_bound_program(&encrypted, b"program-v1", &params, &tag, |d| d.to_vec())
+        .is_ok());
+    assert!(processor
+        .run_bound_program(&encrypted, b"program-v2", &params, &tag, |d| d.to_vec())
+        .is_err());
+}

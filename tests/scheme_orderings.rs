@@ -1,0 +1,109 @@
+//! Cross-crate integration: the performance/power orderings the paper's
+//! evaluation depends on hold end-to-end through the full stack
+//! (workload → core+caches → rate enforcer → Path ORAM → DRAM model →
+//! power model).
+
+use oram_timing::prelude::*;
+
+struct Run {
+    cycles: Cycle,
+    power_w: f64,
+}
+
+fn run(scheme: &Scheme, bench: SpecBenchmark, instructions: u64) -> Run {
+    let oram_cfg = OramConfig::paper();
+    let ddr = DdrConfig::default();
+    let timing = OramTiming::derive(&oram_cfg, &ddr);
+    let power_model =
+        PowerModel::paper().with_oram_access(timing.chunks_per_access(), timing.dram_cycles);
+    // Fast-forward to warm the caches (paper methodology, §9.1.1), then
+    // measure the steady state.
+    let mut wl = bench.workload(2 * instructions);
+    let sim = Simulator::new(SimConfig::default());
+    let warm = sim.warm_caches(&mut wl, instructions);
+    let mut backend = scheme.build_backend(&oram_cfg, &ddr).expect("valid");
+    let stats = sim.run_warm(&mut wl, &mut *backend, instructions, warm);
+    Run {
+        cycles: stats.cycles,
+        power_w: power_model.power(&stats).total_watts(),
+    }
+}
+
+#[test]
+fn oram_costs_more_than_dram_everywhere() {
+    for bench in [SpecBenchmark::Mcf, SpecBenchmark::Hmmer] {
+        let dram = run(&Scheme::BaseDram, bench, 100_000);
+        let oram = run(&Scheme::BaseOram, bench, 100_000);
+        assert!(
+            oram.cycles > dram.cycles,
+            "{}: ORAM should be slower",
+            bench.full_name()
+        );
+        assert!(oram.power_w > dram.power_w);
+    }
+}
+
+#[test]
+fn unprotected_oram_is_a_performance_oracle_for_memory_bound() {
+    // base_oram serves misses immediately; any rate enforcement can only
+    // delay them. (§9.1.6 calls base_oram "a power/performance oracle".)
+    let bench = SpecBenchmark::Mcf;
+    let oracle = run(&Scheme::BaseOram, bench, 100_000);
+    for scheme in [
+        Scheme::Static { rate: 300 },
+        Scheme::Static { rate: 1300 },
+        Scheme::dynamic(4, 4),
+    ] {
+        let r = run(&scheme, bench, 100_000);
+        assert!(
+            r.cycles >= oracle.cycles,
+            "{} beat the oracle: {} < {}",
+            scheme.label(),
+            r.cycles,
+            oracle.cycles
+        );
+    }
+}
+
+#[test]
+fn slower_static_rates_cost_performance_on_memory_bound() {
+    let bench = SpecBenchmark::Mcf;
+    let fast = run(&Scheme::Static { rate: 300 }, bench, 80_000);
+    let slow = run(&Scheme::Static { rate: 4_096 }, bench, 80_000);
+    assert!(slow.cycles > fast.cycles);
+    // …and save power (fewer dummy accesses per unit time).
+    assert!(slow.power_w < fast.power_w);
+}
+
+#[test]
+fn fast_static_rate_wastes_power_on_compute_bound() {
+    // hmmer barely needs ORAM; static_300 hammers dummies anyway.
+    let bench = SpecBenchmark::Hmmer;
+    let fast = run(&Scheme::Static { rate: 300 }, bench, 150_000);
+    let slow = run(&Scheme::Static { rate: 32_768 }, bench, 150_000);
+    assert!(
+        fast.power_w > 1.5 * slow.power_w,
+        "fast {} vs slow {}",
+        fast.power_w,
+        slow.power_w
+    );
+    // A slower rate never makes the program faster. (True flatness of the
+    // compute-bound perf curve needs paper-length horizons; the fig5
+    // bench demonstrates it with steady-state windows.)
+    assert!(fast.cycles <= slow.cycles);
+}
+
+#[test]
+fn dynamic_saves_power_vs_static300_on_compute_bound() {
+    // The headline trade-off (§9.3): for low-pressure programs the
+    // learner backs off to slow rates, unlike a fast static scheme.
+    let bench = SpecBenchmark::Hmmer;
+    let dynamic = run(&Scheme::dynamic(4, 2), bench, 200_000);
+    let static300 = run(&Scheme::Static { rate: 300 }, bench, 200_000);
+    assert!(
+        dynamic.power_w < static300.power_w,
+        "dynamic {} vs static_300 {}",
+        dynamic.power_w,
+        static300.power_w
+    );
+}
