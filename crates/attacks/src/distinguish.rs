@@ -10,10 +10,7 @@ use otc_core::SlotRecord;
 /// Whether two observable traces are identical (same access times; the
 /// real/dummy flag is *not* observable and is ignored).
 pub fn traces_identical(a: &[SlotRecord], b: &[SlotRecord]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| x.start == y.start)
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.start == y.start)
 }
 
 /// Whether two traces are identical over their common prefix — the right
@@ -29,9 +26,7 @@ pub fn traces_identical_prefix(a: &[SlotRecord], b: &[SlotRecord]) -> bool {
 /// First index at which two traces diverge (`None` if one is a prefix of
 /// the other).
 pub fn first_divergence(a: &[SlotRecord], b: &[SlotRecord]) -> Option<usize> {
-    a.iter()
-        .zip(b.iter())
-        .position(|(x, y)| x.start != y.start)
+    a.iter().zip(b.iter()).position(|(x, y)| x.start != y.start)
 }
 
 /// Empirical distinguishing advantage over a set of (secret, trace) runs:
@@ -97,10 +92,7 @@ mod tests {
             0.0
         );
         // All distinct → 1.
-        assert_eq!(
-            distinguishing_advantage(&[t(&[1]), t(&[2]), t(&[3])]),
-            1.0
-        );
+        assert_eq!(distinguishing_advantage(&[t(&[1]), t(&[2]), t(&[3])]), 1.0);
         // Empty set → 0 by convention.
         assert_eq!(distinguishing_advantage(&[]), 0.0);
     }

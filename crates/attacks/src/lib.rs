@@ -40,6 +40,4 @@ pub use distinguish::{
 };
 pub use malicious::{decode_trace, recovery_accuracy, MaliciousProgram};
 pub use probe::{ProbeSample, RootBucketProbe};
-pub use replay::{
-    demonstrate_broken_determinism, session_fixture, ReplayAttacker, ReplayOutcome,
-};
+pub use replay::{demonstrate_broken_determinism, session_fixture, ReplayAttacker, ReplayOutcome};

@@ -72,7 +72,7 @@ impl InstructionStream for MaliciousProgram {
     fn next_instr(&mut self) -> Instr {
         self.instr_count += 1;
         // Keep the code footprint tiny: loop branch every 16 instructions.
-        if self.instr_count % 16 == 0 {
+        if self.instr_count.is_multiple_of(16) {
             return Instr::Branch {
                 taken: true,
                 target: 0x1000,
@@ -154,16 +154,16 @@ pub fn decode_trace(
         // Zeros before this burst.
         let gap = start.saturating_sub(cursor);
         let zeros = ((gap as f64 / zero_window_cycles as f64) + 0.5) as u64;
-        bits.extend(std::iter::repeat(false).take(zeros as usize));
+        bits.extend(std::iter::repeat_n(false, zeros as usize));
         // Ones in this burst.
         let ones = ((count as f64 / loads_per_one as f64) + 0.5) as u64;
-        bits.extend(std::iter::repeat(true).take(ones.max(1) as usize));
+        bits.extend(std::iter::repeat_n(true, ones.max(1) as usize));
         cursor = last + olat;
     }
     // Trailing zeros until program end.
     let tail = total_cycles.saturating_sub(cursor);
     let zeros = ((tail as f64 / zero_window_cycles as f64) + 0.2) as u64;
-    bits.extend(std::iter::repeat(false).take(zeros as usize));
+    bits.extend(std::iter::repeat_n(false, zeros as usize));
     bits
 }
 
@@ -213,10 +213,7 @@ mod tests {
 
     #[test]
     fn accuracy_math() {
-        assert_eq!(
-            recovery_accuracy(&[true, false], &[true, true]),
-            0.5
-        );
+        assert_eq!(recovery_accuracy(&[true, false], &[true, true]), 0.5);
         assert_eq!(recovery_accuracy(&[], &[]), 1.0);
         // Missing decoded bits count as wrong.
         assert_eq!(recovery_accuracy(&[true, true], &[true]), 0.5);
@@ -235,7 +232,7 @@ mod tests {
         trace.push(mk(t + olat));
         t += 2 * olat;
         t += 5_000; // bit 0
-        // bits 1 1: four accesses
+                    // bits 1 1: four accesses
         for k in 0..4 {
             trace.push(mk(t + k * olat));
         }
@@ -245,9 +242,6 @@ mod tests {
         trace.push(mk(t + olat));
         t += 2 * olat; // bit 1
         let bits = decode_trace(&trace, olat, 2, 5_000, 0, t);
-        assert_eq!(
-            bits,
-            vec![true, false, true, true, false, false, true]
-        );
+        assert_eq!(bits, vec![true, false, true, true, false, false, true]);
     }
 }

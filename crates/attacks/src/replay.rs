@@ -72,8 +72,7 @@ impl ReplayAttacker {
         let mut successful = 0;
         let mut stopped_by = None;
         for run in 0..self.attempts {
-            let outcome =
-                processor.run_program(encrypted_data, &self.params, |d| d.to_vec());
+            let outcome = processor.run_program(encrypted_data, &self.params, |d| d.to_vec());
             match outcome {
                 Ok(_) => successful += 1,
                 Err(e) => {

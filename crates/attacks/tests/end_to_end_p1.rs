@@ -58,12 +58,9 @@ fn p1_learns_nothing_through_static_rate() {
     let oram_cfg = OramConfig::paper();
     let run = |bits: Vec<bool>| {
         let mut p1 = MaliciousProgram::new(bits);
-        let mut backend = RateLimitedOramBackend::new(
-            oram_cfg.clone(),
-            &ddr,
-            RatePolicy::Static { rate: 1_000 },
-        )
-        .expect("valid");
+        let mut backend =
+            RateLimitedOramBackend::new(oram_cfg.clone(), &ddr, RatePolicy::Static { rate: 1_000 })
+                .expect("valid");
         let stats = sim.run(&mut p1, &mut backend, u64::MAX);
         let trace: Vec<u64> = backend.trace().iter().map(|s| s.start).collect();
         (trace, stats.cycles)

@@ -45,11 +45,7 @@ fn main() {
         }
         rows.push((bench.full_name().to_string(), cells));
     }
-    print_table(
-        "perf overhead x vs base_dram",
-        &["shifter", "exact"],
-        &rows,
-    );
+    print_table("perf overhead x vs base_dram", &["shifter", "exact"], &rows);
     println!(
         "expectation: near-identical columns — the ≤2x underset bias moves raw \
          predictions within a lg-spaced candidate gap (§7.2/§7.3)."

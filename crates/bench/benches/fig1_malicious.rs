@@ -31,8 +31,7 @@ fn main() {
     // measures the per-zero window.
     let run_cal = |bits: Vec<bool>| {
         let mut cal = MaliciousProgram::new(bits);
-        let mut cal_backend =
-            UnprotectedOramBackend::new(oram_cfg.clone(), &ddr).expect("valid");
+        let mut cal_backend = UnprotectedOramBackend::new(oram_cfg.clone(), &ddr).expect("valid");
         sim.run(&mut cal, &mut cal_backend, u64::MAX).cycles
     };
     let prologue_cycles = run_cal(vec![]);
@@ -61,12 +60,9 @@ fn main() {
     // ---- Static rate: the observable trace is secret-independent. ----
     let run_static = |bits: Vec<bool>| {
         let mut p1 = MaliciousProgram::new(bits);
-        let mut backend = RateLimitedOramBackend::new(
-            oram_cfg.clone(),
-            &ddr,
-            RatePolicy::Static { rate: 1_000 },
-        )
-        .expect("valid");
+        let mut backend =
+            RateLimitedOramBackend::new(oram_cfg.clone(), &ddr, RatePolicy::Static { rate: 1_000 })
+                .expect("valid");
         let stats = sim.run(&mut p1, &mut backend, u64::MAX);
         let trace: Vec<u64> = backend.trace().iter().map(|s| s.start).collect();
         (trace, stats.cycles)

@@ -24,7 +24,10 @@ fn main() {
     );
 
     let pairs = [
-        (SpecBenchmark::PerlbenchDiffmail, SpecBenchmark::PerlbenchSplitmail),
+        (
+            SpecBenchmark::PerlbenchDiffmail,
+            SpecBenchmark::PerlbenchSplitmail,
+        ),
         (SpecBenchmark::AstarRivers, SpecBenchmark::AstarBigLakes),
     ];
 
@@ -41,7 +44,11 @@ fn main() {
                 let di = w.instructions - prev.0;
                 let dr = w.backend_requests - prev.1;
                 prev = (w.instructions, w.backend_requests);
-                let interval = if dr == 0 { di as f64 } else { di as f64 / dr as f64 };
+                let interval = if dr == 0 {
+                    di as f64
+                } else {
+                    di as f64 / dr as f64
+                };
                 cells.push(format!("{interval:.0}"));
             }
             // Steady-state interval: averaged over the last third of the
@@ -52,7 +59,11 @@ fn main() {
                 - tail.first().map(|w| w.instructions).unwrap_or(0);
             let dr = tail.last().map(|w| w.backend_requests).unwrap_or(0)
                 - tail.first().map(|w| w.backend_requests).unwrap_or(0);
-            let steady = if dr == 0 { di as f64 } else { di as f64 / dr as f64 };
+            let steady = if dr == 0 {
+                di as f64
+            } else {
+                di as f64 / dr as f64
+            };
             overall.push((bench.full_name().to_string(), steady));
             rows.push((bench.full_name().to_string(), cells));
         }
@@ -63,8 +74,7 @@ fn main() {
             &columns,
             &rows,
         );
-        let ratio =
-            overall[1].1.max(overall[0].1) / overall[1].1.min(overall[0].1).max(1e-9);
+        let ratio = overall[1].1.max(overall[0].1) / overall[1].1.min(overall[0].1).max(1e-9);
         println!(
             "steady-state averages (last third): {} = {:.0}, {} = {:.0}  (ratio {ratio:.0}x)",
             overall[0].0, overall[0].1, overall[1].0, overall[1].1

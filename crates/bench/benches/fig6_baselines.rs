@@ -80,11 +80,17 @@ fn main() {
 
     // §9.3 derived claims.
     let perf = |label: &str| {
-        let i = labels.iter().position(|l| l == label).expect("scheme present");
+        let i = labels
+            .iter()
+            .position(|l| l == label)
+            .expect("scheme present");
         geomean(&per_scheme_perf[i])
     };
     let power = |label: &str| {
-        let i = labels.iter().position(|l| l == label).expect("scheme present");
+        let i = labels
+            .iter()
+            .position(|l| l == label)
+            .expect("scheme present");
         mean(&per_scheme_power[i])
     };
     let dynamic_vs_oracle_perf = (perf("dynamic_R4_E4") / perf("base_oram") - 1.0) * 100.0;
@@ -110,7 +116,9 @@ fn main() {
         "static_1300 vs dynamic:      perf  +{static1300_perf:.0}% (paper +30%, power break-even)"
     );
     println!("static_300  vs dynamic:      power +{static300_power:.0}% (paper +47%)");
-    println!("dynamic dummy-access fraction: {dummy_avg:.0}% (paper: 34% average, footnote in §11)");
+    println!(
+        "dynamic dummy-access fraction: {dummy_avg:.0}% (paper: 34% average, footnote in §11)"
+    );
     println!(
         "leakage: dynamic_R4_E4 <= {} bits over the ORAM timing channel (paper: 32)",
         Scheme::dynamic(4, 4).oram_timing_leakage_bits()

@@ -74,7 +74,11 @@ fn main() {
     println!("\nleakage bound per configuration (scaled schedule preserves paper epoch counts):");
     for &rc in &rate_counts {
         let s = Scheme::dynamic(rc, 2);
-        println!("  {:<16} {:>6.0} bits", s.label(), s.oram_timing_leakage_bits());
+        println!(
+            "  {:<16} {:>6.0} bits",
+            s.label(),
+            s.oram_timing_leakage_bits()
+        );
     }
     println!(
         "paper: R16→R4 at E2 improves performance ~2%, costs ~7% power, halves leakage \

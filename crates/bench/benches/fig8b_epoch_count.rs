@@ -44,10 +44,7 @@ fn main() {
         power_rows.push((bench.short_name().to_string(), power_cells));
     }
 
-    let labels: Vec<String> = growths
-        .iter()
-        .map(|g| format!("dynamic_R4_E{g}"))
-        .collect();
+    let labels: Vec<String> = growths.iter().map(|g| format!("dynamic_R4_E{g}")).collect();
     let columns: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
 
     perf_rows.push((
@@ -74,7 +71,11 @@ fn main() {
     println!("\nleakage bound per configuration:");
     for &g in &growths {
         let s = Scheme::dynamic(4, g);
-        println!("  {:<16} {:>6.0} bits", s.label(), s.oram_timing_leakage_bits());
+        println!(
+            "  {:<16} {:>6.0} bits",
+            s.label(),
+            s.oram_timing_leakage_bits()
+        );
     }
     println!(
         "paper: E4→E16 reduces ORAM-timing leakage 32→16 bits for ~5% average \

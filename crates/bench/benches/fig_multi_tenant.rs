@@ -1,0 +1,115 @@
+//! **Multi-tenant scaling** (beyond the paper): the `otc-host` serving
+//! layer under a growing tenant fleet. The paper evaluates one session on
+//! one ORAM; this experiment asks the production question — how do
+//! per-tenant throughput, waste and dummy overhead evolve as K tenants
+//! with the paper's dynamic_R4_E4 policy share a sharded backend, and
+//! does the fleet's leakage ledger stay within the sum of per-tenant
+//! bounds?
+//!
+//! Expected shape: fleet throughput grows with K while shard utilization
+//! and queueing climb toward the admission ceiling; every tenant's
+//! revealed bits stay ≤ its 32-bit budget regardless of K.
+
+use otc_bench::{instruction_budget, print_table};
+use otc_core::RatePolicy;
+use otc_host::{HostConfig, HostError, MultiTenantHost, TenantSpec};
+use otc_workloads::SpecBenchmark;
+
+fn main() {
+    let slots_per_tenant = instruction_budget(20_000); // OTC_BENCH_INSTRUCTIONS overrides
+    let shards = 4usize;
+    let max_k = 6usize;
+    println!(
+        "Multi-tenant scaling: K=1..={max_k} tenants, {shards} shards, dynamic_R4_E4, \
+         {slots_per_tenant} slots/tenant (set OTC_BENCH_INSTRUCTIONS to rescale)"
+    );
+
+    let mut rows = Vec::new();
+    for k in 1..=max_k {
+        let cfg = HostConfig {
+            n_shards: shards,
+            ..HostConfig::default()
+        };
+        let mut host = match MultiTenantHost::new(cfg) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("host build failed: {e}");
+                return;
+            }
+        };
+        let mut admitted = true;
+        for (i, bench) in SpecBenchmark::tenant_mix(k).into_iter().enumerate() {
+            let result = host.add_tenant(&TenantSpec {
+                name: format!("t{i}"),
+                benchmark: bench,
+                policy: RatePolicy::dynamic_paper(4, 4),
+                instructions: slots_per_tenant.saturating_mul(50),
+            });
+            match result {
+                Ok(_) => {}
+                Err(HostError::Saturated {
+                    demanded,
+                    available,
+                }) => {
+                    rows.push((
+                        format!("K={k}"),
+                        vec![format!(
+                            "saturated ({demanded:.2} > {available:.2} shard-equivalents)"
+                        )],
+                    ));
+                    admitted = false;
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("admission failed: {e}");
+                    return;
+                }
+            }
+        }
+        if !admitted {
+            continue;
+        }
+        let report = host.run_until_slots(slots_per_tenant);
+        let fleet_tp: f64 = report.tenants.iter().map(|t| t.throughput_per_mcycle).sum();
+        let mean_dummy: f64 =
+            report.tenants.iter().map(|t| t.dummy_fraction).sum::<f64>() / k as f64;
+        let mean_waste: f64 =
+            report.tenants.iter().map(|t| t.waste_per_real).sum::<f64>() / k as f64;
+        let max_util = report
+            .shard_utilization
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        rows.push((
+            format!("K={k}"),
+            vec![
+                format!("{fleet_tp:.0}"),
+                format!("{:.1}", mean_dummy * 100.0),
+                format!("{mean_waste:.0}"),
+                format!("{:.0}", max_util * 100.0),
+                format!(
+                    "{:.0}/{:.0}",
+                    report.fleet_spent_bits, report.fleet_budget_bits
+                ),
+                if report.all_within_budget() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ],
+        ));
+    }
+
+    print_table(
+        "Multi-tenant scaling (dynamic_R4_E4 per tenant)",
+        &[
+            "fleet acc/Mc",
+            "dummy %",
+            "waste/real",
+            "max util %",
+            "leak bits",
+            "within budget",
+        ],
+        &rows,
+    );
+}

@@ -13,7 +13,9 @@ fn main() {
     println!("== Example 2.1 ==");
     println!(
         "P1 over T time steps: 2^T traces -> T bits (e.g. T=32: {} bits)",
-        (0..32).fold(otc_core::BigNat::one(), |n, _| n.add(&n)).log2()
+        (0..32)
+            .fold(otc_core::BigNat::one(), |n, _| n.add(&n))
+            .log2()
     );
     println!("single periodic rate: 1 trace -> lg 1 = 0 bits");
 
@@ -23,8 +25,8 @@ fn main() {
         "lg Tmax = {} bits (paper: 62 at Tmax = 2^62 cycles = ~150 years @1GHz)",
         m.termination_bits()
     );
-    let discretized = LeakageModel::new(4, EpochSchedule::paper(4))
-        .with_termination_discretization(30);
+    let discretized =
+        LeakageModel::new(4, EpochSchedule::paper(4)).with_termination_discretization(30);
     println!(
         "rounded up to 2^30 cycles: {} bits (paper: 32)",
         discretized.termination_bits()

@@ -12,8 +12,16 @@ fn main() {
     println!("== Table 2: processor energy model, 45 nm (nJ) ==");
     let rows = [
         ("ALU/FPU (per instruction)", c.alu_fpu_per_instr, 0.0148),
-        ("Reg file int (per instruction)", c.regfile_int_per_instr, 0.0032),
-        ("Reg file fp (per instruction)", c.regfile_fp_per_instr, 0.0048),
+        (
+            "Reg file int (per instruction)",
+            c.regfile_int_per_instr,
+            0.0032,
+        ),
+        (
+            "Reg file fp (per instruction)",
+            c.regfile_fp_per_instr,
+            0.0048,
+        ),
         ("Fetch buffer (256 bits)", c.fetch_buffer_read, 0.0003),
         ("L1 I hit/refill (line)", c.l1i_access, 0.162),
         ("L1 D hit (64 bits)", c.l1d_hit, 0.041),

@@ -250,7 +250,10 @@ mod tests {
             fn next_instr(&mut self) -> otc_sim::Instr {
                 self.0 = (self.0 + 1) % 16;
                 if self.0 == 0 {
-                    otc_sim::Instr::Branch { taken: true, target: 0x1000 }
+                    otc_sim::Instr::Branch {
+                        taken: true,
+                        target: 0x1000,
+                    }
                 } else {
                     otc_sim::Instr::IntAlu
                 }

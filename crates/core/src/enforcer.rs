@@ -17,6 +17,11 @@
 //! visible*. The property tests at the bottom of this module check
 //! exactly that.
 //!
+//! The slot timeline itself is factored into [`SlotStream`] — policy,
+//! epoch transitions, learner counters, waste and trace — which both
+//! [`RateLimitedOramBackend`] (one ORAM per stream) and the multi-tenant
+//! scheduler in `otc-host` (many streams over sharded ORAMs) drive.
+//!
 //! Three backends are provided:
 //!
 //! * [`UnprotectedOramBackend`] — `base_oram` (§9.1.6): back-to-back
@@ -102,7 +107,34 @@ impl RatePolicy {
         }
     }
 
-    fn label(&self) -> String {
+    /// The fastest rate this policy can ever put in force (admission
+    /// control sizes worst-case slot demand from this).
+    pub fn fastest_rate(&self) -> Cycle {
+        match self {
+            RatePolicy::Static { rate } => *rate,
+            RatePolicy::Dynamic {
+                rates,
+                initial_rate,
+                ..
+            } => rates.fastest().min(*initial_rate),
+        }
+    }
+
+    /// The slowest rate this policy can ever put in force (bounds how
+    /// long a slot can take, e.g. for run-horizon sizing).
+    pub fn slowest_rate(&self) -> Cycle {
+        match self {
+            RatePolicy::Static { rate } => *rate,
+            RatePolicy::Dynamic {
+                rates,
+                initial_rate,
+                ..
+            } => rates.slowest().max(*initial_rate),
+        }
+    }
+
+    /// Paper-style label for this policy (`static_300`, `dynamic_R4_E4`).
+    pub fn label(&self) -> String {
         match self {
             RatePolicy::Static { rate } => format!("static_{rate}"),
             RatePolicy::Dynamic {
@@ -112,20 +144,32 @@ impl RatePolicy {
     }
 }
 
-struct Pending {
-    arrival: Cycle,
-    kind: AccessKind,
-    line_addr: u64,
+/// What [`SlotStream::serve`] did for one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotOutcome {
+    /// Cycle at which the access began (= the slot time).
+    pub start: Cycle,
+    /// Cycle at which the access completed (`start + OLAT`).
+    pub completion: Cycle,
+    /// Whether a real request was served.
+    pub real: bool,
 }
 
-/// A Path ORAM behind a slot-periodic rate enforcer.
-pub struct RateLimitedOramBackend {
-    oram: RecursivePathOram,
+/// The rate enforcer's observable slot timeline, factored out of
+/// [`RateLimitedOramBackend`] so external schedulers (notably the
+/// multi-tenant host in `otc-host`) can interleave many tenants' slot
+/// streams while each stream's timing stays a pure function of its rate
+/// choices.
+///
+/// A `SlotStream` owns *when* accesses happen — rate policy, epoch
+/// transitions, the learner's counters, waste accounting and the
+/// observable trace — but not *what* they touch: the caller performs the
+/// actual (real or dummy) ORAM access for every served slot.
+pub struct SlotStream {
     olat: Cycle,
     policy: RatePolicy,
     current_rate: Cycle,
     next_slot: Cycle,
-    pending: VecDeque<Pending>,
     // Learner state (dynamic only; counters idle for static).
     counters: PerfCounters,
     epoch_index: u32,
@@ -139,34 +183,25 @@ pub struct RateLimitedOramBackend {
     slots_served: u64,
     real_served: u64,
     dummy_served: u64,
-    requests: u64,
-    capacity: u64,
+    lifetime_waste: u64,
+    lifetime_oram_cycles: u64,
 }
 
-impl std::fmt::Debug for RateLimitedOramBackend {
+impl std::fmt::Debug for SlotStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RateLimitedOramBackend")
+        f.debug_struct("SlotStream")
             .field("label", &self.policy.label())
             .field("current_rate", &self.current_rate)
+            .field("next_slot", &self.next_slot)
             .field("slots_served", &self.slots_served)
             .finish()
     }
 }
 
-impl RateLimitedOramBackend {
-    /// Builds a backend over a fresh ORAM with the given policy.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`OramConfig::validate`] failures.
-    pub fn new(
-        oram_config: OramConfig,
-        ddr: &DdrConfig,
-        policy: RatePolicy,
-    ) -> Result<Self, String> {
-        let timing = OramTiming::derive(&oram_config, ddr);
-        let capacity = oram_config.data_block_capacity();
-        let oram = RecursivePathOram::new(oram_config)?;
+impl SlotStream {
+    /// Creates a stream for an ORAM with access latency `olat` under
+    /// `policy`. The first slot is scheduled `rate` cycles after time 0.
+    pub fn new(olat: Cycle, policy: RatePolicy) -> Self {
         let initial = match &policy {
             RatePolicy::Static { rate } => {
                 assert!(*rate > 0, "rate must be positive");
@@ -177,13 +212,11 @@ impl RateLimitedOramBackend {
                 *initial_rate
             }
         };
-        Ok(Self {
-            oram,
-            olat: timing.latency,
+        Self {
+            olat,
             policy,
             current_rate: initial,
-            next_slot: initial, // first access r cycles after "start"
-            pending: VecDeque::new(),
+            next_slot: initial,
             counters: PerfCounters::new(),
             epoch_index: 0,
             transitions: Vec::new(),
@@ -194,15 +227,19 @@ impl RateLimitedOramBackend {
             slots_served: 0,
             real_served: 0,
             dummy_served: 0,
-            requests: 0,
-            capacity,
-        })
+            lifetime_waste: 0,
+            lifetime_oram_cycles: 0,
+        }
     }
 
-    /// Disables trace recording (saves memory on very long sweeps; slot
-    /// *counts* are still exact).
-    pub fn set_trace_recording(&mut self, on: bool) {
-        self.record_trace = on;
+    /// Time of the next scheduled slot.
+    pub fn next_slot(&self) -> Cycle {
+        self.next_slot
+    }
+
+    /// The rate currently in force.
+    pub fn current_rate(&self) -> Cycle {
+        self.current_rate
     }
 
     /// ORAM access latency (`OLAT`).
@@ -210,9 +247,19 @@ impl RateLimitedOramBackend {
         self.olat
     }
 
-    /// The rate currently in force.
-    pub fn current_rate(&self) -> Cycle {
-        self.current_rate
+    /// The policy's paper-style label.
+    pub fn label(&self) -> String {
+        self.policy.label()
+    }
+
+    /// The rate policy driving this stream.
+    pub fn policy(&self) -> &RatePolicy {
+        &self.policy
+    }
+
+    /// Disables trace recording (slot counts stay exact).
+    pub fn set_trace_recording(&mut self, on: bool) {
+        self.record_trace = on;
     }
 
     /// Observable slot trace (up to an internal cap).
@@ -230,6 +277,16 @@ impl RateLimitedOramBackend {
         self.slots_served
     }
 
+    /// Slots that served a real request.
+    pub fn real_served(&self) -> u64 {
+        self.real_served
+    }
+
+    /// Slots that served an indistinguishable dummy.
+    pub fn dummy_served(&self) -> u64 {
+        self.dummy_served
+    }
+
     /// Fraction of served slots that were dummies.
     pub fn dummy_fraction(&self) -> f64 {
         if self.slots_served == 0 {
@@ -239,50 +296,57 @@ impl RateLimitedOramBackend {
         }
     }
 
-    /// Read access to the wrapped ORAM (for attack/bench instrumentation,
-    /// e.g. root-bucket fingerprint probes).
-    pub fn oram(&self) -> &RecursivePathOram {
-        &self.oram
+    /// Cumulative Fig. 4 waste over the stream's whole lifetime (the
+    /// learner's per-epoch counter resets at each transition; this one
+    /// never resets — it is the host's per-tenant efficiency metric).
+    pub fn lifetime_waste(&self) -> u64 {
+        self.lifetime_waste
     }
 
-    /// Serves exactly one slot at `self.next_slot`.
-    fn serve_slot(&mut self) {
+    /// Cumulative ORAM busy cycles charged to real accesses.
+    pub fn lifetime_oram_cycles(&self) -> u64 {
+        self.lifetime_oram_cycles
+    }
+
+    /// Completion time of the most recently served slot (0 before any).
+    pub fn last_completion(&self) -> Cycle {
+        self.last_completion
+    }
+
+    /// Serves the slot at [`SlotStream::next_slot`]. `pending_arrival` is
+    /// the arrival time of the oldest queued request, if one arrived by
+    /// slot start; `Some` makes this a real access, `None` a dummy. The
+    /// caller must perform the corresponding ORAM access.
+    pub fn serve(&mut self, pending_arrival: Option<Cycle>) -> SlotOutcome {
         let start = self.next_slot;
         let completion = start + self.olat;
 
-        // A pending request is eligible if it arrived by slot start.
-        let real = match self.pending.front() {
-            Some(p) if p.arrival <= start => {
-                let p = self.pending.pop_front().expect("front exists");
+        let real = match pending_arrival {
+            Some(arrival) => {
+                // Hard assert: this is a public trust boundary, and a
+                // late arrival would wrap `start - arrival` into a huge
+                // waste value that silently corrupts the rate learner.
+                assert!(
+                    arrival <= start,
+                    "request arrival {arrival} is after slot start {start}"
+                );
                 // Fig. 4 waste accounting:
                 // Req 3 (queued while ORAM served a previous real access):
                 //   charge one rate-length — a no-protection system would
                 //   have gone back-to-back.
                 // Req 1/2 (waiting for the slot / behind a dummy): charge
                 //   the actual arrival→start wait.
-                let waste = if self.last_was_real && p.arrival <= self.last_completion {
+                let waste = if self.last_was_real && arrival <= self.last_completion {
                     self.current_rate
                 } else {
-                    start - p.arrival
+                    start - arrival
                 };
                 self.counters.record_real_access(self.olat, waste);
-                // Functional access against the real ORAM.
-                let addr = p.line_addr % self.capacity;
-                match p.kind {
-                    AccessKind::Read => {
-                        self.oram.read(addr);
-                    }
-                    AccessKind::Write => {
-                        let zeros = vec![0u8; 64];
-                        self.oram.write(addr, &zeros);
-                    }
-                }
+                self.lifetime_waste += waste;
+                self.lifetime_oram_cycles += self.olat;
                 true
             }
-            _ => {
-                self.oram.dummy_access();
-                false
-            }
+            None => false,
         };
 
         self.slots_served += 1;
@@ -302,6 +366,11 @@ impl RateLimitedOramBackend {
         self.maybe_transition(completion);
 
         self.next_slot = completion + self.current_rate;
+        SlotOutcome {
+            start,
+            completion,
+            real,
+        }
     }
 
     fn maybe_transition(&mut self, completion: Cycle) {
@@ -331,10 +400,135 @@ impl RateLimitedOramBackend {
             self.epoch_index += 1;
         }
     }
+}
 
-    /// Serves every slot that starts strictly before `now`.
-    fn catch_up(&mut self, now: Cycle) {
-        while self.next_slot < now {
+struct Pending {
+    arrival: Cycle,
+    kind: AccessKind,
+    line_addr: u64,
+}
+
+/// A Path ORAM behind a slot-periodic rate enforcer.
+pub struct RateLimitedOramBackend {
+    oram: RecursivePathOram,
+    stream: SlotStream,
+    pending: VecDeque<Pending>,
+    requests: u64,
+    capacity: u64,
+}
+
+impl std::fmt::Debug for RateLimitedOramBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RateLimitedOramBackend")
+            .field("label", &self.stream.label())
+            .field("current_rate", &self.stream.current_rate())
+            .field("slots_served", &self.stream.slots_served())
+            .finish()
+    }
+}
+
+impl RateLimitedOramBackend {
+    /// Builds a backend over a fresh ORAM with the given policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OramConfig::validate`] failures.
+    pub fn new(
+        oram_config: OramConfig,
+        ddr: &DdrConfig,
+        policy: RatePolicy,
+    ) -> Result<Self, String> {
+        let timing = OramTiming::derive(&oram_config, ddr);
+        let capacity = oram_config.data_block_capacity();
+        let oram = RecursivePathOram::new(oram_config)?;
+        Ok(Self {
+            oram,
+            stream: SlotStream::new(timing.latency, policy),
+            pending: VecDeque::new(),
+            requests: 0,
+            capacity,
+        })
+    }
+
+    /// Disables trace recording (saves memory on very long sweeps; slot
+    /// *counts* are still exact).
+    pub fn set_trace_recording(&mut self, on: bool) {
+        self.stream.set_trace_recording(on);
+    }
+
+    /// ORAM access latency (`OLAT`).
+    pub fn olat(&self) -> Cycle {
+        self.stream.olat()
+    }
+
+    /// The rate currently in force.
+    pub fn current_rate(&self) -> Cycle {
+        self.stream.current_rate()
+    }
+
+    /// Observable slot trace (up to an internal cap).
+    pub fn trace(&self) -> &[SlotRecord] {
+        self.stream.trace()
+    }
+
+    /// Epoch transitions taken so far (empty for static policies).
+    pub fn transitions(&self) -> &[EpochTransition] {
+        self.stream.transitions()
+    }
+
+    /// Total slots served (= real + dummy accesses).
+    pub fn slots_served(&self) -> u64 {
+        self.stream.slots_served()
+    }
+
+    /// Fraction of served slots that were dummies.
+    pub fn dummy_fraction(&self) -> f64 {
+        self.stream.dummy_fraction()
+    }
+
+    /// Read access to the underlying slot stream (for schedulers and
+    /// instrumentation: next-slot time, waste, epoch state).
+    pub fn stream(&self) -> &SlotStream {
+        &self.stream
+    }
+
+    /// Read access to the wrapped ORAM (for attack/bench instrumentation,
+    /// e.g. root-bucket fingerprint probes).
+    pub fn oram(&self) -> &RecursivePathOram {
+        &self.oram
+    }
+
+    /// Serves exactly one slot at the stream's `next_slot`.
+    fn serve_slot(&mut self) {
+        // A pending request is eligible if it arrived by slot start.
+        let eligible = matches!(
+            self.pending.front(),
+            Some(p) if p.arrival <= self.stream.next_slot()
+        );
+        if eligible {
+            let p = self.pending.pop_front().expect("front exists");
+            self.stream.serve(Some(p.arrival));
+            // Functional access against the real ORAM.
+            let addr = p.line_addr % self.capacity;
+            match p.kind {
+                AccessKind::Read => {
+                    self.oram.read(addr);
+                }
+                AccessKind::Write => {
+                    let zeros = vec![0u8; 64];
+                    self.oram.write(addr, &zeros);
+                }
+            }
+        } else {
+            self.stream.serve(None);
+            self.oram.dummy_access();
+        }
+    }
+
+    /// Serves every slot that starts strictly before `now` — public so an
+    /// external scheduler can drive the backend without issuing requests.
+    pub fn drain_until(&mut self, now: Cycle) {
+        while self.stream.next_slot() < now {
             self.serve_slot();
         }
     }
@@ -343,7 +537,7 @@ impl RateLimitedOramBackend {
 impl MemoryBackend for RateLimitedOramBackend {
     fn request(&mut self, line_addr: u64, kind: AccessKind, now: Cycle) -> Cycle {
         self.requests += 1;
-        self.catch_up(now);
+        self.drain_until(now);
         self.pending.push_back(Pending {
             arrival: now,
             kind,
@@ -360,7 +554,7 @@ impl MemoryBackend for RateLimitedOramBackend {
             if self.pending.len() < before {
                 served += 1;
                 if served == target {
-                    return self.last_completion;
+                    return self.stream.last_completion();
                 }
             }
         }
@@ -373,19 +567,19 @@ impl MemoryBackend for RateLimitedOramBackend {
     fn finish(&mut self, now: Cycle) {
         // Materialize the trailing dummy slots and epoch bookkeeping up to
         // the end of the run.
-        self.catch_up(now);
+        self.drain_until(now);
     }
 
     fn energy_profile(&self) -> BackendEnergyProfile {
         BackendEnergyProfile {
             dram_ctrl_lines: 0,
-            oram_accesses: self.slots_served,
-            oram_dummy_accesses: self.dummy_served,
+            oram_accesses: self.stream.slots_served(),
+            oram_dummy_accesses: self.stream.dummy_served(),
         }
     }
 
     fn label(&self) -> String {
-        self.policy.label()
+        self.stream.label()
     }
 }
 
@@ -463,7 +657,7 @@ impl MemoryBackend for UnprotectedOramBackend {
                 self.oram.read(addr);
             }
             AccessKind::Write => {
-                self.oram.write(addr, &vec![0u8; 64]);
+                self.oram.write(addr, &[0u8; 64]);
             }
         }
         if self.record_trace && self.trace.len() < TRACE_CAP {
@@ -551,8 +745,8 @@ mod tests {
         // the request takes slot 2 at 1000 + OLAT + 1000.
         let done = b.request(7, AccessKind::Read, 1_001);
         assert_eq!(done, 1_000 + olat + 1_000 + olat);
-        assert_eq!(b.trace()[0].real, false);
-        assert_eq!(b.trace()[1].real, true);
+        assert!(!b.trace()[0].real);
+        assert!(b.trace()[1].real);
     }
 
     #[test]
@@ -625,8 +819,8 @@ mod tests {
 
     #[test]
     fn unprotected_serves_back_to_back() {
-        let mut b = UnprotectedOramBackend::new(OramConfig::small(), &DdrConfig::default())
-            .expect("valid");
+        let mut b =
+            UnprotectedOramBackend::new(OramConfig::small(), &DdrConfig::default()).expect("valid");
         let olat = b.olat();
         let d1 = b.request(1, AccessKind::Read, 10);
         let d2 = b.request(2, AccessKind::Read, 10);
@@ -642,8 +836,8 @@ mod tests {
     fn labels_match_paper_names() {
         assert_eq!(small_static(300).label(), "static_300");
         assert_eq!(small_dynamic(14, 4, 30).label(), "dynamic_R4_E4");
-        let b = UnprotectedOramBackend::new(OramConfig::small(), &DdrConfig::default())
-            .expect("valid");
+        let b =
+            UnprotectedOramBackend::new(OramConfig::small(), &DdrConfig::default()).expect("valid");
         assert_eq!(b.label(), "base_oram");
     }
 

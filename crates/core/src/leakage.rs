@@ -223,8 +223,7 @@ mod tests {
 
     #[test]
     fn termination_discretization_section_6() {
-        let m = LeakageModel::new(4, EpochSchedule::paper(4))
-            .with_termination_discretization(30);
+        let m = LeakageModel::new(4, EpochSchedule::paper(4)).with_termination_discretization(30);
         assert_eq!(m.termination_bits(), 32.0); // lg 2^(62-30)
     }
 

@@ -99,9 +99,7 @@ impl RatePredictor {
             .saturating_sub(counters.oram_cycles);
         match self.divider {
             DividerImpl::Exact => numerator / counters.access_count,
-            DividerImpl::ShiftRegister => {
-                numerator >> Self::shift_amount(counters.access_count)
-            }
+            DividerImpl::ShiftRegister => numerator >> Self::shift_amount(counters.access_count),
         }
     }
 

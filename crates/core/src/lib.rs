@@ -55,7 +55,8 @@ mod session;
 
 pub use bignat::BigNat;
 pub use enforcer::{
-    EpochTransition, RateLimitedOramBackend, RatePolicy, SlotRecord, UnprotectedOramBackend,
+    EpochTransition, RateLimitedOramBackend, RatePolicy, SlotOutcome, SlotRecord, SlotStream,
+    UnprotectedOramBackend,
 };
 pub use epoch::EpochSchedule;
 pub use leakage::{

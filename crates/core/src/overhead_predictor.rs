@@ -84,12 +84,7 @@ impl OverheadPredictor {
     /// Chooses the next epoch's rate: the *slowest* candidate whose
     /// predicted overhead is within `sharpness` (absolute fraction) of
     /// the best candidate's — the knee-finding rule of §7.3.
-    pub fn predict(
-        &self,
-        epoch_cycles: Cycle,
-        counters: &PerfCounters,
-        rates: &RateSet,
-    ) -> Cycle {
+    pub fn predict(&self, epoch_cycles: Cycle, counters: &PerfCounters, rates: &RateSet) -> Cycle {
         let overheads: Vec<(Cycle, f64)> = rates
             .rates()
             .iter()
@@ -213,7 +208,10 @@ mod tests {
             oram_cycles: (epoch / (OLAT + 64)) * OLAT,
             waste: 0,
         };
-        assert_eq!(simple.predict(epoch, &sat, &r), fancy.predict(epoch, &sat, &r));
+        assert_eq!(
+            simple.predict(epoch, &sat, &r),
+            fancy.predict(epoch, &sat, &r)
+        );
     }
 
     proptest! {

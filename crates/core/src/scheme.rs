@@ -3,8 +3,8 @@
 
 use crate::enforcer::{RateLimitedOramBackend, RatePolicy, UnprotectedOramBackend};
 use crate::epoch::EpochSchedule;
-use crate::learner::DividerImpl;
 use crate::leakage::LeakageModel;
+use crate::learner::DividerImpl;
 use crate::rate::RateSet;
 use otc_dram::{Cycle, DdrConfig};
 use otc_oram::OramConfig;
@@ -84,9 +84,7 @@ impl Scheme {
     ) -> Result<Box<dyn MemoryBackend>, String> {
         Ok(match self {
             Scheme::BaseDram => Box::new(DramBackend::new()),
-            Scheme::BaseOram => {
-                Box::new(UnprotectedOramBackend::new(oram_config.clone(), ddr)?)
-            }
+            Scheme::BaseOram => Box::new(UnprotectedOramBackend::new(oram_config.clone(), ddr)?),
             Scheme::Static { rate } => Box::new(RateLimitedOramBackend::new(
                 oram_config.clone(),
                 ddr,
@@ -142,10 +140,7 @@ mod tests {
 
     #[test]
     fn figure6_lineup_is_the_papers() {
-        let labels: Vec<String> = Scheme::figure6_lineup()
-            .iter()
-            .map(|s| s.label())
-            .collect();
+        let labels: Vec<String> = Scheme::figure6_lineup().iter().map(|s| s.label()).collect();
         assert_eq!(
             labels,
             vec![

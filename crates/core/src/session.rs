@@ -18,8 +18,7 @@
 use crate::epoch::EpochSchedule;
 use crate::leakage::LeakageModel;
 use otc_crypto::{
-    Ciphertext, KeyRegister, Mac, ProbCipher, ProcessorKeyPair, SealedKey, SplitMix64,
-    SymmetricKey,
+    Ciphertext, KeyRegister, Mac, ProbCipher, ProcessorKeyPair, SealedKey, SplitMix64, SymmetricKey,
 };
 
 /// Errors surfaced by the protocol simulation.
@@ -158,13 +157,7 @@ impl SecureProcessor {
         F: FnOnce(&[u8]) -> Vec<u8>,
     {
         let key = self.register.key().ok_or(SessionError::NoActiveSession)?;
-        let requested = params.oram_timing_bits().ceil() as u64;
-        if requested > self.leakage_limit_bits {
-            return Err(SessionError::LeakageLimitExceeded {
-                requested_bits: requested,
-                limit_bits: self.leakage_limit_bits,
-            });
-        }
+        self.authorize(params)?;
         let mut cipher = ProbCipher::new(key);
         let plaintext = cipher.decrypt(encrypted_data);
         let result = compute(&plaintext);
@@ -198,6 +191,25 @@ impl SecureProcessor {
             return Err(SessionError::BindingMismatch);
         }
         self.run_program(encrypted_data, params, compute)
+    }
+
+    /// Checks proposed leakage parameters against the processor's limit
+    /// `L` without running anything, returning the bits the parameters
+    /// could leak. This is the admission-control hook a serving layer
+    /// (`otc-host`) calls before scheduling a tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::LeakageLimitExceeded`] if `params` exceed `L`.
+    pub fn authorize(&self, params: &LeakageParams) -> Result<u64, SessionError> {
+        let requested = params.oram_timing_bits().ceil() as u64;
+        if requested > self.leakage_limit_bits {
+            return Err(SessionError::LeakageLimitExceeded {
+                requested_bits: requested,
+                limit_bits: self.leakage_limit_bits,
+            });
+        }
+        Ok(requested)
     }
 
     /// Step 4 / §8: session ends; the key register is reset. The user's
@@ -431,6 +443,8 @@ mod tests {
             limit_bits: 32,
         };
         assert!(e.to_string().contains("64"));
-        assert!(SessionError::NoActiveSession.to_string().contains("no active"));
+        assert!(SessionError::NoActiveSession
+            .to_string()
+            .contains("no active"));
     }
 }

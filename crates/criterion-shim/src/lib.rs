@@ -1,0 +1,189 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness, covering the API subset this workspace's
+//! micro-benchmarks use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Methodology is deliberately simple: each benchmark is warmed up
+//! briefly, then timed over an adaptive iteration count targeting
+//! ~`OTC_CRITERION_MS` (default 200) milliseconds of measurement, and the
+//! mean per-iteration time is printed. No statistics, plots or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched benchmark's input batches are sized. The shim times each
+/// routine invocation individually, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch under real criterion.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Target measurement time per benchmark.
+fn target_time() -> Duration {
+    let ms = std::env::var("OTC_CRITERION_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+/// Times one closure invocation stream.
+pub struct Bencher {
+    /// (total elapsed, iterations) of the measurement phase.
+    measurement: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self { measurement: None }
+    }
+
+    /// Times `routine` over an adaptive number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Pilot: one call to estimate cost.
+        let pilot_start = Instant::now();
+        black_box(routine());
+        let pilot = pilot_start.elapsed().max(Duration::from_nanos(1));
+        let budget = target_time();
+        let iters = (budget.as_nanos() / pilot.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measurement = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let pilot_start = Instant::now();
+        black_box(routine(input));
+        let pilot = pilot_start.elapsed().max(Duration::from_nanos(1));
+        let budget = target_time();
+        let iters = (budget.as_nanos() / pilot.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.measurement = Some((total, iters));
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    match b.measurement {
+        Some((total, iters)) if iters > 0 => {
+            let per = total / iters as u32;
+            println!("{id:<40} time: {:>10}  ({iters} iterations)", human(per));
+        }
+        _ => println!("{id:<40} time: (no measurement)"),
+    }
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with `group/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function invoking each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        std::env::set_var("OTC_CRITERION_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("shim/self_test", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 3u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -42,7 +42,7 @@ impl Mac {
     pub fn new(key: SymmetricKey) -> Self {
         Self {
             cipher: BlockCipher::new(key),
-            k: key.material().rotate_left(7) ^ 0x6D61_632D_6B65_79, // "mac-key"
+            k: key.material().rotate_left(7) ^ 0x006D_6163_2D6B_6579, // "mac-key"
         }
     }
 

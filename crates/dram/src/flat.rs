@@ -7,7 +7,7 @@
 //! misses (Table 1's 8-entry write buffer) queue realistically instead of
 //! enjoying infinite bandwidth.
 
-use crate::{DdrConfig, Cycle};
+use crate::{Cycle, DdrConfig};
 
 /// Flat-latency DRAM with per-channel occupancy.
 ///

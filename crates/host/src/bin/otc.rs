@@ -1,0 +1,321 @@
+//! `otc` — drive the multi-tenant ORAM appliance from the command line.
+//!
+//! ```text
+//! otc run     [opts]   drive a workload mix through the full stack
+//! otc tenants [opts]   K-tenant saturation sweep (throughput/waste per K)
+//! otc leakage [opts]   leakage budget report (no simulation)
+//! ```
+//!
+//! Common options:
+//!
+//! ```text
+//! --tenants N        fleet size (default 4)
+//! --accesses N       slots to serve per tenant (default 20000)
+//! --shards N         ORAM shards (default 4)
+//! --scheme S         dynamic_R4_E4 | static_1300 | ... (default dynamic_R4_E4)
+//! --oram G           small | paper (default paper)
+//! --instructions N   per-tenant instruction budget (default accesses*50)
+//! --limit BITS       processor leakage limit L (default 64)
+//! --bench a,b,..     explicit benchmark list (default: the tenant mix)
+//! --seed N           protocol/ORAM seed (default fixed)
+//! ```
+
+use otc_core::{DividerImpl, EpochSchedule, LeakageModel, RatePolicy, RateSet};
+use otc_host::{render, HostConfig, HostError, MultiTenantHost, TenantSpec};
+use otc_oram::OramConfig;
+use otc_workloads::SpecBenchmark;
+
+fn usage() -> ! {
+    eprint!(
+        "otc — multi-tenant ORAM serving appliance (HPCA'14 reproduction)\n\
+         \n\
+         subcommands:\n\
+         \x20 otc run      drive a workload mix through the full stack\n\
+         \x20 otc tenants  K-tenant saturation sweep with per-tenant throughput/waste\n\
+         \x20 otc leakage  leakage budget report\n\
+         \n\
+         options: --tenants N --accesses N --shards N --scheme S --oram small|paper\n\
+         \x20        --instructions N --limit BITS --bench a,b,.. --seed N\n"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Debug)]
+struct Opts {
+    tenants: usize,
+    accesses: u64,
+    shards: usize,
+    scheme: String,
+    oram: String,
+    instructions: Option<u64>,
+    limit: u64,
+    bench: Option<Vec<String>>,
+    seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            tenants: 4,
+            accesses: 20_000,
+            shards: 4,
+            scheme: "dynamic_R4_E4".into(),
+            oram: "paper".into(),
+            instructions: None,
+            limit: 64,
+            bench: None,
+            seed: 0x07C0_57ED,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--tenants" => o.tenants = val("--tenants").parse().unwrap_or_else(|_| usage()),
+            "--accesses" => o.accesses = val("--accesses").parse().unwrap_or_else(|_| usage()),
+            "--shards" => o.shards = val("--shards").parse().unwrap_or_else(|_| usage()),
+            "--scheme" => o.scheme = val("--scheme"),
+            "--oram" => o.oram = val("--oram"),
+            "--instructions" => {
+                o.instructions = Some(val("--instructions").parse().unwrap_or_else(|_| usage()))
+            }
+            "--limit" => o.limit = val("--limit").parse().unwrap_or_else(|_| usage()),
+            "--bench" => o.bench = Some(val("--bench").split(',').map(|s| s.to_string()).collect()),
+            "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option: {other}");
+                usage()
+            }
+        }
+    }
+    o
+}
+
+/// Parses `dynamic_R4_E4` / `static_1300` into a rate policy.
+fn parse_policy(s: &str) -> Option<RatePolicy> {
+    if let Some(rest) = s.strip_prefix("static_") {
+        let rate: u64 = rest.parse().ok()?;
+        return Some(RatePolicy::Static { rate });
+    }
+    if let Some(rest) = s.strip_prefix("dynamic_R") {
+        let (r, e) = rest.split_once("_E")?;
+        let rate_count: usize = r.parse().ok()?;
+        let growth: u32 = e.parse().ok()?;
+        return Some(RatePolicy::Dynamic {
+            rates: RateSet::paper(rate_count),
+            schedule: EpochSchedule::scaled(growth),
+            divider: DividerImpl::ShiftRegister,
+            initial_rate: 10_000,
+        });
+    }
+    None
+}
+
+fn parse_bench(name: &str) -> Option<SpecBenchmark> {
+    SpecBenchmark::figure6_lineup()
+        .into_iter()
+        .chain([
+            SpecBenchmark::AstarRivers,
+            SpecBenchmark::PerlbenchSplitmail,
+        ])
+        .find(|b| b.full_name() == name || b.short_name() == name)
+}
+
+fn benchmarks(o: &Opts) -> Vec<SpecBenchmark> {
+    match &o.bench {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                parse_bench(n).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark: {n}");
+                    usage()
+                })
+            })
+            .collect(),
+        None => SpecBenchmark::tenant_mix(o.tenants),
+    }
+}
+
+fn host_config(o: &Opts) -> HostConfig {
+    let oram = match o.oram.as_str() {
+        "small" => OramConfig::small(),
+        "paper" => OramConfig::paper(),
+        other => {
+            eprintln!("unknown --oram geometry: {other} (want small|paper)");
+            usage()
+        }
+    };
+    HostConfig {
+        oram,
+        n_shards: o.shards,
+        leakage_limit_bits: o.limit,
+        seed: o.seed,
+        ..HostConfig::default()
+    }
+}
+
+fn build_fleet(o: &Opts, k: usize) -> Result<MultiTenantHost, HostError> {
+    let policy = parse_policy(&o.scheme).unwrap_or_else(|| {
+        eprintln!("bad --scheme (want dynamic_R<n>_E<g> or static_<rate>)");
+        usage()
+    });
+    let instructions = o.instructions.unwrap_or(o.accesses.saturating_mul(50));
+    let benches = benchmarks(o);
+    let mut host = MultiTenantHost::new(host_config(o))?;
+    for i in 0..k {
+        let bench = benches[i % benches.len()];
+        host.add_tenant(&TenantSpec {
+            name: format!("t{i}"),
+            benchmark: bench,
+            policy: policy.clone(),
+            instructions,
+        })?;
+    }
+    Ok(host)
+}
+
+fn require_tenants(o: &Opts) {
+    if o.tenants == 0 {
+        eprintln!("--tenants must be at least 1");
+        std::process::exit(2);
+    }
+}
+
+fn cmd_run(o: &Opts) {
+    require_tenants(o);
+    let mut host = match build_fleet(o, o.tenants) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("otc run: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "otc run: {} tenants, {} shards, scheme {}, {} slots/tenant",
+        o.tenants, o.shards, o.scheme, o.accesses
+    );
+    let report = host.run_until_slots(o.accesses);
+    print!("{}", render(&report));
+}
+
+fn cmd_tenants(o: &Opts) {
+    require_tenants(o);
+    println!(
+        "otc tenants: saturation sweep K=1..={} | {} shards | scheme {} | {} slots/tenant",
+        o.tenants, o.shards, o.scheme, o.accesses
+    );
+    println!(
+        "{:<4}{:>14}{:>14}{:>14}{:>14}{:>16}",
+        "K", "fleet acc/Mc", "mean waste", "max util%", "queue cyc", "fleet leak bits"
+    );
+    let mut last = None;
+    for k in 1..=o.tenants {
+        match build_fleet(o, k) {
+            Ok(mut host) => {
+                let report = host.run_until_slots(o.accesses);
+                let fleet_tp: f64 = report.tenants.iter().map(|t| t.throughput_per_mcycle).sum();
+                let mean_waste: f64 = report.tenants.iter().map(|t| t.waste_per_real).sum::<f64>()
+                    / report.tenants.len() as f64;
+                let max_util = report
+                    .shard_utilization
+                    .iter()
+                    .cloned()
+                    .fold(0.0f64, f64::max);
+                println!(
+                    "{:<4}{:>14.1}{:>14.1}{:>14.1}{:>14}{:>16.1}",
+                    k,
+                    fleet_tp,
+                    mean_waste,
+                    max_util * 100.0,
+                    report.shard_queueing_cycles,
+                    report.fleet_spent_bits
+                );
+                last = Some(report);
+            }
+            Err(HostError::Saturated {
+                demanded,
+                available,
+            }) => {
+                println!(
+                    "{k:<4}  SATURATED: demands {demanded:.2} shard-equivalents, \
+                     {available:.2} available — stop"
+                );
+                break;
+            }
+            Err(e) => {
+                eprintln!("otc tenants: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(report) = last {
+        println!("\nfinal fleet detail:");
+        print!("{}", render(&report));
+    }
+}
+
+fn cmd_leakage(o: &Opts) {
+    let policy = parse_policy(&o.scheme).unwrap_or_else(|| usage());
+    let (rate_count, schedule) = match &policy {
+        RatePolicy::Static { .. } => (1, EpochSchedule::scaled(4)),
+        RatePolicy::Dynamic {
+            rates, schedule, ..
+        } => (rates.len(), *schedule),
+    };
+    let model = LeakageModel::new(rate_count, schedule);
+    println!("otc leakage: scheme {} × {} tenants", o.scheme, o.tenants);
+    println!(
+        "  per-tenant ORAM-timing budget : {:>8.1} bits (|E|={} epochs × lg|R|={:.1})",
+        model.oram_timing_bits(),
+        schedule.total_epochs(),
+        (rate_count as f64).log2()
+    );
+    println!(
+        "  per-tenant termination channel: {:>8.1} bits (lg Tmax)",
+        model.termination_bits()
+    );
+    println!(
+        "  per-tenant total              : {:>8.1} bits",
+        model.total_bits()
+    );
+    println!(
+        "  fleet ORAM-timing budget      : {:>8.1} bits ({} tenants, channels additive)",
+        model.oram_timing_bits() * o.tenants as f64,
+        o.tenants
+    );
+    println!(
+        "  processor limit L             : {:>8} bits per tenant ({})",
+        o.limit,
+        if model.oram_timing_bits().ceil() as u64 <= o.limit {
+            "admissible"
+        } else {
+            "would be REJECTED at admission"
+        }
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
+    let opts = parse_opts(rest);
+    match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "tenants" => cmd_tenants(&opts),
+        "leakage" => cmd_leakage(&opts),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,750 @@
+//! The multi-tenant host: admission control plus the quantum-batched
+//! slot scheduler.
+//!
+//! # Scheduling model
+//!
+//! Each tenant owns a [`SlotStream`] (the enforcer timeline of
+//! `otc-core`, factored out for exactly this purpose): its observable
+//! access times are `s_0 = r`, `s_{k+1} = s_k + OLAT + r`, with `r`
+//! evolving only at public epoch boundaries. The scheduler works in
+//! quantum-sized batches of virtual time: each round it pulls every
+//! tenant's traffic arrivals up to the next frontier (rotating
+//! round-robin), then serves *all* slots due before the frontier in
+//! global slot-time order against the shared [`ShardedOram`]. Real
+//! requests go to the shard owning the (tenant-tagged) address; each
+//! dummy's shard is drawn uniformly from the tenant's own PRNG.
+//!
+//! Two invariants make multi-tenancy leakage-sound:
+//!
+//! 1. **Per-tenant periodicity** — a tenant's slot times are computed
+//!    from its own stream state only; the scheduler never moves, drops,
+//!    or reorders a slot because of another tenant. Cross-tenant
+//!    contention shows up as internal shard queueing
+//!    ([`ShardedOram::queueing_cycles`]), never in the observable grid.
+//! 2. **Admission-controlled capacity** — a tenant is admitted only if
+//!    the fleet's worst-case slot demand (every tenant at its fastest
+//!    candidate rate) fits within the shards' aggregate service
+//!    bandwidth, so invariant 1 is sustainable, not aspirational.
+
+use crate::ledger::LeakageLedger;
+use crate::shard::ShardedOram;
+use crate::tenant::TenantDirectory;
+use crate::traffic::{Request, TenantTraffic};
+use otc_core::{EpochSchedule, LeakageParams, RatePolicy, SessionError, SlotStream};
+use otc_crypto::SplitMix64;
+use otc_dram::{Cycle, DdrConfig};
+use otc_oram::OramConfig;
+use otc_sim::AccessKind;
+use otc_workloads::SpecBenchmark;
+use std::collections::VecDeque;
+
+/// Host-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostError {
+    /// The tenant's leakage parameters exceed the processor's limit, or
+    /// session establishment failed.
+    Session(SessionError),
+    /// Admitting the tenant would oversubscribe the shards: worst-case
+    /// fleet slot demand (in shard-equivalents) against available
+    /// capacity.
+    Saturated {
+        /// Shard-equivalents the fleet would demand with the new tenant.
+        demanded: f64,
+        /// Shard-equivalents available under the utilization cap.
+        available: f64,
+    },
+    /// Tenant admission was attempted after the scheduler already ran.
+    /// A [`crate::SlotStream`]'s grid starts at time 0, so admitting
+    /// mid-run would materialize a backlog of phantom past-due slots;
+    /// online churn (dynamic re-admission) is a roadmap item.
+    LateAdmission {
+        /// The host clock at the attempted admission.
+        clock: Cycle,
+    },
+    /// ORAM construction / configuration failure.
+    Build(String),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::Session(e) => write!(f, "session: {e}"),
+            HostError::Saturated {
+                demanded,
+                available,
+            } => write!(
+                f,
+                "saturated: fleet demands {demanded:.2} shard-equivalents, {available:.2} available"
+            ),
+            HostError::LateAdmission { clock } => write!(
+                f,
+                "tenants must be admitted before the scheduler runs (clock is already {clock})"
+            ),
+            HostError::Build(e) => write!(f, "build: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<SessionError> for HostError {
+    fn from(e: SessionError) -> Self {
+        HostError::Session(e)
+    }
+}
+
+/// Host configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Base ORAM geometry; each shard gets a shard-unique seed from it.
+    pub oram: OramConfig,
+    /// DRAM channel model.
+    pub ddr: DdrConfig,
+    /// Number of ORAM shards.
+    pub n_shards: usize,
+    /// Virtual-time frontier advance per scheduling round (the batch of
+    /// work processed per round), in cycles.
+    pub quantum: Cycle,
+    /// The processor's per-tenant leakage limit `L` (bits).
+    pub leakage_limit_bits: u64,
+    /// Admission cap on worst-case per-shard utilization (0, 1].
+    pub max_shard_utilization: f64,
+    /// Seed for the directory's protocol randomness.
+    pub seed: u64,
+    /// Whether tenant slot traces are recorded (tests/analysis; off for
+    /// long sweeps).
+    pub record_traces: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        Self {
+            oram: OramConfig::paper(),
+            ddr: DdrConfig::default(),
+            n_shards: 4,
+            quantum: 1 << 16,
+            leakage_limit_bits: 64,
+            max_shard_utilization: 0.9,
+            seed: 0x07C0_57ED,
+            record_traces: false,
+        }
+    }
+}
+
+impl HostConfig {
+    /// A small configuration for tests: small ORAM geometry, 2 shards.
+    pub fn small() -> Self {
+        Self {
+            oram: OramConfig::small(),
+            n_shards: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// What a prospective tenant asks for.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name.
+    pub name: String,
+    /// Traffic source.
+    pub benchmark: SpecBenchmark,
+    /// Rate policy (static or the paper's dynamic scheme).
+    pub policy: RatePolicy,
+    /// Instruction budget for the tenant's program.
+    pub instructions: u64,
+}
+
+impl TenantSpec {
+    /// The leakage parameters this policy implies (static schemes leak 0
+    /// bits over the ORAM timing channel; dynamic schemes leak up to
+    /// `|E|·lg|R|`).
+    pub fn leakage_params(&self) -> LeakageParams {
+        match &self.policy {
+            RatePolicy::Static { .. } => LeakageParams {
+                rate_count: 1,
+                schedule: EpochSchedule::scaled(4),
+            },
+            RatePolicy::Dynamic {
+                rates, schedule, ..
+            } => LeakageParams {
+                rate_count: rates.len(),
+                schedule: *schedule,
+            },
+        }
+    }
+
+    /// Worst-case fraction of one shard this tenant can demand: slots at
+    /// its fastest candidate rate, each occupying `OLAT` service cycles.
+    pub fn worst_case_utilization(&self, olat: Cycle) -> f64 {
+        let fastest = self.policy.fastest_rate();
+        olat as f64 / (fastest + olat) as f64
+    }
+}
+
+struct TenantRuntime {
+    id: usize,
+    benchmark: SpecBenchmark,
+    stream: SlotStream,
+    traffic: TenantTraffic,
+    lookahead: Option<Request>,
+    pending: VecDeque<Request>,
+    /// Per-tenant address tag: a SplitMix64 draw XORed onto line
+    /// addresses so each tenant's miss stream spreads across shards
+    /// uniformly and decorrelated from other tenants'. This is *routing*
+    /// diversity only — after the per-shard capacity reduction tenants'
+    /// working sets still alias, which is harmless while the host
+    /// discards payloads (timing is the product here); true per-tenant
+    /// data partitioning is a ROADMAP item.
+    addr_tag: u64,
+    /// Per-tenant PRNG for dummy-shard draws (uniform, so dummies carry
+    /// no pattern distinguishing them from real accesses, and no state is
+    /// shared between tenants).
+    rng: SplitMix64,
+    worst_case_util: f64,
+}
+
+/// One tenant's share of a [`HostReport`].
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub id: usize,
+    /// Display name.
+    pub name: String,
+    /// Traffic source name.
+    pub benchmark: &'static str,
+    /// Rate-policy label.
+    pub policy: String,
+    /// Slots served (real + dummy).
+    pub slots_served: u64,
+    /// Real accesses served.
+    pub real_served: u64,
+    /// Fraction of slots that were dummies.
+    pub dummy_fraction: f64,
+    /// Real accesses per million cycles of host time.
+    pub throughput_per_mcycle: f64,
+    /// Cumulative Fig. 4 waste cycles.
+    pub waste_cycles: u64,
+    /// Waste per real access (cycles).
+    pub waste_per_real: f64,
+    /// Rate in force at the end of the run.
+    pub final_rate: Cycle,
+    /// Epoch transitions taken.
+    pub transitions: u64,
+    /// Authorized ORAM-timing budget (bits).
+    pub budget_bits: f64,
+    /// Bits revealed so far.
+    pub spent_bits: f64,
+    /// Instructions the tenant's program retired.
+    pub instructions_retired: u64,
+}
+
+impl TenantReport {
+    /// Whether the tenant stayed within its leakage budget.
+    pub fn within_budget(&self) -> bool {
+        crate::ledger::within_budget_bits(self.spent_bits, self.budget_bits)
+    }
+}
+
+/// Fleet-level outcome of a scheduling run.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Virtual cycles the host advanced.
+    pub horizon: Cycle,
+    /// Per-tenant rows, in id order.
+    pub tenants: Vec<TenantReport>,
+    /// Total accesses (real + dummy) per shard.
+    pub shard_accesses: Vec<u64>,
+    /// Per-shard busy fraction over the horizon.
+    pub shard_utilization: Vec<f64>,
+    /// Cycles slots spent queued behind busy shards (internal metric).
+    pub shard_queueing_cycles: u64,
+    /// Sum of per-tenant budgets (bits).
+    pub fleet_budget_bits: f64,
+    /// Sum of per-tenant bits revealed (bits).
+    pub fleet_spent_bits: f64,
+}
+
+impl HostReport {
+    /// Whether every tenant stayed within its budget.
+    pub fn all_within_budget(&self) -> bool {
+        self.tenants.iter().all(TenantReport::within_budget)
+    }
+}
+
+/// The multi-tenant ORAM appliance.
+pub struct MultiTenantHost {
+    cfg: HostConfig,
+    sharded: ShardedOram,
+    directory: TenantDirectory,
+    ledger: LeakageLedger,
+    tenants: Vec<TenantRuntime>,
+    clock: Cycle,
+    rotation: usize,
+}
+
+impl std::fmt::Debug for MultiTenantHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiTenantHost")
+            .field("tenants", &self.tenants.len())
+            .field("shards", &self.sharded.n_shards())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+impl MultiTenantHost {
+    /// Builds an empty host.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Build`] on invalid ORAM geometry or zero shards.
+    pub fn new(cfg: HostConfig) -> Result<Self, HostError> {
+        let sharded =
+            ShardedOram::new(&cfg.oram, &cfg.ddr, cfg.n_shards).map_err(HostError::Build)?;
+        let directory = TenantDirectory::new(cfg.leakage_limit_bits, cfg.seed);
+        Ok(Self {
+            cfg,
+            sharded,
+            directory,
+            ledger: LeakageLedger::new(),
+            tenants: Vec::new(),
+            clock: 0,
+            rotation: 0,
+        })
+    }
+
+    /// Worst-case shard-equivalents the current fleet demands.
+    pub fn fleet_demand(&self) -> f64 {
+        self.tenants.iter().map(|t| t.worst_case_util).sum()
+    }
+
+    /// Shard-equivalents available under the admission cap.
+    pub fn capacity(&self) -> f64 {
+        self.sharded.n_shards() as f64 * self.cfg.max_shard_utilization
+    }
+
+    /// Admits a tenant: leakage authorization (directory), capacity check
+    /// (admission control), stream + frontend construction. Returns the
+    /// tenant id.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Session`] when the leakage parameters exceed the
+    /// processor's limit; [`HostError::Saturated`] when the shards cannot
+    /// absorb the tenant's worst-case slot demand.
+    pub fn add_tenant(&mut self, spec: &TenantSpec) -> Result<usize, HostError> {
+        if self.clock > 0 {
+            return Err(HostError::LateAdmission { clock: self.clock });
+        }
+        let util = spec.worst_case_utilization(self.sharded.olat());
+        let demanded = self.fleet_demand() + util;
+        let available = self.capacity();
+        if demanded > available {
+            return Err(HostError::Saturated {
+                demanded,
+                available,
+            });
+        }
+        let params = spec.leakage_params();
+        let id = self.directory.register(&spec.name, params)?;
+        self.ledger
+            .add_tenant(id, params.rate_count, params.schedule);
+        let mut stream = SlotStream::new(self.sharded.olat(), spec.policy.clone());
+        stream.set_trace_recording(self.cfg.record_traces);
+        let mut rng = SplitMix64::new(self.cfg.seed ^ (id as u64 + 1));
+        let addr_tag = rng.next_u64();
+        self.tenants.push(TenantRuntime {
+            id,
+            benchmark: spec.benchmark,
+            stream,
+            traffic: TenantTraffic::new(spec.benchmark, spec.instructions),
+            lookahead: None,
+            pending: VecDeque::new(),
+            addr_tag,
+            rng,
+            worst_case_util: util,
+        });
+        Ok(id)
+    }
+
+    /// Number of admitted tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Virtual time reached so far.
+    pub fn clock(&self) -> Cycle {
+        self.clock
+    }
+
+    /// The tenant directory.
+    pub fn directory(&self) -> &TenantDirectory {
+        &self.directory
+    }
+
+    /// The leakage ledger (budgets + bits revealed so far).
+    pub fn ledger(&self) -> &LeakageLedger {
+        &self.ledger
+    }
+
+    /// A tenant's observable slot trace (empty unless
+    /// [`HostConfig::record_traces`] is set).
+    pub fn tenant_trace(&self, id: usize) -> &[otc_core::SlotRecord] {
+        self.tenants[id].stream.trace()
+    }
+
+    /// A tenant's slot stream (read-only).
+    pub fn tenant_stream(&self, id: usize) -> &SlotStream {
+        &self.tenants[id].stream
+    }
+
+    /// Runs one scheduling round: pulls each tenant's arrivals up to the
+    /// next quantum frontier (round-robin), then serves all due slots in
+    /// **global slot-time order** (a k-way merge over the tenants' grids,
+    /// rotating tie-break). Time-ordered service keeps the shards'
+    /// queueing accounting honest and matches what the appliance hardware
+    /// would do; per-tenant batching caps how many consecutive slots one
+    /// tenant can absorb per round.
+    pub fn step_round(&mut self) {
+        let frontier = self.clock + self.cfg.quantum;
+        let n = self.tenants.len();
+        // Phase 1 (round-robin): pull arrivals up to the frontier.
+        for k in 0..n {
+            let idx = (self.rotation + k) % n;
+            let rt = &mut self.tenants[idx];
+            loop {
+                if rt.lookahead.is_none() {
+                    rt.lookahead = rt.traffic.next_request().map(|mut r| {
+                        r.line_addr ^= rt.addr_tag;
+                        r
+                    });
+                }
+                match rt.lookahead {
+                    Some(r) if r.at <= frontier => {
+                        rt.pending.push_back(r);
+                        rt.lookahead = None;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // Phase 2 (merge): serve every slot due before the frontier, in
+        // global slot-time order — a k-way merge over the tenants' grids.
+        // Time-ordered service keeps the shards' queueing accounting
+        // honest, and serving *all* due slots means no tenant can fall
+        // behind its own grid (admission already bounds total demand).
+        let n_shards = self.sharded.n_shards() as u64;
+        loop {
+            // Earliest due slot; rotation breaks ties so no tenant
+            // systematically goes first.
+            let mut pick: Option<(usize, Cycle)> = None;
+            for k in 0..n {
+                let idx = (self.rotation + k) % n;
+                let s = self.tenants[idx].stream.next_slot();
+                if s < frontier && pick.is_none_or(|(_, best)| s < best) {
+                    pick = Some((idx, s));
+                }
+            }
+            let Some((idx, slot)) = pick else { break };
+            let rt = &mut self.tenants[idx];
+            let eligible = matches!(rt.pending.front(), Some(p) if p.at <= slot);
+            if eligible {
+                let req = rt.pending.pop_front().expect("front exists");
+                let outcome = rt.stream.serve(Some(req.at));
+                match req.kind {
+                    AccessKind::Read => {
+                        self.sharded.read(req.line_addr, outcome.start);
+                    }
+                    AccessKind::Write => {
+                        let zeros = [0u8; 64];
+                        self.sharded.write(req.line_addr, &zeros, outcome.start);
+                    }
+                }
+            } else {
+                let shard = rt.rng.next_below(n_shards) as usize;
+                let outcome = rt.stream.serve(None);
+                self.sharded.dummy_access(shard, outcome.start);
+            }
+        }
+        for rt in &self.tenants {
+            self.ledger
+                .record_transitions(rt.id, rt.stream.transitions().len() as u64);
+        }
+        self.rotation = if n == 0 { 0 } else { (self.rotation + 1) % n };
+        self.clock = frontier;
+    }
+
+    /// Runs rounds until every tenant has served at least `target` slots
+    /// (or a safety horizon is hit). Returns the fleet report.
+    pub fn run_until_slots(&mut self, target: u64) -> HostReport {
+        assert!(!self.tenants.is_empty(), "no tenants admitted");
+        // Safety horizon: each policy's slowest candidate rate bounds the
+        // cycles a slot can take; add generous slack for epoch ramp-in.
+        let slowest_period = self
+            .tenants
+            .iter()
+            .map(|t| t.stream.policy().slowest_rate() + self.sharded.olat())
+            .max()
+            .unwrap_or(1);
+        let safety = target
+            .saturating_mul(slowest_period)
+            .saturating_mul(4)
+            .max(1 << 22);
+        // Relative to the current clock so repeated runs on one host
+        // each get a full budget.
+        let end = self.clock.saturating_add(safety);
+        while self
+            .tenants
+            .iter()
+            .any(|t| t.stream.slots_served() < target)
+            && self.clock < end
+        {
+            self.step_round();
+        }
+        self.report()
+    }
+
+    /// Runs rounds until virtual time reaches `horizon`.
+    pub fn run_for(&mut self, horizon: Cycle) -> HostReport {
+        assert!(!self.tenants.is_empty(), "no tenants admitted");
+        let end = self.clock + horizon;
+        while self.clock < end {
+            self.step_round();
+        }
+        self.report()
+    }
+
+    /// Snapshot of fleet + per-tenant metrics at the current clock.
+    pub fn report(&self) -> HostReport {
+        let horizon = self.clock.max(1);
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let entry = self.ledger.entry(t.id);
+                let real = t.stream.real_served();
+                TenantReport {
+                    id: t.id,
+                    name: self.directory.entry(t.id).name.clone(),
+                    benchmark: t.benchmark.full_name(),
+                    policy: t.stream.label(),
+                    slots_served: t.stream.slots_served(),
+                    real_served: real,
+                    dummy_fraction: t.stream.dummy_fraction(),
+                    throughput_per_mcycle: real as f64 * 1e6 / horizon as f64,
+                    waste_cycles: t.stream.lifetime_waste(),
+                    waste_per_real: if real == 0 {
+                        0.0
+                    } else {
+                        t.stream.lifetime_waste() as f64 / real as f64
+                    },
+                    final_rate: t.stream.current_rate(),
+                    transitions: t.stream.transitions().len() as u64,
+                    budget_bits: entry.budget_bits,
+                    spent_bits: entry.spent_bits,
+                    instructions_retired: t.traffic.retired(),
+                }
+            })
+            .collect();
+        HostReport {
+            horizon: self.clock,
+            tenants,
+            shard_accesses: self.sharded.accesses().to_vec(),
+            shard_utilization: self.sharded.utilization(self.clock),
+            shard_queueing_cycles: self.sharded.queueing_cycles(),
+            fleet_budget_bits: self.ledger.fleet_budget_bits(),
+            fleet_spent_bits: self.ledger.fleet_spent_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otc_core::RateSet;
+
+    fn dynamic_policy() -> RatePolicy {
+        RatePolicy::dynamic_paper(4, 4)
+    }
+
+    fn spec(name: &str, bench: SpecBenchmark, policy: RatePolicy) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            benchmark: bench,
+            policy,
+            instructions: 100_000,
+        }
+    }
+
+    #[test]
+    fn admits_until_saturation() {
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        // small geometry olat; fastest dynamic rate 256.
+        let olat = host.sharded.olat();
+        let per = olat as f64 / (256 + olat) as f64;
+        let cap = host.capacity();
+        let fit = (cap / per).floor() as usize;
+        for i in 0..fit {
+            host.add_tenant(&spec(
+                &format!("t{i}"),
+                SpecBenchmark::Mcf,
+                dynamic_policy(),
+            ))
+            .expect("fits");
+        }
+        let err = host
+            .add_tenant(&spec("overflow", SpecBenchmark::Mcf, dynamic_policy()))
+            .expect_err("must saturate");
+        assert!(matches!(err, HostError::Saturated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn leakage_limit_enforced_at_admission() {
+        let cfg = HostConfig {
+            leakage_limit_bits: 16,
+            ..HostConfig::small()
+        };
+        let mut host = MultiTenantHost::new(cfg).expect("builds");
+        // dynamic_R4_E4 wants 32 bits > 16.
+        let err = host
+            .add_tenant(&spec("greedy", SpecBenchmark::Mcf, dynamic_policy()))
+            .expect_err("over limit");
+        assert!(matches!(
+            err,
+            HostError::Session(SessionError::LeakageLimitExceeded { .. })
+        ));
+        // A static tenant (0 bits) is fine.
+        host.add_tenant(&spec(
+            "modest",
+            SpecBenchmark::Mcf,
+            RatePolicy::Static { rate: 1_000 },
+        ))
+        .expect("static fits");
+    }
+
+    #[test]
+    fn slots_follow_each_tenants_grid() {
+        let cfg = HostConfig {
+            record_traces: true,
+            ..HostConfig::small()
+        };
+        let mut host = MultiTenantHost::new(cfg).expect("builds");
+        let a = host
+            .add_tenant(&spec(
+                "a",
+                SpecBenchmark::Mcf,
+                RatePolicy::Static { rate: 700 },
+            ))
+            .expect("admit");
+        let b = host
+            .add_tenant(&spec(
+                "b",
+                SpecBenchmark::Hmmer,
+                RatePolicy::Static { rate: 1_900 },
+            ))
+            .expect("admit");
+        host.run_until_slots(500);
+        let olat = host.sharded.olat();
+        for (id, rate) in [(a, 700u64), (b, 1_900u64)] {
+            let trace = host.tenant_trace(id);
+            assert!(trace.len() >= 500);
+            for (k, s) in trace.iter().enumerate() {
+                assert_eq!(
+                    s.start,
+                    rate + k as u64 * (rate + olat),
+                    "tenant {id} slot {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn admission_is_rejected_once_the_scheduler_ran() {
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        host.add_tenant(&spec(
+            "early",
+            SpecBenchmark::Mcf,
+            RatePolicy::Static { rate: 2_000 },
+        ))
+        .expect("admit at clock 0");
+        host.run_for(1 << 18);
+        let err = host
+            .add_tenant(&spec(
+                "late",
+                SpecBenchmark::Hmmer,
+                RatePolicy::Static { rate: 2_000 },
+            ))
+            .expect_err("mid-run admission must be rejected");
+        assert!(matches!(err, HostError::LateAdmission { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fast_tenant_never_falls_behind_the_clock() {
+        // Regression: a fast tenant (short slot period) used to outpace a
+        // per-round batch budget and lag unboundedly behind the clock;
+        // the scheduler must serve every due slot each round.
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        host.add_tenant(&spec(
+            "fast",
+            SpecBenchmark::Mcf,
+            RatePolicy::Static { rate: 300 },
+        ))
+        .expect("admit");
+        host.run_for(1 << 21);
+        let stream = host.tenant_stream(0);
+        let period = 300 + host.sharded.olat();
+        let expected = (1 << 21) / period;
+        assert!(
+            stream.slots_served() >= expected,
+            "served {} of ~{} due slots",
+            stream.slots_served(),
+            expected
+        );
+        assert!(
+            stream.next_slot() >= host.clock(),
+            "stream lags clock by {} cycles",
+            host.clock() - stream.next_slot()
+        );
+    }
+
+    #[test]
+    fn report_covers_all_tenants_and_shards() {
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        host.add_tenant(&spec("a", SpecBenchmark::Mcf, dynamic_policy()))
+            .expect("admit");
+        host.add_tenant(&spec(
+            "b",
+            SpecBenchmark::Sjeng,
+            RatePolicy::Static { rate: 2_000 },
+        ))
+        .expect("admit");
+        let report = host.run_until_slots(300);
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.shard_accesses.len(), 2);
+        assert!(report.tenants.iter().all(|t| t.slots_served >= 300));
+        // mcf under a dynamic policy does real work.
+        assert!(report.tenants[0].real_served > 0);
+        // Fleet accounting is the sum of rows.
+        let sum: f64 = report.tenants.iter().map(|t| t.budget_bits).sum();
+        assert!((report.fleet_budget_bits - sum).abs() < 1e-9);
+        assert!(report.all_within_budget());
+        // Every served slot hit some shard.
+        let slots: u64 = report.tenants.iter().map(|t| t.slots_served).sum();
+        let shard_total: u64 = report.shard_accesses.iter().sum();
+        assert_eq!(slots, shard_total);
+    }
+
+    #[test]
+    fn dynamic_fleet_rates_are_candidates() {
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        host.add_tenant(&spec("a", SpecBenchmark::Mcf, dynamic_policy()))
+            .expect("admit");
+        let report = host.run_for(1 << 22);
+        let rates = RateSet::paper(4);
+        let t = &report.tenants[0];
+        if t.transitions > 0 {
+            assert!(rates.rates().contains(&t.final_rate), "{t:?}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Fleet-wide leakage accounting.
+//!
+//! The paper bounds one session's ORAM-timing leakage by `|E| · lg |R|`
+//! bits. An appliance serving many tenants needs the *aggregate* view:
+//! per-tenant budgets (from each tenant's authorized [`LeakageModel`]),
+//! per-tenant bits actually revealed so far (one rate choice per epoch
+//! transition taken), and fleet totals. Because tenants' slot streams are
+//! mutually independent (enforced by the scheduler, tested in
+//! `tests/tenant_isolation.rs`), channels combine additively (§10): the
+//! fleet-wide bound is exactly the sum of per-tenant bounds.
+
+use otc_core::{combine_channels, EpochSchedule, LeakageModel};
+
+/// One tenant's row in the ledger.
+#[derive(Debug, Clone)]
+pub struct LedgerEntry {
+    /// Tenant id (directory index).
+    pub tenant: usize,
+    /// The model this tenant was authorized under.
+    pub model: LeakageModel,
+    /// Worst-case ORAM-timing budget for a full `Tmax` run, in bits.
+    pub budget_bits: f64,
+    /// Bits revealed so far: epoch transitions taken × `lg |R|`.
+    pub spent_bits: f64,
+    /// Epoch transitions observed so far.
+    pub transitions: u64,
+}
+
+/// The single budget predicate used everywhere bits are compared (the
+/// epsilon absorbs float accumulation in `lg |R|` multiples).
+pub fn within_budget_bits(spent_bits: f64, budget_bits: f64) -> bool {
+    spent_bits <= budget_bits + 1e-9
+}
+
+impl LedgerEntry {
+    /// Whether the tenant is within its authorized budget.
+    pub fn within_budget(&self) -> bool {
+        within_budget_bits(self.spent_bits, self.budget_bits)
+    }
+}
+
+/// Aggregate leakage ledger over all tenants of one host.
+#[derive(Debug, Clone, Default)]
+pub struct LeakageLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl LeakageLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a tenant authorized for `rate_count` candidate rates over
+    /// `schedule`; returns its row index (== tenant id when rows are added
+    /// in registration order).
+    pub fn add_tenant(
+        &mut self,
+        tenant: usize,
+        rate_count: usize,
+        schedule: EpochSchedule,
+    ) -> usize {
+        let model = LeakageModel::new(rate_count, schedule);
+        let budget_bits = model.oram_timing_bits();
+        self.entries.push(LedgerEntry {
+            tenant,
+            model,
+            budget_bits,
+            spent_bits: 0.0,
+            transitions: 0,
+        });
+        self.entries.len() - 1
+    }
+
+    /// Records that `tenant` has taken `transitions` epoch transitions in
+    /// total (idempotent: pass the running total, not a delta).
+    pub fn record_transitions(&mut self, tenant: usize, transitions: u64) {
+        let e = &mut self.entries[tenant];
+        e.transitions = transitions;
+        e.spent_bits = transitions as f64 * (e.model.rate_count() as f64).log2();
+    }
+
+    /// Per-tenant rows.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// One row.
+    pub fn entry(&self, tenant: usize) -> &LedgerEntry {
+        &self.entries[tenant]
+    }
+
+    /// Fleet-wide worst-case budget: the sum of per-tenant bounds
+    /// (channels are additive across independent tenants, §10).
+    pub fn fleet_budget_bits(&self) -> f64 {
+        combine_channels(
+            &self
+                .entries
+                .iter()
+                .map(|e| e.budget_bits)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Fleet-wide bits revealed so far.
+    pub fn fleet_spent_bits(&self) -> f64 {
+        combine_channels(
+            &self
+                .entries
+                .iter()
+                .map(|e| e.spent_bits)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Whether every tenant is within its budget.
+    pub fn all_within_budget(&self) -> bool {
+        self.entries.iter().all(LedgerEntry::within_budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_budget_is_sum_of_tenant_bounds() {
+        let mut l = LeakageLedger::new();
+        l.add_tenant(0, 4, EpochSchedule::scaled(4)); // 32 bits
+        l.add_tenant(1, 4, EpochSchedule::scaled(16)); // 16 bits
+        l.add_tenant(2, 1, EpochSchedule::scaled(4)); // static: 0 bits
+        assert_eq!(l.fleet_budget_bits(), 48.0);
+    }
+
+    #[test]
+    fn spending_tracks_transitions() {
+        let mut l = LeakageLedger::new();
+        l.add_tenant(0, 4, EpochSchedule::scaled(4));
+        assert_eq!(l.fleet_spent_bits(), 0.0);
+        l.record_transitions(0, 5);
+        assert_eq!(l.entry(0).spent_bits, 10.0); // 5 × lg 4
+        assert!(l.all_within_budget());
+        // A full run spends exactly the budget, never more.
+        let total = l.entry(0).model.schedule().total_epochs() as u64;
+        l.record_transitions(0, total);
+        assert_eq!(l.entry(0).spent_bits, l.entry(0).budget_bits);
+        assert!(l.all_within_budget());
+    }
+}

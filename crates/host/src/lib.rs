@@ -1,0 +1,76 @@
+//! `otc-host` — the multi-tenant ORAM serving layer.
+//!
+//! The HPCA'14 paper bounds the ORAM timing channel for a *single*
+//! secure-processor session. This crate is the step from protocol to
+//! appliance: one host serving many tenants over shared, sharded Path
+//! ORAM backends while keeping every tenant's timing-channel guarantee —
+//! and the fleet-wide leakage accounting — intact.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  tenants ──► TenantDirectory (UserSession + authorize(L))   otc-core §5/§8
+//!     │
+//!     ├─ TenantTraffic  : workload → LLC-miss arrivals        otc-workloads/otc-sim
+//!     ├─ SlotStream     : per-tenant rate-periodic timeline   otc-core enforcer
+//!     │
+//!  MultiTenantHost ── batched round-robin slot scheduler
+//!     │
+//!  ShardedOram ── N independent RecursivePathOrams            otc-oram
+//!     │
+//!  LeakageLedger ── per-tenant + fleet bit accounting         otc-core §6/§10
+//! ```
+//!
+//! Each tenant's observable timeline is its own [`SlotStream`] grid — a
+//! pure function of its rate choices, never of co-tenants (see
+//! `tests/tenant_isolation.rs`). Admission control caps worst-case fleet
+//! slot demand below shard bandwidth so the grids stay servable, and the
+//! [`LeakageLedger`] tracks bits revealed against each tenant's
+//! authorized [`otc_core::LeakageModel`] budget.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use otc_core::RatePolicy;
+//! use otc_host::{HostConfig, MultiTenantHost, TenantSpec};
+//! use otc_workloads::SpecBenchmark;
+//!
+//! let mut host = MultiTenantHost::new(HostConfig::small())?;
+//! for (name, bench) in [("alice", SpecBenchmark::Mcf), ("bob", SpecBenchmark::Hmmer)] {
+//!     host.add_tenant(&TenantSpec {
+//!         name: name.into(),
+//!         benchmark: bench,
+//!         policy: RatePolicy::dynamic_paper(4, 4),
+//!         instructions: 50_000,
+//!     })?;
+//! }
+//! let report = host.run_until_slots(200);
+//! assert_eq!(report.tenants.len(), 2);
+//! assert!(report.all_within_budget());
+//! # Ok::<(), otc_host::HostError>(())
+//! ```
+//!
+//! The `otc` binary drives this end to end: `otc run` (workload mix
+//! through the full stack), `otc tenants` (saturation sweep), and
+//! `otc leakage` (budget report).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod host;
+mod ledger;
+mod report;
+mod shard;
+mod tenant;
+mod traffic;
+
+pub use host::{HostConfig, HostError, HostReport, MultiTenantHost, TenantReport, TenantSpec};
+pub use ledger::{within_budget_bits, LeakageLedger, LedgerEntry};
+pub use report::{leakage_summary, render, shard_summary, tenant_table};
+pub use shard::ShardedOram;
+pub use tenant::{TenantDirectory, TenantEntry};
+pub use traffic::{Request, TenantTraffic};
+
+// Re-exported so downstream code (CLI, benches) can name the stream type
+// without a direct otc-core dependency.
+pub use otc_core::{SlotRecord, SlotStream};

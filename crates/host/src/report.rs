@@ -1,0 +1,122 @@
+//! Plain-text rendering of [`HostReport`]s for the `otc` CLI and the
+//! `fig_multi_tenant` bench.
+
+use crate::host::HostReport;
+
+fn fmt_f(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders the per-tenant table: throughput, waste, leakage.
+pub fn tenant_table(report: &HostReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10}{:<20}{:<16}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>18}\n",
+        "tenant",
+        "benchmark",
+        "policy",
+        "slots",
+        "real",
+        "dummy%",
+        "acc/Mcyc",
+        "waste/real",
+        "rate",
+        "leak(bits)"
+    ));
+    for t in &report.tenants {
+        out.push_str(&format!(
+            "{:<10}{:<20}{:<16}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>18}\n",
+            t.name,
+            t.benchmark,
+            t.policy,
+            t.slots_served,
+            t.real_served,
+            format!("{:.1}", t.dummy_fraction * 100.0),
+            fmt_f(t.throughput_per_mcycle),
+            fmt_f(t.waste_per_real),
+            t.final_rate,
+            format!(
+                "{}/{} {}",
+                fmt_f(t.spent_bits),
+                fmt_f(t.budget_bits),
+                if t.within_budget() { "ok" } else { "OVER" }
+            ),
+        ));
+    }
+    out
+}
+
+/// Renders the shard utilization line.
+pub fn shard_summary(report: &HostReport) -> String {
+    let utils: Vec<String> = report
+        .shard_utilization
+        .iter()
+        .map(|u| format!("{:.0}%", u * 100.0))
+        .collect();
+    format!(
+        "shards: {} | per-shard accesses {:?} | utilization [{}] | queueing {} cycles",
+        report.shard_accesses.len(),
+        report.shard_accesses,
+        utils.join(" "),
+        report.shard_queueing_cycles
+    )
+}
+
+/// Renders the aggregate leakage line.
+pub fn leakage_summary(report: &HostReport) -> String {
+    format!(
+        "fleet leakage: {:.1} bits revealed of {:.1} budgeted across {} tenants ({})",
+        report.fleet_spent_bits,
+        report.fleet_budget_bits,
+        report.tenants.len(),
+        if report.all_within_budget() {
+            "all tenants within budget"
+        } else {
+            "BUDGET VIOLATION"
+        }
+    )
+}
+
+/// Full report: tenant table + shard + leakage summaries.
+pub fn render(report: &HostReport) -> String {
+    format!(
+        "horizon: {} cycles\n{}\n{}\n{}\n",
+        report.horizon,
+        tenant_table(report),
+        shard_summary(report),
+        leakage_summary(report)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostConfig, MultiTenantHost, TenantSpec};
+    use otc_core::RatePolicy;
+    use otc_workloads::SpecBenchmark;
+
+    #[test]
+    fn render_mentions_every_tenant() {
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        for (i, name) in ["alpha", "beta"].iter().enumerate() {
+            host.add_tenant(&TenantSpec {
+                name: name.to_string(),
+                benchmark: SpecBenchmark::Mcf,
+                policy: RatePolicy::Static {
+                    rate: 1_000 + i as u64 * 500,
+                },
+                instructions: 20_000,
+            })
+            .expect("admit");
+        }
+        let report = host.run_until_slots(50);
+        let text = render(&report);
+        assert!(text.contains("alpha") && text.contains("beta"));
+        assert!(text.contains("fleet leakage"));
+        assert!(text.contains("within budget"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Per-tenant traffic frontends: turning an `otc-workloads` instruction
+//! stream into an LLC-miss arrival process the slot scheduler can pull
+//! incrementally.
+//!
+//! The single-session reproduction drives a full cycle-level
+//! [`otc_sim::Simulator`] over one backend; that simulator's run loop is
+//! blocking, which a multi-tenant scheduler cannot interleave. The
+//! frontend here is the steppable equivalent of the simulator's cache
+//! hierarchy (same Table 1 [`CacheConfig`]s, same [`Cache`] model): it
+//! retires instructions, filters loads/stores through L1/L2, and yields
+//! one [`Request`] per LLC miss or dirty writeback.
+//!
+//! The frontend is deliberately **open-loop**: a miss charges a fixed
+//! assumed stall instead of the actual (rate-dependent) service time, so a
+//! tenant's arrival process is a pure function of its own program — never
+//! of other tenants or of rate decisions. That decoupling is what makes
+//! tenant isolation provable at the scheduler level (and testable: see
+//! `tests/tenant_isolation.rs`).
+
+use otc_dram::Cycle;
+use otc_sim::{AccessKind, Cache, CoreConfig, Instr, InstructionStream, SimConfig};
+use otc_workloads::{SpecBenchmark, SyntheticWorkload};
+
+/// One LLC-level memory request produced by a tenant frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival cycle (tenant-local virtual time).
+    pub at: Cycle,
+    /// Cache-line address (byte address / 64).
+    pub line_addr: u64,
+    /// Demand fill or dirty writeback.
+    pub kind: AccessKind,
+}
+
+/// Steppable instruction-to-miss frontend for one tenant.
+pub struct TenantTraffic {
+    workload: SyntheticWorkload,
+    core: CoreConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    cycle: Cycle,
+    pc: u64,
+    miss_stall: Cycle,
+    budget: u64,
+    retired: u64,
+    // One miss can yield several requests (demand fill, the L2 victim's
+    // writeback, an L1 dirty victim pushed down to a missing L2 line);
+    // extras beyond the first are buffered here.
+    queued: std::collections::VecDeque<Request>,
+}
+
+impl std::fmt::Debug for TenantTraffic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantTraffic")
+            .field("workload", &self.workload.name())
+            .field("retired", &self.retired)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl TenantTraffic {
+    /// Assumed stall per LLC miss, standing in for the rate-dependent
+    /// service time a closed-loop core would observe. Chosen near the
+    /// paper's OLAT so memory-bound tenants present realistic pressure.
+    pub const DEFAULT_MISS_STALL: Cycle = 1_500;
+
+    /// Builds the frontend for `bench`, retiring at most `instructions`.
+    pub fn new(bench: SpecBenchmark, instructions: u64) -> Self {
+        Self::with_miss_stall(bench, instructions, Self::DEFAULT_MISS_STALL)
+    }
+
+    /// As [`TenantTraffic::new`] with an explicit per-miss stall.
+    pub fn with_miss_stall(bench: SpecBenchmark, instructions: u64, miss_stall: Cycle) -> Self {
+        let cfg = SimConfig::default();
+        Self {
+            workload: bench.workload(instructions),
+            core: cfg.core,
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            cycle: 0,
+            pc: 0x1000,
+            miss_stall,
+            budget: instructions,
+            retired: 0,
+            queued: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Pushes an L1D dirty victim down into L2 — the steppable analog of
+    /// the simulator's `handle_l1d_victim`. Normally the inclusive L2
+    /// still holds the line and just turns dirty; on the rare concurrent
+    /// eviction the fill re-installs it (dirty) and only the fill's own
+    /// eviction traffic reaches memory.
+    fn push_l1_victim(&mut self, victim: u64) {
+        let l2 = self.l2.access(victim, true);
+        if !l2.hit {
+            self.process_l2_eviction(l2.evicted, l2.writeback);
+        }
+    }
+
+    /// Inclusive-hierarchy bookkeeping for an L2 fill — the steppable
+    /// analog of the simulator's `process_l2_eviction`: back-invalidate
+    /// L1 copies of the evicted line (a dirty L1 copy writes back to
+    /// memory), and emit the dirty LLC victim's writeback.
+    fn process_l2_eviction(&mut self, evicted: Option<u64>, writeback: Option<u64>) {
+        let at = self.cycle;
+        if let Some(y) = evicted {
+            if let Some(l1_dirty) = self.l1d.invalidate(y) {
+                if l1_dirty && writeback.is_none() {
+                    self.queued.push_back(Request {
+                        at,
+                        line_addr: y,
+                        kind: AccessKind::Write,
+                    });
+                    return;
+                }
+            }
+            self.l1i.invalidate(y);
+        }
+        if let Some(v) = writeback {
+            self.queued.push_back(Request {
+                at,
+                line_addr: v,
+                kind: AccessKind::Write,
+            });
+        }
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Tenant-local cycle the frontend has reached.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Whether the program has exhausted its instruction budget.
+    pub fn exhausted(&self) -> bool {
+        self.retired >= self.budget || self.workload.finished()
+    }
+
+    fn line(addr: u64) -> u64 {
+        addr / 64
+    }
+
+    /// Runs the program forward until the next LLC request (or program
+    /// end). Arrival times are strictly non-decreasing.
+    pub fn next_request(&mut self) -> Option<Request> {
+        if let Some(r) = self.queued.pop_front() {
+            return Some(r);
+        }
+        while !self.exhausted() {
+            let instr = self.workload.next_instr();
+            self.retired += 1;
+            // I-side: sequential fetch touches the I-cache once per line;
+            // model it on branch redirects where locality actually breaks.
+            match instr {
+                Instr::IntAlu => self.cycle += self.core.int_alu,
+                Instr::IntMul => self.cycle += self.core.int_mul,
+                Instr::IntDiv => self.cycle += self.core.int_div,
+                Instr::FpAlu => self.cycle += self.core.fp_alu,
+                Instr::FpMul => self.cycle += self.core.fp_mul,
+                Instr::FpDiv => self.cycle += self.core.fp_div,
+                Instr::Branch { taken, target } => {
+                    self.cycle += self.core.int_alu;
+                    if taken {
+                        self.cycle += self.core.taken_branch_penalty;
+                        self.pc = target;
+                        let outcome = self.l1i.access(Self::line(self.pc), false);
+                        if !outcome.hit {
+                            let l2 = self.l2.access(Self::line(self.pc), false);
+                            if l2.hit {
+                                self.cycle += self.l2.config().hit_latency;
+                            } else {
+                                self.cycle += self.miss_stall;
+                                let at = self.cycle;
+                                self.queued.push_back(Request {
+                                    at,
+                                    line_addr: Self::line(self.pc),
+                                    kind: AccessKind::Read,
+                                });
+                                self.process_l2_eviction(l2.evicted, l2.writeback);
+                                return self.queued.pop_front();
+                            }
+                        }
+                    }
+                }
+                Instr::Load { addr } | Instr::Store { addr } => {
+                    let write = matches!(instr, Instr::Store { .. });
+                    self.cycle += self.l1d.config().hit_latency;
+                    let l1 = self.l1d.access(Self::line(addr), write);
+                    if let Some(victim) = l1.writeback {
+                        self.push_l1_victim(victim);
+                    }
+                    if l1.hit {
+                        if let Some(r) = self.queued.pop_front() {
+                            return Some(r);
+                        }
+                        continue;
+                    }
+                    let l2 = self.l2.access(Self::line(addr), write);
+                    if l2.hit {
+                        self.cycle += self.l2.config().hit_latency;
+                        if let Some(r) = self.queued.pop_front() {
+                            return Some(r);
+                        }
+                        continue;
+                    }
+                    self.cycle += self.miss_stall;
+                    let at = self.cycle;
+                    self.queued.push_back(Request {
+                        at,
+                        line_addr: Self::line(addr),
+                        kind: AccessKind::Read,
+                    });
+                    self.process_l2_eviction(l2.evicted, l2.writeback);
+                    return self.queued.pop_front();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_tenant_generates_misses() {
+        let mut t = TenantTraffic::new(SpecBenchmark::Mcf, 50_000);
+        let mut n = 0u64;
+        let mut last = 0;
+        while let Some(r) = t.next_request() {
+            assert!(r.at >= last, "arrivals must be monotone");
+            last = r.at;
+            n += 1;
+        }
+        assert!(n > 100, "mcf produced only {n} misses");
+        assert!(t.retired() >= 50_000 || t.exhausted());
+    }
+
+    #[test]
+    fn compute_bound_tenant_generates_few_misses() {
+        // Long enough that cold-start fills stop dominating hmmer's count.
+        let mut heavy = TenantTraffic::new(SpecBenchmark::Mcf, 200_000);
+        let mut light = TenantTraffic::new(SpecBenchmark::Hmmer, 200_000);
+        let count = |t: &mut TenantTraffic| {
+            let mut n = 0u64;
+            while t.next_request().is_some() {
+                n += 1;
+            }
+            n
+        };
+        let h = count(&mut heavy);
+        let l = count(&mut light);
+        // The open-loop frontend starts cold (no fast-forward pass), so
+        // the gap is smaller than the warmed closed-loop simulator's, but
+        // the pressure ordering must be unmistakable.
+        assert!(
+            h > 3 * l,
+            "expected mcf ({h}) to out-miss hmmer ({l}) by >3x"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_rebuilds() {
+        let collect = || {
+            let mut t = TenantTraffic::new(SpecBenchmark::Gobmk, 20_000);
+            let mut v = Vec::new();
+            while let Some(r) = t.next_request() {
+                v.push(r);
+            }
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,6 +1,7 @@
 //! Configuration of the full (recursive) Path ORAM.
 
 use crate::geometry::TreeGeometry;
+use otc_crypto::SplitMix64;
 
 /// Bytes per position-map entry as stored in recursive posmap blocks.
 pub const POSMAP_ENTRY_BYTES: usize = 4;
@@ -61,6 +62,26 @@ impl OramConfig {
         }
     }
 
+    /// Replaces the randomness seed. Every ORAM built from the result
+    /// draws leaf remaps, fingerprints and default positions from the new
+    /// seed — required when instantiating *several* ORAMs from one base
+    /// geometry (a sharded backend): shards sharing a seed would produce
+    /// correlated position maps, which an adversary observing two shards
+    /// could cross-reference.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configuration for shard `index` of a sharded deployment built
+    /// from this base geometry: same trees, a shard-unique seed (a
+    /// [`SplitMix64`] draw keyed on base seed and index) so shards are
+    /// pairwise independent.
+    pub fn shard(&self, index: u64) -> Self {
+        let seed = SplitMix64::new(self.seed ^ index.wrapping_add(1).rotate_left(32)).next_u64();
+        self.clone().with_seed(seed)
+    }
+
     /// Position entries per posmap block (8 with 32 B blocks and 4 B
     /// entries — the recursion fan-out).
     pub fn entries_per_posmap_block(&self) -> usize {
@@ -89,23 +110,13 @@ impl OramConfig {
     /// Total buckets across all trees (row activations per access charge
     /// one per bucket on each accessed path).
     pub fn total_path_buckets(&self) -> u64 {
-        self.data.levels() as u64
-            + self
-                .posmaps
-                .iter()
-                .map(|g| g.levels() as u64)
-                .sum::<u64>()
+        self.data.levels() as u64 + self.posmaps.iter().map(|g| g.levels() as u64).sum::<u64>()
     }
 
     /// Bytes moved per ORAM access in one direction (path read *or*
     /// write): the sum over all trees of their path bytes.
     pub fn bytes_per_direction(&self) -> u64 {
-        self.data.path_bytes()
-            + self
-                .posmaps
-                .iter()
-                .map(|g| g.path_bytes())
-                .sum::<u64>()
+        self.data.path_bytes() + self.posmaps.iter().map(|g| g.path_bytes()).sum::<u64>()
     }
 
     /// Bytes moved per ORAM access (read + write back).

@@ -25,7 +25,10 @@ impl TreeGeometry {
     ///
     /// Panics if `levels == 0`, `levels > 40`, or `z == 0`.
     pub fn new(levels: u32, z: usize, block_bytes: usize, header_bytes: usize) -> Self {
-        assert!(levels > 0 && levels <= 40, "unreasonable level count {levels}");
+        assert!(
+            levels > 0 && levels <= 40,
+            "unreasonable level count {levels}"
+        );
         assert!(z > 0, "bucket capacity must be positive");
         Self {
             levels,

@@ -283,7 +283,10 @@ mod tests {
         t.record_bucket(NodeIndex(1_000_000), 1);
         // One path: ≤ levels digests.
         assert!(t.materialized_nodes() <= 28);
-        assert_eq!(t.verify_bucket(NodeIndex(1_000_000), 1), Verification::Valid);
+        assert_eq!(
+            t.verify_bucket(NodeIndex(1_000_000), 1),
+            Verification::Valid
+        );
         assert_eq!(t.verify_bucket(NodeIndex(999_999), 0), Verification::Valid);
     }
 

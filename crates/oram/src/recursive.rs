@@ -184,8 +184,7 @@ impl RecursivePathOram {
                     .try_into()
                     .expect("entry within block");
                 old_below_leaf = Leaf(u64::from(u32::from_le_bytes(bytes)));
-                payload[off..off + 4]
-                    .copy_from_slice(&(new_below_leaf.0 as u32).to_le_bytes());
+                payload[off..off + 4].copy_from_slice(&(new_below_leaf.0 as u32).to_le_bytes());
             });
             leaf_for_below = old_below_leaf;
             // Prepare next iteration: the tree below is accessed with the
@@ -206,33 +205,26 @@ impl RecursivePathOram {
 
         self.stats.real_accesses += 1;
         self.stats.bytes_moved += self.config.bytes_per_access();
-        self.stats.stash_peak = self
-            .stats
-            .stash_peak
-            .max(self.data.stats().stash_peak)
-            .max(
-                self.posmaps
-                    .iter()
-                    .map(|t| t.stats().stash_peak)
-                    .max()
-                    .unwrap_or(0),
-            );
+        self.stats.stash_peak = self.stats.stash_peak.max(self.data.stats().stash_peak).max(
+            self.posmaps
+                .iter()
+                .map(|t| t.stats().stash_peak)
+                .max()
+                .unwrap_or(0),
+        );
         result
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> OramStats {
         let mut s = self.stats;
-        s.stash_peak = s
-            .stash_peak
-            .max(self.data.stats().stash_peak)
-            .max(
-                self.posmaps
-                    .iter()
-                    .map(|t| t.stats().stash_peak)
-                    .max()
-                    .unwrap_or(0),
-            );
+        s.stash_peak = s.stash_peak.max(self.data.stats().stash_peak).max(
+            self.posmaps
+                .iter()
+                .map(|t| t.stats().stash_peak)
+                .max()
+                .unwrap_or(0),
+        );
         s
     }
 
@@ -324,10 +316,7 @@ mod tests {
         let s = o.stats();
         assert_eq!(s.dummy_accesses, 20);
         assert_eq!(s.real_accesses, 2);
-        assert_eq!(
-            s.bytes_moved,
-            22 * o.config().bytes_per_access()
-        );
+        assert_eq!(s.bytes_moved, 22 * o.config().bytes_per_access());
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! overwhelming probability; the property tests in `tree.rs` exercise
 //! this.
 
-use crate::types::{BlockId, Leaf};
 use crate::bucket::StoredBlock;
+use crate::types::{BlockId, Leaf};
 use std::collections::HashMap;
 
 /// On-chip stash: an associative store of blocks awaiting eviction.
@@ -67,11 +67,7 @@ impl Stash {
     ///
     /// `may_place(block_leaf)` is the geometry predicate — the block's own
     /// path must pass through that bucket.
-    pub fn drain_for_bucket<F>(
-        &mut self,
-        limit: usize,
-        mut may_place: F,
-    ) -> Vec<StoredBlock>
+    pub fn drain_for_bucket<F>(&mut self, limit: usize, mut may_place: F) -> Vec<StoredBlock>
     where
         F: FnMut(Leaf) -> bool,
     {

@@ -158,14 +158,8 @@ impl TreeOram {
         // it was already waiting in the stash, or it has never been
         // written and we synthesize it.
         if !self.stash.contains(id) {
-            let payload = self
-                .default_payload
-                .synthesize(id, self.geom.block_bytes());
-            self.stash.insert(StoredBlock {
-                id,
-                leaf,
-                payload,
-            });
+            let payload = self.default_payload.synthesize(id, self.geom.block_bytes());
+            self.stash.insert(StoredBlock { id, leaf, payload });
         }
 
         let block = self.stash.get_mut(id).expect("block staged in stash");
@@ -263,11 +257,9 @@ impl TreeOram {
         for level in (0..self.geom.levels()).rev() {
             let node = self.geom.node_at(leaf, level);
             let geom = self.geom;
-            let placed = self
-                .stash
-                .drain_for_bucket(geom.z(), |block_leaf| {
-                    geom.paths_share_level(leaf, block_leaf, level)
-                });
+            let placed = self.stash.drain_for_bucket(geom.z(), |block_leaf| {
+                geom.paths_share_level(leaf, block_leaf, level)
+            });
             let bucket = self.buckets.entry(node).or_insert_with(Bucket::empty);
             debug_assert!(bucket.blocks.is_empty(), "path was read before write");
             bucket.blocks = placed;
@@ -292,10 +284,7 @@ impl TreeOram {
                 "bucket {node:?} over capacity"
             );
             for block in &bucket.blocks {
-                let on_path = self
-                    .geom
-                    .path_nodes(block.leaf)
-                    .any(|n| n == *node);
+                let on_path = self.geom.path_nodes(block.leaf).any(|n| n == *node);
                 assert!(
                     on_path,
                     "block {} mapped to {} stored off-path at node {:?}",
@@ -375,7 +364,7 @@ mod tests {
     #[test]
     fn dummy_access_preserves_contents() {
         let mut t = test_tree(4);
-        t.write(BlockId(3), Leaf(6), Leaf(6), &vec![9u8; 64]);
+        t.write(BlockId(3), Leaf(6), Leaf(6), &[9u8; 64]);
         for leaf in 0..8 {
             t.dummy_access(Leaf(leaf));
         }
@@ -421,7 +410,7 @@ mod tests {
             (next(), next())
         };
         assert!(l.0 < geom.leaf_count());
-        t.write(BlockId(123_456), l, l2, &vec![1u8; 64]);
+        t.write(BlockId(123_456), l, l2, &[1u8; 64]);
         assert!(t.materialized_buckets() <= 26);
     }
 

@@ -86,8 +86,7 @@ impl PowerModel {
 
     /// Overrides the per-ORAM-access energy for a different geometry.
     pub fn with_oram_access(mut self, chunks: u64, dram_cycles: u64) -> Self {
-        self.oram_access_nj =
-            oram_access_energy_nj(chunks, dram_cycles, &self.coefficients);
+        self.oram_access_nj = oram_access_energy_nj(chunks, dram_cycles, &self.coefficients);
         self
     }
 
@@ -156,7 +155,11 @@ mod tests {
     fn paper_oram_access_energy() {
         // §9.1.4: 2·758·(.416+.134) + 1984·.076 ≈ 984 nJ.
         let m = PowerModel::paper();
-        assert!((m.oram_access_nj() - 984.0).abs() < 2.0, "{}", m.oram_access_nj());
+        assert!(
+            (m.oram_access_nj() - 984.0).abs() < 2.0,
+            "{}",
+            m.oram_access_nj()
+        );
     }
 
     #[test]

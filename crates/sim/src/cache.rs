@@ -73,7 +73,7 @@ impl Cache {
         let sets = self.sets.len() as u64;
         let set = &mut self.sets[set_idx];
 
-        if let Some(way) = set.iter_mut().filter(|w| w.valid && w.tag == tag).next() {
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             way.lru = self.tick;
             way.dirty |= write;
             self.hits += 1;
@@ -86,16 +86,13 @@ impl Cache {
 
         self.misses += 1;
         // Victim: invalid way if any, else LRU.
-        let victim_idx = set
-            .iter()
-            .position(|w| !w.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set")
-            });
+        let victim_idx = set.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        });
         let victim = set[victim_idx];
         let (writeback, evicted) = if victim.valid {
             let victim_addr = victim.tag * sets + set_idx as u64;

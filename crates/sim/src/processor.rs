@@ -235,10 +235,7 @@ impl<'a, B: MemoryBackend + ?Sized> Machine<'a, B> {
                 cycle: self.now,
                 backend_requests: self.backend.request_count(),
             });
-            self.next_window += self
-                .config
-                .window_instructions
-                .expect("windows enabled");
+            self.next_window += self.config.window_instructions.expect("windows enabled");
         }
     }
 
@@ -512,14 +509,13 @@ mod tests {
 
     #[test]
     fn windows_recorded_when_enabled() {
-        let mut cfg = SimConfig::default();
-        cfg.window_instructions = Some(1_000);
+        let cfg = SimConfig {
+            window_instructions: Some(1_000),
+            ..SimConfig::default()
+        };
         let mut backend = DramBackend::new();
-        let s = Simulator::new(cfg).run(
-            &mut Script::new(vec![Instr::IntAlu]),
-            &mut backend,
-            10_000,
-        );
+        let s =
+            Simulator::new(cfg).run(&mut Script::new(vec![Instr::IntAlu]), &mut backend, 10_000);
         assert_eq!(s.windows.len(), 10);
         assert_eq!(s.windows[0].instructions, 1_000);
         assert!(s.windows[9].cycle > s.windows[0].cycle);

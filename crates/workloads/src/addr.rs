@@ -124,7 +124,10 @@ impl AddressPattern {
                 warm_percent,
             } => {
                 assert!(*hot > 0 && *warm > 0 && *cold > 0, "degenerate tiers");
-                assert!(hot_percent + warm_percent <= 100, "tier percentages exceed 100");
+                assert!(
+                    hot_percent + warm_percent <= 100,
+                    "tier percentages exceed 100"
+                );
             }
             AddressPattern::Growing {
                 hot,
@@ -144,7 +147,10 @@ impl AddressPattern {
                 period,
                 burst_len,
             } => {
-                assert!(*period > 0 && *burst_len <= *period, "degenerate burst shape");
+                assert!(
+                    *period > 0 && *burst_len <= *period,
+                    "degenerate burst shape"
+                );
                 assert!(
                     !matches!(**calm, AddressPattern::Bursty { .. })
                         && !matches!(**burst, AddressPattern::Bursty { .. }),

@@ -78,8 +78,7 @@ impl WorkloadSpec {
             .enumerate()
             .map(|(i, p)| {
                 let phase_instrs = (p.fraction / total * self.nominal_instructions as f64) as u64;
-                let expected_mem =
-                    (phase_instrs as f64 * p.mix.memory_fraction()).max(1.0) as u64;
+                let expected_mem = (phase_instrs as f64 * p.mix.memory_fraction()).max(1.0) as u64;
                 AddressSampler::new(
                     p.pattern.clone(),
                     self.seed.wrapping_add(i as u64),
@@ -238,7 +237,10 @@ mod tests {
                 phase0_max = phase0_max.max(addr - DATA_BASE);
             }
         }
-        assert!(phase0_max < 1 << 12, "phase-0 footprint exceeded: {phase0_max}");
+        assert!(
+            phase0_max < 1 << 12,
+            "phase-0 footprint exceeded: {phase0_max}"
+        );
         let mut phase1_max = 0;
         for _ in 0..20_000 {
             if let Instr::Load { addr } | Instr::Store { addr } = w.next_instr() {
@@ -247,7 +249,10 @@ mod tests {
                 phase1_max = phase1_max.max(addr - PHASE_REGION_BYTES - DATA_BASE);
             }
         }
-        assert!(phase1_max > 1 << 20, "phase-1 footprint too small: {phase1_max}");
+        assert!(
+            phase1_max > 1 << 20,
+            "phase-1 footprint too small: {phase1_max}"
+        );
     }
 
     #[test]

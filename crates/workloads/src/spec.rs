@@ -97,6 +97,26 @@ impl SpecBenchmark {
         ]
     }
 
+    /// A `k`-tenant traffic mix for the multi-tenant host (`otc-host`):
+    /// tenants cycle through a pressure-diverse rotation — memory-bound
+    /// (`mcf`, `libquantum`), phase-shifting (`astar.biglakes`,
+    /// `h264ref`), bursty (`gobmk`), and compute-leaning (`hmmer`,
+    /// `sjeng`, `perlbench.splitmail`) — so a saturation sweep exercises
+    /// both heavy and light tenants at every fleet size.
+    pub fn tenant_mix(k: usize) -> Vec<SpecBenchmark> {
+        let rotation = [
+            SpecBenchmark::Mcf,
+            SpecBenchmark::Hmmer,
+            SpecBenchmark::Libquantum,
+            SpecBenchmark::Sjeng,
+            SpecBenchmark::AstarBigLakes,
+            SpecBenchmark::PerlbenchSplitmail,
+            SpecBenchmark::Gobmk,
+            SpecBenchmark::H264ref,
+        ];
+        (0..k).map(|i| rotation[i % rotation.len()]).collect()
+    }
+
     /// Short display name (paper column label).
     pub fn short_name(&self) -> &'static str {
         match self {
@@ -522,8 +542,10 @@ mod tests {
         // blur the phase contrast.
         let nominal = 600_000;
         let mut wl = SpecBenchmark::H264ref.workload(nominal);
-        let mut cfg = SimConfig::default();
-        cfg.window_instructions = Some(50_000);
+        let cfg = SimConfig {
+            window_instructions: Some(50_000),
+            ..SimConfig::default()
+        };
         let sim = Simulator::new(cfg);
         let warm = sim.warm_caches(&mut wl, 100_000);
         let mut backend = DramBackend::new();
@@ -543,8 +565,10 @@ mod tests {
             // draws to fill (coupon collector), i.e. ~400k instructions.
             let nominal = 1_200_000;
             let mut wl = b.workload(nominal);
-            let mut cfg = SimConfig::default();
-            cfg.window_instructions = Some(100_000);
+            let cfg = SimConfig {
+                window_instructions: Some(100_000),
+                ..SimConfig::default()
+            };
             let sim = Simulator::new(cfg);
             let warm = sim.warm_caches(&mut wl, 400_000);
             let mut backend = DramBackend::new();
@@ -615,6 +639,9 @@ mod tests {
                 in_band += 1;
             }
         }
-        assert!(in_band >= 8, "only {in_band}/11 near the IPC band: {report}");
+        assert!(
+            in_band >= 8,
+            "only {in_band}/11 near the IPC band: {report}"
+        );
     }
 }

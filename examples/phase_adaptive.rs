@@ -17,20 +17,18 @@ fn main() {
     // beyond the LLC.
     let mut workload = SpecBenchmark::H264ref.workload(instructions);
 
-    let mut sim_cfg = SimConfig::default();
-    sim_cfg.window_instructions = Some(instructions / 16);
+    let sim_cfg = SimConfig {
+        window_instructions: Some(instructions / 16),
+        ..SimConfig::default()
+    };
     let sim = Simulator::new(sim_cfg);
 
     // Fast-forward to warm the caches (the paper fast-forwards billions of
     // instructions before measuring, §9.1.1).
     let warm = sim.warm_caches(&mut workload, 500_000);
 
-    let mut backend = RateLimitedOramBackend::new(
-        oram_cfg,
-        &ddr,
-        RatePolicy::dynamic_paper(4, 2),
-    )
-    .expect("valid config");
+    let mut backend = RateLimitedOramBackend::new(oram_cfg, &ddr, RatePolicy::dynamic_paper(4, 2))
+        .expect("valid config");
     let stats = sim.run_warm(&mut workload, &mut backend, instructions, warm);
 
     println!("h264ref under dynamic_R4_E2, {instructions} instructions\n");
@@ -42,7 +40,12 @@ fn main() {
         prev = (w.instructions, w.cycle);
         let ipc = di as f64 / dc.max(1) as f64;
         let bar_len = (ipc * 150.0) as usize;
-        println!("  w{:<3} {:>7.3} {}", i + 1, ipc, "#".repeat(bar_len.min(60)));
+        println!(
+            "  w{:<3} {:>7.3} {}",
+            i + 1,
+            ipc,
+            "#".repeat(bar_len.min(60))
+        );
     }
 
     println!("\nepoch transitions (learner decisions):");

@@ -16,7 +16,10 @@ fn main() {
     let power_model =
         PowerModel::paper().with_oram_access(timing.chunks_per_access(), timing.dram_cycles);
 
-    println!("ORAM access: {} cycles, {} bytes over the pins", timing.latency, timing.transfer.bytes);
+    println!(
+        "ORAM access: {} cycles, {} bytes over the pins",
+        timing.latency, timing.transfer.bytes
+    );
     println!("running omnetpp for {instructions} instructions under each scheme:\n");
     println!(
         "{:<16} {:>8} {:>10} {:>10} {:>12}",

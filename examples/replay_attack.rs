@@ -5,8 +5,8 @@
 //! cargo run --release --example replay_attack
 //! ```
 
-use oram_timing::prelude::*;
 use oram_timing::attacks::{demonstrate_broken_determinism, session_fixture};
+use oram_timing::prelude::*;
 
 fn main() {
     // --- The threat: N replays leak N*L bits. ---

@@ -52,7 +52,10 @@ fn main() {
         prologue,
         stats.cycles,
     );
-    println!("base_oram decode: {}", show(&decoded[..decoded.len().min(32)]));
+    println!(
+        "base_oram decode: {}",
+        show(&decoded[..decoded.len().min(32)])
+    );
     println!(
         "                  -> {:.0}% of the secret recovered from access times alone",
         recovery_accuracy(&secret, &decoded) * 100.0
@@ -61,12 +64,9 @@ fn main() {
     // --- Same attack vs the dynamic leakage-bounded controller. ---
     let run_protected = |bits: Vec<bool>| {
         let mut p1 = MaliciousProgram::new(bits);
-        let mut backend = RateLimitedOramBackend::new(
-            oram_cfg.clone(),
-            &ddr,
-            RatePolicy::dynamic_paper(4, 4),
-        )
-        .expect("valid config");
+        let mut backend =
+            RateLimitedOramBackend::new(oram_cfg.clone(), &ddr, RatePolicy::dynamic_paper(4, 4))
+                .expect("valid config");
         let stats = sim.run(&mut p1, &mut backend, u64::MAX);
         let trace: Vec<Cycle> = backend.trace().iter().map(|s| s.start).collect();
         (trace, stats.cycles)

@@ -18,6 +18,7 @@
 //! |-------|----------|
 //! | [`core`](otc_core) | **The contribution**: epoch schedules, candidate rate sets, the Equation-1 rate learner with the Algorithm-1 shift divider, the slot-periodic rate enforcer with dummy accesses, information-theoretic leakage accounting, and the §5/§8 session protocol |
 //! | [`oram`](otc_oram) | Path ORAM: tree + stash + recursive position maps, probabilistic bucket encryption, access timing |
+//! | [`host`](otc_host) | **Beyond the paper**: the multi-tenant serving layer — sharded ORAM backends, batched slot scheduling over per-tenant `SlotStream`s, a tenant directory with session-authorized leakage budgets, and the fleet-wide `LeakageLedger` (drive it with the `otc` CLI) |
 //! | [`sim`](otc_sim) | Cycle-level in-order processor (Table 1): caches, write buffer, pluggable memory backends |
 //! | [`dram`](otc_dram) | DRAM timing: flat-latency baseline + calibrated DDR3-like channel model |
 //! | [`workloads`](otc_workloads) | Synthetic SPEC-int stand-ins with per-input variants |
@@ -56,6 +57,7 @@ pub use otc_attacks as attacks;
 pub use otc_core as core;
 pub use otc_crypto as crypto;
 pub use otc_dram as dram;
+pub use otc_host as host;
 pub use otc_oram as oram;
 pub use otc_power as power;
 pub use otc_sim as sim;
@@ -73,6 +75,7 @@ pub mod prelude {
     };
     pub use otc_crypto::{SplitMix64, SymmetricKey};
     pub use otc_dram::{Cycle, DdrConfig, FlatDram, TransferSpec};
+    pub use otc_host::{HostConfig, LeakageLedger, MultiTenantHost, ShardedOram, TenantSpec};
     pub use otc_oram::{OramConfig, OramTiming, RecursivePathOram};
     pub use otc_power::{PowerModel, PowerReport};
     pub use otc_sim::{

@@ -52,12 +52,12 @@ fn write_buffer_generates_concurrent_oram_traffic() {
     impl InstructionStream for StoreBurst {
         fn next_instr(&mut self) -> Instr {
             self.0 += 1;
-            if self.0 % 16 == 0 {
+            if self.0.is_multiple_of(16) {
                 Instr::Branch {
                     taken: true,
                     target: 0x1000,
                 }
-            } else if self.0 % 4 == 0 {
+            } else if self.0.is_multiple_of(4) {
                 Instr::Store {
                     addr: 0x2000_0000 + self.0 * 64,
                 }
@@ -72,8 +72,7 @@ fn write_buffer_generates_concurrent_oram_traffic() {
         RatePolicy::Static { rate: 600 },
     )
     .expect("valid");
-    let stats =
-        Simulator::new(SimConfig::default()).run(&mut StoreBurst(0), &mut backend, 20_000);
+    let stats = Simulator::new(SimConfig::default()).run(&mut StoreBurst(0), &mut backend, 20_000);
     assert!(stats.stores > 3_000);
     assert!(backend.oram().stats().real_accesses > 100);
     // Slot grid intact despite bursty arrivals.

@@ -45,7 +45,9 @@ fn server_cannot_exceed_the_users_leakage_limit() {
         rate_count: 4,
         schedule: EpochSchedule::scaled(4),
     };
-    assert!(processor.run_program(&encrypted, &params, |d| d.to_vec()).is_err());
+    assert!(processor
+        .run_program(&encrypted, &params, |d| d.to_vec())
+        .is_err());
     // R4/E16 leaks 16 bits — allowed.
     let ok_params = LeakageParams {
         rate_count: 4,

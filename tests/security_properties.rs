@@ -18,7 +18,7 @@ fn observable_trace(
     let mut wl = spec.build();
     let mut backend =
         RateLimitedOramBackend::new(OramConfig::paper(), &ddr, policy).expect("valid");
-    let stats = Simulator::new(SimConfig::default()).run(&mut wl, &mut *(&mut backend), instructions);
+    let stats = Simulator::new(SimConfig::default()).run(&mut wl, &mut backend, instructions);
     (backend.trace().to_vec(), stats.cycles)
 }
 
@@ -64,8 +64,7 @@ fn dynamic_trace_is_reconstructible_from_rate_choices() {
         },
     )
     .expect("valid");
-    let stats =
-        Simulator::new(SimConfig::default()).run(&mut wl, &mut *(&mut backend), 80_000);
+    let stats = Simulator::new(SimConfig::default()).run(&mut wl, &mut backend, 80_000);
     let olat = backend.olat();
 
     let mut rate = 10_000u64;
