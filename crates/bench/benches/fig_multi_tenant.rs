@@ -9,10 +9,17 @@
 //! Expected shape: fleet throughput grows with K while shard utilization
 //! and queueing climb toward the admission ceiling; every tenant's
 //! revealed bits stay ≤ its 32-bit budget regardless of K.
+//!
+//! The second sweep repeats the scaling question with **closed-loop**
+//! tenant frontends: each tenant runs the full stepped core and feels
+//! actual shard service + queueing cycles, so the per-tenant queueing
+//! column (cycles a tenant's accesses waited behind busy shards, fed
+//! back into its clock) grows with K — the heavy-traffic signal the
+//! open-loop sweep's fixed miss stall cannot show.
 
 use otc_bench::{instruction_budget, print_table};
 use otc_core::RatePolicy;
-use otc_host::{HostConfig, HostError, MultiTenantHost, TenantSpec};
+use otc_host::{HostConfig, HostError, LoopMode, MultiTenantHost, TenantSpec};
 use otc_workloads::SpecBenchmark;
 
 fn main() {
@@ -23,7 +30,11 @@ fn main() {
         "Multi-tenant scaling: K=1..={max_k} tenants, {shards} shards, dynamic_R4_E4, \
          {slots_per_tenant} slots/tenant (set OTC_BENCH_INSTRUCTIONS to rescale)"
     );
+    sweep(LoopMode::Open, slots_per_tenant, shards, max_k);
+    sweep(LoopMode::Closed, slots_per_tenant, shards, max_k);
+}
 
+fn sweep(mode: LoopMode, slots_per_tenant: u64, shards: usize, max_k: usize) {
     let mut rows = Vec::new();
     for k in 1..=max_k {
         let cfg = HostConfig {
@@ -39,12 +50,15 @@ fn main() {
         };
         let mut admitted = true;
         for (i, bench) in SpecBenchmark::tenant_mix(k).into_iter().enumerate() {
-            let result = host.add_tenant(&TenantSpec {
-                name: format!("t{i}"),
-                benchmark: bench,
-                policy: RatePolicy::dynamic_paper(4, 4),
-                instructions: slots_per_tenant.saturating_mul(50),
-            });
+            let result = host.add_tenant_with_mode(
+                &TenantSpec {
+                    name: format!("t{i}"),
+                    benchmark: bench,
+                    policy: RatePolicy::dynamic_paper(4, 4),
+                    instructions: slots_per_tenant.saturating_mul(50),
+                },
+                mode,
+            );
             match result {
                 Ok(_) => {}
                 Err(HostError::Saturated {
@@ -80,6 +94,12 @@ fn main() {
             .iter()
             .cloned()
             .fold(0.0f64, f64::max);
+        let mean_queue: f64 = report
+            .tenants
+            .iter()
+            .map(|t| t.queueing_cycles)
+            .sum::<u64>() as f64
+            / k as f64;
         rows.push((
             format!("K={k}"),
             vec![
@@ -87,6 +107,7 @@ fn main() {
                 format!("{:.1}", mean_dummy * 100.0),
                 format!("{mean_waste:.0}"),
                 format!("{:.0}", max_util * 100.0),
+                format!("{mean_queue:.0}"),
                 format!(
                     "{:.0}/{:.0}",
                     report.fleet_spent_bits, report.fleet_budget_bits
@@ -100,13 +121,18 @@ fn main() {
         ));
     }
 
+    let title = match mode {
+        LoopMode::Open => "Multi-tenant scaling, open loop (dynamic_R4_E4 per tenant)",
+        LoopMode::Closed => "Multi-tenant scaling, closed loop (dynamic_R4_E4 per tenant)",
+    };
     print_table(
-        "Multi-tenant scaling (dynamic_R4_E4 per tenant)",
+        title,
         &[
             "fleet acc/Mc",
             "dummy %",
             "waste/real",
             "max util %",
+            "queue cyc/tenant",
             "leak bits",
             "within budget",
         ],

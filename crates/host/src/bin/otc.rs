@@ -18,10 +18,16 @@
 //! --limit BITS       processor leakage limit L (default 64)
 //! --bench a,b,..     explicit benchmark list (default: the tenant mix)
 //! --seed N           protocol/ORAM seed (default fixed)
+//! --closed-loop      closed-loop tenant frontends (full stepped cores;
+//!                    shard service + queueing cycles fed back into each
+//!                    tenant's clock)
+//! --trace N          print the first N observable slot records per
+//!                    tenant (otc run only; used by the CI determinism
+//!                    diff — ignored with a warning elsewhere)
 //! ```
 
 use otc_core::{DividerImpl, EpochSchedule, LeakageModel, RatePolicy, RateSet};
-use otc_host::{render, HostConfig, HostError, MultiTenantHost, TenantSpec};
+use otc_host::{render, HostConfig, HostError, LoopMode, MultiTenantHost, TenantSpec};
 use otc_oram::OramConfig;
 use otc_workloads::SpecBenchmark;
 
@@ -35,7 +41,8 @@ fn usage() -> ! {
          \x20 otc leakage  leakage budget report\n\
          \n\
          options: --tenants N --accesses N --shards N --scheme S --oram small|paper\n\
-         \x20        --instructions N --limit BITS --bench a,b,.. --seed N\n"
+         \x20        --instructions N --limit BITS --bench a,b,.. --seed N\n\
+         \x20        --closed-loop --trace N\n"
     );
     std::process::exit(2);
 }
@@ -51,6 +58,8 @@ struct Opts {
     limit: u64,
     bench: Option<Vec<String>>,
     seed: u64,
+    closed_loop: bool,
+    trace: usize,
 }
 
 impl Default for Opts {
@@ -65,6 +74,8 @@ impl Default for Opts {
             limit: 64,
             bench: None,
             seed: 0x07C0_57ED,
+            closed_loop: false,
+            trace: 0,
         }
     }
 }
@@ -93,6 +104,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--limit" => o.limit = val("--limit").parse().unwrap_or_else(|_| usage()),
             "--bench" => o.bench = Some(val("--bench").split(',').map(|s| s.to_string()).collect()),
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--closed-loop" => o.closed_loop = true,
+            "--trace" => o.trace = val("--trace").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -162,7 +175,16 @@ fn host_config(o: &Opts) -> HostConfig {
         n_shards: o.shards,
         leakage_limit_bits: o.limit,
         seed: o.seed,
+        record_traces: o.trace > 0,
         ..HostConfig::default()
+    }
+}
+
+fn loop_mode(o: &Opts) -> LoopMode {
+    if o.closed_loop {
+        LoopMode::Closed
+    } else {
+        LoopMode::Open
     }
 }
 
@@ -176,12 +198,15 @@ fn build_fleet(o: &Opts, k: usize) -> Result<MultiTenantHost, HostError> {
     let mut host = MultiTenantHost::new(host_config(o))?;
     for i in 0..k {
         let bench = benches[i % benches.len()];
-        host.add_tenant(&TenantSpec {
-            name: format!("t{i}"),
-            benchmark: bench,
-            policy: policy.clone(),
-            instructions,
-        })?;
+        host.add_tenant_with_mode(
+            &TenantSpec {
+                name: format!("t{i}"),
+                benchmark: bench,
+                policy: policy.clone(),
+                instructions,
+            },
+            loop_mode(o),
+        )?;
     }
     Ok(host)
 }
@@ -203,22 +228,51 @@ fn cmd_run(o: &Opts) {
         }
     };
     println!(
-        "otc run: {} tenants, {} shards, scheme {}, {} slots/tenant",
-        o.tenants, o.shards, o.scheme, o.accesses
+        "otc run: {} tenants, {} shards, scheme {}, {} slots/tenant, {} loop",
+        o.tenants,
+        o.shards,
+        o.scheme,
+        o.accesses,
+        if o.closed_loop { "closed" } else { "open" }
     );
     let report = host.run_until_slots(o.accesses);
     print!("{}", render(&report));
+    if o.trace > 0 {
+        println!(
+            "\nobservable slot traces (first {} slots per tenant):",
+            o.trace
+        );
+        for t in &report.tenants {
+            let trace = host.tenant_trace(t.id);
+            let slots: Vec<String> = trace
+                .iter()
+                .take(o.trace)
+                .map(|s| format!("{}{}", s.start, if s.real { "R" } else { "d" }))
+                .collect();
+            println!("{}: {}", t.name, slots.join(" "));
+        }
+    }
 }
 
 fn cmd_tenants(o: &Opts) {
     require_tenants(o);
     println!(
-        "otc tenants: saturation sweep K=1..={} | {} shards | scheme {} | {} slots/tenant",
-        o.tenants, o.shards, o.scheme, o.accesses
+        "otc tenants: saturation sweep K=1..={} | {} shards | scheme {} | {} slots/tenant | {} loop",
+        o.tenants,
+        o.shards,
+        o.scheme,
+        o.accesses,
+        if o.closed_loop { "closed" } else { "open" }
     );
     println!(
-        "{:<4}{:>14}{:>14}{:>14}{:>14}{:>16}",
-        "K", "fleet acc/Mc", "mean waste", "max util%", "queue cyc", "fleet leak bits"
+        "{:<4}{:>14}{:>14}{:>14}{:>14}{:>16}{:>16}",
+        "K",
+        "fleet acc/Mc",
+        "mean waste",
+        "max util%",
+        "queue cyc",
+        "mean fb cyc",
+        "fleet leak bits"
     );
     let mut last = None;
     for k in 1..=o.tenants {
@@ -233,13 +287,22 @@ fn cmd_tenants(o: &Opts) {
                     .iter()
                     .cloned()
                     .fold(0.0f64, f64::max);
+                // Per-tenant queueing feedback: in closed-loop mode these
+                // backend cycles were actually felt by the tenants' cores.
+                let mean_fb: f64 = report
+                    .tenants
+                    .iter()
+                    .map(|t| t.feedback_cycles)
+                    .sum::<u64>() as f64
+                    / report.tenants.len() as f64;
                 println!(
-                    "{:<4}{:>14.1}{:>14.1}{:>14.1}{:>14}{:>16.1}",
+                    "{:<4}{:>14.1}{:>14.1}{:>14.1}{:>14}{:>16.0}{:>16.1}",
                     k,
                     fleet_tp,
                     mean_waste,
                     max_util * 100.0,
                     report.shard_queueing_cycles,
+                    mean_fb,
                     report.fleet_spent_bits
                 );
                 last = Some(report);
@@ -311,7 +374,13 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage()
     };
-    let opts = parse_opts(rest);
+    let mut opts = parse_opts(rest);
+    // Only `otc run` prints traces; recording them elsewhere would just
+    // grow per-tenant SlotRecord vectors nobody reads.
+    if opts.trace > 0 && cmd != "run" {
+        eprintln!("--trace only applies to `otc run`; ignoring");
+        opts.trace = 0;
+    }
     match cmd.as_str() {
         "run" => cmd_run(&opts),
         "tenants" => cmd_tenants(&opts),

@@ -29,7 +29,7 @@
 use crate::ledger::LeakageLedger;
 use crate::shard::ShardedOram;
 use crate::tenant::TenantDirectory;
-use crate::traffic::{Request, TenantTraffic};
+use crate::traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
 use otc_core::{EpochSchedule, LeakageParams, RatePolicy, SessionError, SlotStream};
 use otc_crypto::SplitMix64;
 use otc_dram::{Cycle, DdrConfig};
@@ -202,6 +202,10 @@ struct TenantRuntime {
     /// shared between tenants).
     rng: SplitMix64,
     worst_case_util: f64,
+    /// Shard queueing attributed to this tenant's slot accesses (real +
+    /// dummy). In closed-loop mode these cycles are actually *felt* by
+    /// the tenant's core; in open-loop they are accounting only.
+    queueing_cycles: Cycle,
 }
 
 /// One tenant's share of a [`HostReport`].
@@ -237,6 +241,14 @@ pub struct TenantReport {
     pub spent_bits: f64,
     /// Instructions the tenant's program retired.
     pub instructions_retired: u64,
+    /// Whether this tenant ran a closed-loop frontend.
+    pub closed_loop: bool,
+    /// Cycles this tenant's slot accesses spent queued behind busy
+    /// shards (felt by the tenant only in closed-loop mode).
+    pub queueing_cycles: u64,
+    /// Closed-loop only: total backend cycles fed back into the tenant's
+    /// clock (Σ service completion − request arrival); 0 for open-loop.
+    pub feedback_cycles: u64,
 }
 
 impl TenantReport {
@@ -334,6 +346,20 @@ impl MultiTenantHost {
     /// processor's limit; [`HostError::Saturated`] when the shards cannot
     /// absorb the tenant's worst-case slot demand.
     pub fn add_tenant(&mut self, spec: &TenantSpec) -> Result<usize, HostError> {
+        self.add_tenant_with_mode(spec, LoopMode::Open)
+    }
+
+    /// As [`MultiTenantHost::add_tenant`], choosing the tenant frontend's
+    /// feedback discipline. [`LoopMode::Closed`] runs the full stepped
+    /// core and feeds actual shard service + queueing cycles back into
+    /// the tenant's virtual clock — higher fidelity, but the tenant's
+    /// arrival process (not its slot grid) becomes co-tenant-dependent;
+    /// see the `traffic` module docs for the trade-off.
+    pub fn add_tenant_with_mode(
+        &mut self,
+        spec: &TenantSpec,
+        mode: LoopMode,
+    ) -> Result<usize, HostError> {
         if self.clock > 0 {
             return Err(HostError::LateAdmission { clock: self.clock });
         }
@@ -358,12 +384,13 @@ impl MultiTenantHost {
             id,
             benchmark: spec.benchmark,
             stream,
-            traffic: TenantTraffic::new(spec.benchmark, spec.instructions),
+            traffic: TenantTraffic::with_mode(spec.benchmark, spec.instructions, mode),
             lookahead: None,
             pending: VecDeque::new(),
             addr_tag,
             rng,
             worst_case_util: util,
+            queueing_cycles: 0,
         });
         Ok(id)
     }
@@ -399,6 +426,30 @@ impl MultiTenantHost {
         &self.tenants[id].stream
     }
 
+    /// Pulls `rt`'s arrivals (tagged for shard routing) into its pending
+    /// queue up to `frontier`, stopping at a suspended closed-loop core
+    /// or program end.
+    fn pull_arrivals(rt: &mut TenantRuntime, frontier: Cycle) {
+        loop {
+            if rt.lookahead.is_none() {
+                rt.lookahead = match rt.traffic.poll() {
+                    TrafficPull::Request(mut r) => {
+                        r.line_addr ^= rt.addr_tag;
+                        Some(r)
+                    }
+                    TrafficPull::AwaitingService | TrafficPull::Exhausted => None,
+                };
+            }
+            match rt.lookahead {
+                Some(r) if r.at <= frontier => {
+                    rt.pending.push_back(r);
+                    rt.lookahead = None;
+                }
+                _ => break,
+            }
+        }
+    }
+
     /// Runs one scheduling round: pulls each tenant's arrivals up to the
     /// next quantum frontier (round-robin), then serves all due slots in
     /// **global slot-time order** (a k-way merge over the tenants' grids,
@@ -409,25 +460,13 @@ impl MultiTenantHost {
     pub fn step_round(&mut self) {
         let frontier = self.clock + self.cfg.quantum;
         let n = self.tenants.len();
-        // Phase 1 (round-robin): pull arrivals up to the frontier.
+        // Phase 1 (round-robin): pull arrivals up to the frontier. A
+        // closed-loop tenant stops early when its core suspends on a
+        // demand read — phase 2 re-pulls it as soon as that read's
+        // service completion is fed back.
         for k in 0..n {
             let idx = (self.rotation + k) % n;
-            let rt = &mut self.tenants[idx];
-            loop {
-                if rt.lookahead.is_none() {
-                    rt.lookahead = rt.traffic.next_request().map(|mut r| {
-                        r.line_addr ^= rt.addr_tag;
-                        r
-                    });
-                }
-                match rt.lookahead {
-                    Some(r) if r.at <= frontier => {
-                        rt.pending.push_back(r);
-                        rt.lookahead = None;
-                    }
-                    _ => break,
-                }
-            }
+            Self::pull_arrivals(&mut self.tenants[idx], frontier);
         }
         // Phase 2 (merge): serve every slot due before the frontier, in
         // global slot-time order — a k-way merge over the tenants' grids.
@@ -452,19 +491,28 @@ impl MultiTenantHost {
             if eligible {
                 let req = rt.pending.pop_front().expect("front exists");
                 let outcome = rt.stream.serve(Some(req.at));
-                match req.kind {
-                    AccessKind::Read => {
-                        self.sharded.read(req.line_addr, outcome.start);
-                    }
+                let service = match req.kind {
+                    AccessKind::Read => self.sharded.read(req.line_addr, outcome.start).1,
                     AccessKind::Write => {
                         let zeros = [0u8; 64];
-                        self.sharded.write(req.line_addr, &zeros, outcome.start);
+                        self.sharded.write(req.line_addr, &zeros, outcome.start)
                     }
+                };
+                rt.queueing_cycles += service.queued_cycles;
+                // Closed-loop feedback: the tenant's core is suspended on
+                // its demand read; resume it with the service completion
+                // it actually observed (slot wait + queueing + OLAT),
+                // then pull the arrivals the resumed core can now produce
+                // so this round's later slots can serve them.
+                if rt.traffic.is_closed_loop() && req.kind == AccessKind::Read {
+                    rt.traffic.complete(service.completion);
+                    Self::pull_arrivals(rt, frontier);
                 }
             } else {
                 let shard = rt.rng.next_below(n_shards) as usize;
                 let outcome = rt.stream.serve(None);
-                self.sharded.dummy_access(shard, outcome.start);
+                let service = self.sharded.dummy_access(shard, outcome.start);
+                rt.queueing_cycles += service.queued_cycles;
             }
         }
         for rt in &self.tenants {
@@ -544,6 +592,9 @@ impl MultiTenantHost {
                     budget_bits: entry.budget_bits,
                     spent_bits: entry.spent_bits,
                     instructions_retired: t.traffic.retired(),
+                    closed_loop: t.traffic.is_closed_loop(),
+                    queueing_cycles: t.queueing_cycles,
+                    feedback_cycles: t.traffic.feedback_cycles(),
                 }
             })
             .collect();
@@ -733,6 +784,52 @@ mod tests {
         let slots: u64 = report.tenants.iter().map(|t| t.slots_served).sum();
         let shard_total: u64 = report.shard_accesses.iter().sum();
         assert_eq!(slots, shard_total);
+    }
+
+    #[test]
+    fn closed_loop_fleet_reports_queueing_feedback() {
+        // Three closed-loop tenants on two shards at a brisk static rate:
+        // slots collide on shards, and the collisions must surface as
+        // per-tenant queueing and as backend cycles fed into the cores.
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        for (i, bench) in [
+            SpecBenchmark::Mcf,
+            SpecBenchmark::Libquantum,
+            SpecBenchmark::Mcf,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            host.add_tenant_with_mode(
+                &spec(&format!("t{i}"), bench, RatePolicy::Static { rate: 600 }),
+                LoopMode::Closed,
+            )
+            .expect("admit");
+        }
+        let report = host.run_until_slots(2_000);
+        assert!(report.tenants.iter().all(|t| t.closed_loop));
+        assert!(
+            report.tenants.iter().any(|t| t.queueing_cycles > 0),
+            "no tenant observed shard queueing: {report:?}"
+        );
+        assert!(
+            report.tenants.iter().all(|t| t.feedback_cycles > 0),
+            "every closed-loop tenant must receive service feedback"
+        );
+        assert!(report.tenants.iter().all(|t| t.instructions_retired > 0));
+        // The per-tenant attribution must sum to the fleet-wide metric.
+        let sum: u64 = report.tenants.iter().map(|t| t.queueing_cycles).sum();
+        assert_eq!(sum, report.shard_queueing_cycles);
+    }
+
+    #[test]
+    fn open_loop_reports_no_feedback_cycles() {
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        host.add_tenant(&spec("open", SpecBenchmark::Mcf, dynamic_policy()))
+            .expect("admit");
+        let report = host.run_until_slots(300);
+        assert!(!report.tenants[0].closed_loop);
+        assert_eq!(report.tenants[0].feedback_cycles, 0);
     }
 
     #[test]

@@ -67,9 +67,9 @@ mod traffic;
 pub use host::{HostConfig, HostError, HostReport, MultiTenantHost, TenantReport, TenantSpec};
 pub use ledger::{within_budget_bits, LeakageLedger, LedgerEntry};
 pub use report::{leakage_summary, render, shard_summary, tenant_table};
-pub use shard::ShardedOram;
+pub use shard::{ShardService, ShardedOram};
 pub use tenant::{TenantDirectory, TenantEntry};
-pub use traffic::{Request, TenantTraffic};
+pub use traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
 
 // Re-exported so downstream code (CLI, benches) can name the stream type
 // without a direct otc-core dependency.

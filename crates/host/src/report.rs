@@ -11,34 +11,40 @@ fn fmt_f(v: f64) -> String {
     }
 }
 
-/// Renders the per-tenant table: throughput, waste, leakage.
+/// Renders the per-tenant table: throughput, waste, queueing, leakage.
 pub fn tenant_table(report: &HostReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10}{:<20}{:<16}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>18}\n",
+        "{:<10}{:<20}{:<16}{:>6}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
         "tenant",
         "benchmark",
         "policy",
+        "loop",
         "slots",
         "real",
         "dummy%",
         "acc/Mcyc",
         "waste/real",
         "rate",
+        "queue cyc",
+        "fb cyc",
         "leak(bits)"
     ));
     for t in &report.tenants {
         out.push_str(&format!(
-            "{:<10}{:<20}{:<16}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>18}\n",
+            "{:<10}{:<20}{:<16}{:>6}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
             t.name,
             t.benchmark,
             t.policy,
+            if t.closed_loop { "closed" } else { "open" },
             t.slots_served,
             t.real_served,
             format!("{:.1}", t.dummy_fraction * 100.0),
             fmt_f(t.throughput_per_mcycle),
             fmt_f(t.waste_per_real),
             t.final_rate,
+            t.queueing_cycles,
+            t.feedback_cycles,
             format!(
                 "{}/{} {}",
                 fmt_f(t.spent_bits),

@@ -26,6 +26,24 @@
 use otc_dram::{Cycle, DdrConfig};
 use otc_oram::{OramConfig, OramTiming, RecursivePathOram};
 
+/// How one shard access was actually served: where it ran, when it
+/// started after any queueing behind the shard, and when it completed.
+///
+/// This is the *internal* service truth the closed-loop tenant frontends
+/// feed back into their cores; the observable timeline remains each
+/// tenant's slot grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardService {
+    /// Shard that served the access.
+    pub shard: usize,
+    /// Cycle service actually began (`requested` plus any queueing).
+    pub start: Cycle,
+    /// Cycle service completed (`start + OLAT`).
+    pub completion: Cycle,
+    /// Cycles the access waited behind a busy shard.
+    pub queued_cycles: Cycle,
+}
+
 /// `N` independent Path ORAM shards behind one flat block address space.
 pub struct ShardedOram {
     shards: Vec<RecursivePathOram>,
@@ -100,37 +118,46 @@ impl ShardedOram {
         (addr / self.shards.len() as u64) % self.per_shard_capacity
     }
 
-    fn charge(&mut self, shard: usize, at: Cycle) {
+    fn charge(&mut self, shard: usize, at: Cycle) -> ShardService {
         let start = at.max(self.busy_until[shard]);
-        self.queueing_cycles += start - at;
+        let queued_cycles = start - at;
+        self.queueing_cycles += queued_cycles;
         self.busy_until[shard] = start + self.olat;
         self.accesses[shard] += 1;
+        ShardService {
+            shard,
+            start,
+            completion: start + self.olat,
+            queued_cycles,
+        }
     }
 
     /// Reads the block at global address `addr` at slot time `at`.
-    pub fn read(&mut self, addr: u64, at: Cycle) -> Vec<u8> {
+    pub fn read(&mut self, addr: u64, at: Cycle) -> (Vec<u8>, ShardService) {
         let s = self.shard_of(addr);
         let local = self.local_addr(addr);
-        self.charge(s, at);
-        self.shards[s].read(local)
+        let service = self.charge(s, at);
+        (self.shards[s].read(local), service)
     }
 
     /// Writes the block at global address `addr` at slot time `at`.
-    pub fn write(&mut self, addr: u64, data: &[u8], at: Cycle) {
+    pub fn write(&mut self, addr: u64, data: &[u8], at: Cycle) -> ShardService {
         let s = self.shard_of(addr);
         let local = self.local_addr(addr);
-        self.charge(s, at);
+        let service = self.charge(s, at);
         self.shards[s].write(local, data);
+        service
     }
 
     /// Performs an indistinguishable dummy access on `shard` at slot
     /// time `at`. The caller picks the shard — uniformly from a
     /// per-tenant PRNG in the host — so dummies carry no global pattern a
     /// shard-granular observer could use to tell them from real accesses.
-    pub fn dummy_access(&mut self, shard: usize, at: Cycle) {
-        self.charge(shard, at);
+    pub fn dummy_access(&mut self, shard: usize, at: Cycle) -> ShardService {
+        let service = self.charge(shard, at);
         self.dummies[shard] += 1;
         self.shards[shard].dummy_access();
+        service
     }
 
     /// Total accesses (real + dummy) per shard.
@@ -207,7 +234,7 @@ mod tests {
             s.write(addr, &payload, 0);
         }
         for addr in [0u64, 1, 2, 3, 100, 101] {
-            assert_eq!(s.read(addr, 0), payload, "addr {addr}");
+            assert_eq!(s.read(addr, 0).0, payload, "addr {addr}");
         }
     }
 
@@ -253,8 +280,14 @@ mod tests {
         let olat = s.olat();
         // Two accesses to the same shard at the same instant: the second
         // queues for olat cycles.
-        s.read(0, 1_000);
-        s.read(2, 1_000); // addr 2 % 2 == shard 0 again
+        let (_, first) = s.read(0, 1_000);
+        assert_eq!(first.queued_cycles, 0);
+        assert_eq!(first.start, 1_000);
+        assert_eq!(first.completion, 1_000 + olat);
+        let (_, second) = s.read(2, 1_000); // addr 2 % 2 == shard 0 again
+        assert_eq!(second.queued_cycles, olat);
+        assert_eq!(second.start, 1_000 + olat);
+        assert_eq!(second.completion, 1_000 + 2 * olat);
         assert_eq!(s.queueing_cycles(), olat);
         // Spaced accesses don't queue.
         s.read(1, 1_000);

@@ -10,9 +10,16 @@
 //! 3. The ledger's fleet-wide bits equal the **sum** of per-tenant
 //!    [`LeakageModel`] bounds (channels additive across independent
 //!    tenants, §10).
+//!
+//! Closed-loop mode deliberately trades property 2 for queueing fidelity:
+//! a closed-loop tenant's arrival process (and under a dynamic policy its
+//! observable rate choices) *does* respond to co-tenant pressure. The
+//! tests at the bottom document both directions of that trade — open-loop
+//! traces stay bit-identical across co-tenant load, closed-loop traces
+//! shift — and check the ledger arithmetic holds in both modes.
 
 use otc_core::{EpochSchedule, LeakageModel, RatePolicy};
-use otc_host::{HostConfig, MultiTenantHost, SlotRecord, TenantSpec};
+use otc_host::{HostConfig, LoopMode, MultiTenantHost, SlotRecord, TenantSpec};
 use otc_workloads::SpecBenchmark;
 
 fn traced_config() -> HostConfig {
@@ -159,6 +166,97 @@ fn ledger_fleet_bits_are_sum_of_tenant_bounds() {
     assert_eq!(report.fleet_budget_bits, sum);
     // Bits spent never exceed budgets on any tenant.
     assert!(report.all_within_budget());
+}
+
+/// Runs a closed-loop subject (dynamic policy, so observed service times
+/// reach the rate learner) alone or against heavy co-tenants, returning
+/// its full observable trace.
+fn closed_loop_subject_trace(with_co_tenants: bool) -> Vec<(u64, bool)> {
+    let mut host = MultiTenantHost::new(traced_config()).expect("builds");
+    let subject = host
+        .add_tenant_with_mode(
+            &spec(
+                "subject",
+                SpecBenchmark::Gobmk,
+                RatePolicy::dynamic_paper(4, 2),
+                300_000,
+            ),
+            LoopMode::Closed,
+        )
+        .expect("admit subject");
+    if with_co_tenants {
+        for (i, bench) in [SpecBenchmark::Mcf, SpecBenchmark::Libquantum]
+            .into_iter()
+            .enumerate()
+        {
+            host.add_tenant_with_mode(
+                &spec(
+                    &format!("noisy{i}"),
+                    bench,
+                    RatePolicy::Static { rate: 400 },
+                    300_000,
+                ),
+                LoopMode::Closed,
+            )
+            .expect("admit co-tenant");
+        }
+    }
+    host.run_until_slots(1_500);
+    host.tenant_trace(subject)
+        .iter()
+        .take(1_500)
+        .map(|s| (s.start, s.real))
+        .collect()
+}
+
+#[test]
+fn closed_loop_traces_shift_under_co_tenant_pressure() {
+    // The documented trade: closed-loop feedback makes the subject's
+    // arrival process — and through the rate learner, its observable
+    // timeline — respond to co-tenant load. (Open-loop, above, is exactly
+    // the opposite; both are regression-locked.)
+    let alone = closed_loop_subject_trace(false);
+    let crowded = closed_loop_subject_trace(true);
+    assert_ne!(
+        alone, crowded,
+        "closed-loop trace did not respond to heavy co-tenant pressure"
+    );
+    // Determinism guard: the shift comes from co-tenants, not noise.
+    assert_eq!(alone, closed_loop_subject_trace(false));
+}
+
+#[test]
+fn ledger_sums_correctly_in_both_loop_modes() {
+    for mode in [LoopMode::Open, LoopMode::Closed] {
+        let cfg = HostConfig {
+            n_shards: 4,
+            ..HostConfig::small()
+        };
+        let mut host = MultiTenantHost::new(cfg).expect("builds");
+        for (name, policy) in [
+            ("a", RatePolicy::dynamic_paper(4, 4)),
+            ("b", RatePolicy::dynamic_paper(2, 4)),
+            ("c", RatePolicy::Static { rate: 2_000 }),
+        ] {
+            host.add_tenant_with_mode(&spec(name, SpecBenchmark::Mcf, policy, 80_000), mode)
+                .expect("admit");
+        }
+        let report = host.run_until_slots(400);
+        let budget_sum: f64 = report.tenants.iter().map(|t| t.budget_bits).sum();
+        let spent_sum: f64 = report.tenants.iter().map(|t| t.spent_bits).sum();
+        assert_eq!(
+            report.fleet_budget_bits, budget_sum,
+            "{mode:?}: fleet budget must be the sum of tenant budgets"
+        );
+        assert_eq!(
+            report.fleet_spent_bits, spent_sum,
+            "{mode:?}: fleet spend must be the sum of tenant spends"
+        );
+        assert!(report.all_within_budget(), "{mode:?}: budget violated");
+        // And the ledger agrees with the report rows.
+        assert_eq!(host.ledger().fleet_budget_bits(), report.fleet_budget_bits);
+        assert_eq!(host.ledger().fleet_spent_bits(), report.fleet_spent_bits);
+    }
 }
 
 #[test]

@@ -9,7 +9,10 @@
 //!   [`prop_assume!`],
 //! * [`any`] for the primitive types and byte arrays the tests sample,
 //! * integer range strategies (`0u64..32`, `1u64..`, `2usize..20`, …),
-//! * [`collection::vec`].
+//! * [`collection::vec`],
+//! * [`Strategy::prop_map`], tuple strategies (2- and 3-tuples), and
+//!   [`sample::select`] (added for the stepped-simulator property tests,
+//!   which build random instruction scripts from primitive draws).
 //!
 //! Semantics differ from real proptest in one deliberate way: there is no
 //! shrinking. A failing case panics with the generated inputs' case index
@@ -88,6 +91,80 @@ pub trait Strategy {
     type Value;
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (`proptest`'s `prop_map`; no
+    /// shrinking, like the rest of this shim).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Strategies drawing from explicit value sets.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy produced by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `proptest::sample::select` — one of `options`, uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from an empty set");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
 }
 
 /// Types with a canonical "any value" strategy.
@@ -274,11 +351,11 @@ pub mod collection {
 
 /// One-stop imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::collection;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
         ProptestConfig, Strategy,
     };
+    pub use crate::{collection, sample};
 }
 
 /// Defines property tests. Each `fn name(arg in strategy, ..) { body }`
@@ -441,6 +518,22 @@ mod tests {
         fn assume_skips(n in 0u64..10) {
             prop_assume!(n != 3);
             prop_assert_ne!(n, 3);
+        }
+
+        #[test]
+        fn prop_map_transforms(x in (0u64..8).prop_map(|v| v * 10)) {
+            prop_assert!(x % 10 == 0 && x < 80);
+        }
+
+        #[test]
+        fn tuples_generate_componentwise((a, b) in (0u64..4, 10u64..14)) {
+            prop_assert!(a < 4);
+            prop_assert!((10..14).contains(&b));
+        }
+
+        #[test]
+        fn select_draws_members(v in sample::select(vec![2u64, 3, 5, 7])) {
+            prop_assert!([2u64, 3, 5, 7].contains(&v));
         }
     }
 }

@@ -16,6 +16,13 @@
 //! backends — unprotected, static-rate and the paper's dynamic
 //! leakage-bounded scheme — are provided by `otc-core`.
 //!
+//! The execution core is event-steppable: [`SteppedSim`] advances to the
+//! next LLC-level memory event and suspends until the caller supplies the
+//! observed service latency, which is how the multi-tenant host's
+//! closed-loop tenant frontends feed shared-backend service times back
+//! into each tenant's clock. The blocking [`Simulator::run`] is a thin
+//! driver over the same core.
+//!
 //! # Example
 //!
 //! ```
@@ -49,6 +56,6 @@ pub use config::{CacheConfig, CoreConfig, SimConfig};
 pub use instr::{Instr, InstructionStream};
 pub use memory::{AccessKind, DramBackend, MemoryBackend};
 pub use otc_dram::Cycle;
-pub use processor::{SimResult, Simulator, WarmState};
+pub use processor::{SimResult, Simulator, StepEvent, SteppedSim, WarmState};
 pub use stats::{BackendEnergyProfile, ComponentCounts, SimStats, WindowSample};
 pub use write_buffer::WriteBuffer;

@@ -1,5 +1,5 @@
 //! The in-order, single-issue core and its memory hierarchy — the
-//! simulation main loop.
+//! steppable simulation core and its blocking driver.
 //!
 //! Timing semantics (matching Table 1 and §9.1.2's simple core):
 //!
@@ -18,14 +18,26 @@
 //! * The L2 is inclusive: L2 evictions back-invalidate L1; dirty LLC
 //!   evictions issue write-backs to the backend (ORAM is invoked "on LLC
 //!   misses and evictions", §3.1).
+//!
+//! # Stepped vs. blocking execution
+//!
+//! The core itself is [`SteppedSim`]: it advances the pipeline, caches and
+//! write buffer up to the next LLC-level memory event, *suspends*, and
+//! resumes when the caller supplies the observed service latency. The
+//! classic blocking [`Simulator::run`] is a thin driver over the stepped
+//! core — one code path — that forwards each event to a synchronous
+//! [`MemoryBackend`]. External schedulers (notably the closed-loop tenant
+//! frontends in `otc-host`) drive [`SteppedSim`] directly, feeding back
+//! per-request service times that may depend on shared-backend load.
 
-use crate::cache::Cache;
+use crate::cache::{AccessOutcome, Cache};
 use crate::config::SimConfig;
 use crate::instr::{Instr, InstructionStream};
 use crate::memory::{AccessKind, MemoryBackend};
 use crate::stats::{SimStats, WindowSample};
 use crate::write_buffer::WriteBuffer;
 use otc_dram::Cycle;
+use std::collections::VecDeque;
 
 /// Outcome of one simulation run.
 pub type SimResult = SimStats;
@@ -87,12 +99,9 @@ impl Simulator {
         S: InstructionStream + ?Sized,
         B: MemoryBackend + ?Sized,
     {
-        let mut m = Machine::new(&self.config, backend);
-        while m.stats.instructions < max_instructions && !workload.finished() {
-            let instr = workload.next_instr();
-            m.step(instr);
-        }
-        m.finish()
+        let mut core = SteppedSim::new(self.config);
+        core.drive(workload, backend, max_instructions);
+        core.into_result(backend)
     }
 
     /// Fast-forward pass: advances `workload` by `instructions` over a
@@ -104,16 +113,9 @@ impl Simulator {
         S: InstructionStream + ?Sized,
     {
         let mut backend = crate::memory::DramBackend::new();
-        let mut m = Machine::new(&self.config, &mut backend);
-        while m.stats.instructions < instructions && !workload.finished() {
-            let instr = workload.next_instr();
-            m.step(instr);
-        }
-        WarmState {
-            l1i: m.l1i,
-            l1d: m.l1d,
-            l2: m.l2,
-        }
+        let mut core = SteppedSim::new(self.config);
+        core.drive(workload, &mut backend, instructions);
+        core.into_warm_state()
     }
 
     /// Measured run starting from [`WarmState`]: cache contents persist,
@@ -131,22 +133,129 @@ impl Simulator {
         S: InstructionStream + ?Sized,
         B: MemoryBackend + ?Sized,
     {
-        let mut m = Machine::new(&self.config, backend);
-        m.l1i = warm.l1i;
-        m.l1d = warm.l1d;
-        m.l2 = warm.l2;
-        while m.stats.instructions < max_instructions && !workload.finished() {
-            let instr = workload.next_instr();
-            m.step(instr);
-        }
-        m.finish()
+        let mut core = SteppedSim::warmed(self.config, warm);
+        core.drive(workload, backend, max_instructions);
+        core.into_result(backend)
     }
 }
 
-/// Mutable machine state for one run.
-struct Machine<'a, B: MemoryBackend + ?Sized> {
-    config: &'a SimConfig,
-    backend: &'a mut B,
+/// One LLC-level memory event produced by [`SteppedSim::next_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// A demand read below the LLC. The core is suspended on it: supply
+    /// the observed completion time via [`SteppedSim::resume`] before the
+    /// next [`SteppedSim::next_event`] call.
+    DemandRead {
+        /// Cache-line address (byte address / line size).
+        line_addr: u64,
+        /// Cycle the request leaves the LLC.
+        at: Cycle,
+    },
+    /// A dirty write-back below the LLC. Fire-and-forget: hand it to the
+    /// backend; the core never stalls on its completion.
+    Writeback {
+        /// Cache-line address.
+        line_addr: u64,
+        /// Cycle the write-back is issued.
+        at: Cycle,
+    },
+    /// The run ended: the instruction budget was reached or the stream
+    /// reported [`InstructionStream::finished`].
+    Finished,
+}
+
+/// Where execution suspended, and what remains to be done once the
+/// pending demand read's completion time is known.
+#[derive(Debug)]
+enum Cont {
+    /// Ready to execute (fetch the next instruction).
+    Ready,
+    /// Suspended inside the fetch fill: on resume, advance `now` to the
+    /// completion and execute `instr`.
+    FetchFill { instr: Instr, l2out: AccessOutcome },
+    /// Suspended inside a load fill: on resume, charge the stall and
+    /// retire with latency `completion - start`.
+    LoadFill {
+        instr: Instr,
+        start: Cycle,
+        l2out: AccessOutcome,
+    },
+    /// Suspended inside a store drain: on resume, record the drain
+    /// completion in the write buffer and retire.
+    StoreFill {
+        instr: Instr,
+        issue: Cycle,
+        l2out: AccessOutcome,
+    },
+}
+
+/// Result of attempting an L2 fill without a synchronous backend.
+enum Fill {
+    /// L2 hit: completed at the contained cycle.
+    Done(Cycle),
+    /// LLC miss: a [`StepEvent::DemandRead`] was queued; the caller must
+    /// suspend and finish via [`SteppedSim::resume`].
+    Suspended(AccessOutcome),
+}
+
+/// The event-steppable simulator core.
+///
+/// `SteppedSim` owns the Table 1 microarchitecture (core, L1 I/D, L2,
+/// write buffer) but **no memory backend**: it advances execution until
+/// the next LLC-level event and hands control back to the caller.
+///
+/// # Protocol
+///
+/// Call [`SteppedSim::next_event`] in a loop:
+///
+/// * [`StepEvent::Writeback`] — forward to the backend (or shard); no
+///   response needed.
+/// * [`StepEvent::DemandRead`] — the core is stalled. Obtain the service
+///   completion time (synchronously from a [`MemoryBackend`], or later
+///   from a shared-shard scheduler) and call [`SteppedSim::resume`].
+/// * [`StepEvent::Finished`] — call [`SteppedSim::into_result`] (or
+///   [`SteppedSim::into_warm_state`] after a fast-forward pass).
+///
+/// Events are produced in exactly the order (and with exactly the
+/// timestamps) the blocking [`Simulator::run`] would have issued backend
+/// requests — `run` *is* this loop. The equivalence suite in
+/// `tests/stepped_equivalence.rs` locks that down field-for-field.
+///
+/// # Example
+///
+/// ```
+/// use otc_sim::{AccessKind, DramBackend, MemoryBackend, SimConfig, StepEvent, SteppedSim};
+/// use otc_sim::instr::{Instr, InstructionStream};
+///
+/// struct Walk(u64);
+/// impl InstructionStream for Walk {
+///     fn next_instr(&mut self) -> Instr {
+///         self.0 += 64;
+///         Instr::Load { addr: self.0 * 331 }
+///     }
+/// }
+///
+/// let mut backend = DramBackend::new();
+/// let mut core = SteppedSim::new(SimConfig::default());
+/// let mut workload = Walk(0);
+/// loop {
+///     match core.next_event(&mut workload, 1_000) {
+///         StepEvent::DemandRead { line_addr, at } => {
+///             let done = backend.request(line_addr, AccessKind::Read, at);
+///             core.resume(done);
+///         }
+///         StepEvent::Writeback { line_addr, at } => {
+///             backend.request(line_addr, AccessKind::Write, at);
+///         }
+///         StepEvent::Finished => break,
+///     }
+/// }
+/// let stats = core.into_result(&mut backend);
+/// assert_eq!(stats.instructions, 1_000);
+/// ```
+#[derive(Debug)]
+pub struct SteppedSim {
+    config: SimConfig,
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
@@ -159,14 +268,26 @@ struct Machine<'a, B: MemoryBackend + ?Sized> {
     drain_port_free: Cycle,
     stats: SimStats,
     next_window: u64,
+    /// Requests issued so far (reads + writebacks), mirroring what a
+    /// backend's `request_count()` reports under the blocking driver.
+    issued_requests: u64,
+    /// Events generated but not yet handed to the caller.
+    outbox: VecDeque<StepEvent>,
+    cont: Cont,
+    /// Set while a [`StepEvent::DemandRead`] has been handed out and
+    /// [`SteppedSim::resume`] has not been called.
+    awaiting_resume: bool,
+    /// Issue time of the suspended demand read (`resume` enforces the
+    /// supplied completion does not precede it).
+    pending_read_at: Cycle,
 }
 
-impl<'a, B: MemoryBackend + ?Sized> Machine<'a, B> {
-    fn new(config: &'a SimConfig, backend: &'a mut B) -> Self {
+impl SteppedSim {
+    /// Creates a cold core with `config`.
+    pub fn new(config: SimConfig) -> Self {
         let line = config.l1i.line_bytes;
         Self {
             config,
-            backend,
             l1i: Cache::new(config.l1i),
             l1d: Cache::new(config.l1d),
             l2: Cache::new(config.l2),
@@ -177,11 +298,201 @@ impl<'a, B: MemoryBackend + ?Sized> Machine<'a, B> {
             drain_port_free: 0,
             stats: SimStats::default(),
             next_window: config.window_instructions.unwrap_or(u64::MAX),
+            issued_requests: 0,
+            outbox: VecDeque::new(),
+            cont: Cont::Ready,
+            awaiting_resume: false,
+            pending_read_at: 0,
         }
     }
 
-    fn step(&mut self, instr: Instr) {
-        self.fetch(&instr);
+    /// Creates a core whose caches start from `warm` (see
+    /// [`Simulator::warm_caches`]).
+    pub fn warmed(config: SimConfig, warm: WarmState) -> Self {
+        let mut core = Self::new(config);
+        core.l1i = warm.l1i;
+        core.l1d = warm.l1d;
+        core.l2 = warm.l2;
+        core
+    }
+
+    /// Cycle the core has reached.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    /// Read access to the in-progress statistics (`cycles` and `backend`
+    /// are only finalized by [`SteppedSim::into_result`]).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Whether the core is suspended on a [`StepEvent::DemandRead`].
+    pub fn awaiting_resume(&self) -> bool {
+        self.awaiting_resume
+    }
+
+    /// Advances to the next LLC-level event (or run end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous event was a [`StepEvent::DemandRead`] and
+    /// [`SteppedSim::resume`] has not been called.
+    pub fn next_event<S>(&mut self, workload: &mut S, max_instructions: u64) -> StepEvent
+    where
+        S: InstructionStream + ?Sized,
+    {
+        loop {
+            if let Some(ev) = self.outbox.pop_front() {
+                if matches!(ev, StepEvent::DemandRead { .. }) {
+                    self.awaiting_resume = true;
+                }
+                return ev;
+            }
+            assert!(
+                !self.awaiting_resume,
+                "next_event called while suspended on a DemandRead; call resume() first"
+            );
+            match self.cont {
+                Cont::Ready => {
+                    if self.stats.instructions >= max_instructions || workload.finished() {
+                        return StepEvent::Finished;
+                    }
+                    let instr = workload.next_instr();
+                    self.begin_instr(instr);
+                }
+                _ => unreachable!("suspended continuation without awaiting_resume"),
+            }
+        }
+    }
+
+    /// Supplies the completion time of the outstanding demand read and
+    /// resumes execution up to the next suspension point (further events
+    /// are delivered by subsequent [`SteppedSim::next_event`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no demand read is outstanding, or if `completion`
+    /// precedes the read's issue time (its event's `at` — service takes
+    /// nonnegative time, so an earlier completion is a driver bug).
+    pub fn resume(&mut self, completion: Cycle) {
+        assert!(
+            self.awaiting_resume,
+            "resume() without an outstanding DemandRead"
+        );
+        assert!(
+            completion >= self.pending_read_at,
+            "completion {completion} precedes the demand read's issue time {}",
+            self.pending_read_at
+        );
+        self.awaiting_resume = false;
+        let cont = std::mem::replace(&mut self.cont, Cont::Ready);
+        match cont {
+            Cont::FetchFill { instr, l2out } => {
+                self.process_l2_eviction(&l2out, completion);
+                self.now = completion;
+                self.execute_body(instr);
+            }
+            Cont::LoadFill {
+                instr,
+                start,
+                l2out,
+            } => {
+                self.process_l2_eviction(&l2out, completion);
+                // No underflow: the read issued at start + hit + miss
+                // extras, and completion >= that issue time.
+                self.stats.load_stall_cycles += completion - start - self.config.l1d.hit_latency;
+                self.retire(instr, completion - start);
+            }
+            Cont::StoreFill {
+                instr,
+                issue,
+                l2out,
+            } => {
+                self.process_l2_eviction(&l2out, completion);
+                self.finish_store(instr, issue, completion);
+            }
+            Cont::Ready => unreachable!("awaiting_resume without a continuation"),
+        }
+    }
+
+    /// Drives the core to completion over a synchronous backend — the
+    /// single code path under [`Simulator::run`]/[`Simulator::run_warm`].
+    pub fn drive<S, B>(&mut self, workload: &mut S, backend: &mut B, max_instructions: u64)
+    where
+        S: InstructionStream + ?Sized,
+        B: MemoryBackend + ?Sized,
+    {
+        loop {
+            match self.next_event(workload, max_instructions) {
+                StepEvent::DemandRead { line_addr, at } => {
+                    let done = backend.request(line_addr, AccessKind::Read, at);
+                    self.resume(done);
+                }
+                StepEvent::Writeback { line_addr, at } => {
+                    backend.request(line_addr, AccessKind::Write, at);
+                }
+                StepEvent::Finished => break,
+            }
+        }
+    }
+
+    /// Finalizes the run against the backend that served it: closes the
+    /// backend's timeline and captures its energy profile.
+    pub fn into_result<B>(mut self, backend: &mut B) -> SimResult
+    where
+        B: MemoryBackend + ?Sized,
+    {
+        backend.finish(self.now);
+        self.stats.cycles = self.now;
+        self.stats.backend = backend.energy_profile();
+        self.stats
+    }
+
+    /// Extracts the warmed cache state (fast-forward pass).
+    pub fn into_warm_state(self) -> WarmState {
+        WarmState {
+            l1i: self.l1i,
+            l1d: self.l1d,
+            l2: self.l2,
+        }
+    }
+
+    // ----- execution (one instruction, possibly across suspensions) -----
+
+    fn begin_instr(&mut self, instr: Instr) {
+        // Models instruction delivery: an L1 I access per new fetch line.
+        // One fetch-buffer read per 256-bit (32 B) group → every 8
+        // instructions on average; modeled per line crossing for
+        // simplicity (2 groups per 64 B line).
+        let line = self.pc / self.config.l1i.line_bytes;
+        if line != self.current_fetch_line {
+            self.current_fetch_line = line;
+            self.stats.components.fetch_buffer_reads += 2;
+            let outcome = self.l1i.access(line, false);
+            if outcome.hit {
+                self.stats.components.l1i_hits += 1;
+                // Overlapped with execute: no stall on a hit.
+            } else {
+                self.stats.components.l1i_refills += 1;
+                match self.try_l2_fill(line, false, self.now + self.config.l1i.miss_extra) {
+                    Fill::Done(done) => self.now = done,
+                    Fill::Suspended(l2out) => {
+                        self.cont = Cont::FetchFill { instr, l2out };
+                        return;
+                    }
+                }
+            }
+        }
+        self.execute_body(instr);
+    }
+
+    fn execute_body(&mut self, instr: Instr) {
         let c = &self.config.core;
         let latency = match instr {
             Instr::IntAlu => {
@@ -208,8 +519,14 @@ impl<'a, B: MemoryBackend + ?Sized> Machine<'a, B> {
                 self.stats.components.fp_ops += 1;
                 c.fp_div
             }
-            Instr::Load { addr } => self.execute_load(addr),
-            Instr::Store { addr } => self.execute_store(addr),
+            Instr::Load { addr } => {
+                self.execute_load(instr, addr);
+                return;
+            }
+            Instr::Store { addr } => {
+                self.execute_store(instr, addr);
+                return;
+            }
             Instr::Branch { taken, target } => {
                 self.stats.branches += 1;
                 if taken {
@@ -221,6 +538,91 @@ impl<'a, B: MemoryBackend + ?Sized> Machine<'a, B> {
                 }
             }
         };
+        self.retire(instr, latency);
+    }
+
+    fn execute_load(&mut self, instr: Instr, addr: u64) {
+        self.stats.loads += 1;
+        self.wb.retire_completed(self.now);
+        let line = addr / self.config.l1d.line_bytes;
+        let start = self.now;
+        let outcome = self.l1d.access(line, false);
+        if outcome.hit {
+            self.stats.components.l1d_hits += 1;
+            self.retire(instr, self.config.l1d.hit_latency);
+            return;
+        }
+        self.stats.components.l1d_refills += 1;
+        self.handle_l1d_victim(&outcome);
+        match self.try_l2_fill(
+            line,
+            false,
+            start + self.config.l1d.hit_latency + self.config.l1d.miss_extra,
+        ) {
+            Fill::Done(done) => {
+                self.stats.load_stall_cycles += done - start - self.config.l1d.hit_latency;
+                self.retire(instr, done - start);
+            }
+            Fill::Suspended(l2out) => {
+                self.cont = Cont::LoadFill {
+                    instr,
+                    start,
+                    l2out,
+                };
+            }
+        }
+    }
+
+    /// Stores retire into the write buffer; the drain happens in
+    /// "background time" but is pre-computed here (the backends queue
+    /// internally, so chronology is preserved).
+    fn execute_store(&mut self, instr: Instr, addr: u64) {
+        self.stats.stores += 1;
+        self.wb.retire_completed(self.now);
+        let mut issue = self.now;
+        if self.wb.is_full() {
+            let free_at = self.wb.earliest_completion();
+            self.stats.wb_stall_cycles += free_at - self.now;
+            issue = free_at;
+            self.wb.retire_completed(free_at);
+        }
+        let line = addr / self.config.l1d.line_bytes;
+        // The drain uses the cache port once the previous drain finished.
+        let drain_start = issue.max(self.drain_port_free);
+        let outcome = self.l1d.access(line, true);
+        if outcome.hit {
+            self.stats.components.l1d_hits += 1;
+            self.finish_store(instr, issue, drain_start + self.config.l1d.hit_latency);
+            return;
+        }
+        self.stats.components.l1d_refills += 1;
+        self.handle_l1d_victim(&outcome);
+        match self.try_l2_fill(
+            line,
+            true,
+            drain_start + self.config.l1d.hit_latency + self.config.l1d.miss_extra,
+        ) {
+            Fill::Done(drain_done) => self.finish_store(instr, issue, drain_done),
+            Fill::Suspended(l2out) => {
+                self.cont = Cont::StoreFill {
+                    instr,
+                    issue,
+                    l2out,
+                };
+            }
+        }
+    }
+
+    fn finish_store(&mut self, instr: Instr, issue: Cycle, drain_done: Cycle) {
+        self.drain_port_free = drain_done;
+        self.wb.push(drain_done);
+        // Core-visible cost: one cycle to enqueue, plus any stall above.
+        self.retire(instr, (issue - self.now) + self.config.core.int_alu);
+    }
+
+    /// Shared retire epilogue: regfile accounting, cycle advance, PC
+    /// increment, windowed sampling.
+    fn retire(&mut self, instr: Instr, latency: Cycle) {
         if instr.is_fp() {
             self.stats.components.fp_regfile_accesses += 1;
         } else {
@@ -233,96 +635,13 @@ impl<'a, B: MemoryBackend + ?Sized> Machine<'a, B> {
             self.stats.windows.push(WindowSample {
                 instructions: self.stats.instructions,
                 cycle: self.now,
-                backend_requests: self.backend.request_count(),
+                backend_requests: self.issued_requests,
             });
             self.next_window += self.config.window_instructions.expect("windows enabled");
         }
     }
 
-    /// Models instruction delivery: an L1 I access per new fetch line.
-    fn fetch(&mut self, _instr: &Instr) {
-        let line = self.pc / self.config.l1i.line_bytes;
-        // One fetch-buffer read per 256-bit (32 B) group → every 8
-        // instructions on average; modeled per line crossing for
-        // simplicity (2 groups per 64 B line).
-        if line != self.current_fetch_line {
-            self.current_fetch_line = line;
-            self.stats.components.fetch_buffer_reads += 2;
-            let outcome = self.l1i.access(line, false);
-            if outcome.hit {
-                self.stats.components.l1i_hits += 1;
-                // Overlapped with execute: no stall on a hit.
-            } else {
-                self.stats.components.l1i_refills += 1;
-                let done = self.l2_fill(line, false, self.now + self.config.l1i.miss_extra);
-                self.now = done;
-            }
-        }
-    }
-
-    fn execute_load(&mut self, addr: u64) -> Cycle {
-        self.stats.loads += 1;
-        self.retire_wb();
-        let line = addr / self.config.l1d.line_bytes;
-        let start = self.now;
-        let outcome = self.l1d.access(line, false);
-        let done = if outcome.hit {
-            self.stats.components.l1d_hits += 1;
-            start + self.config.l1d.hit_latency
-        } else {
-            self.stats.components.l1d_refills += 1;
-            self.handle_l1d_victim(&outcome);
-            let done = self.l2_fill(
-                line,
-                false,
-                start + self.config.l1d.hit_latency + self.config.l1d.miss_extra,
-            );
-            self.stats.load_stall_cycles += done - start - self.config.l1d.hit_latency;
-            done
-        };
-        done - start
-    }
-
-    /// Stores retire into the write buffer; the drain happens in
-    /// "background time" but is pre-computed here (the backends queue
-    /// internally, so chronology is preserved).
-    fn execute_store(&mut self, addr: u64) -> Cycle {
-        self.stats.stores += 1;
-        self.retire_wb();
-        let mut issue = self.now;
-        if self.wb.is_full() {
-            let free_at = self.wb.earliest_completion();
-            self.stats.wb_stall_cycles += free_at - self.now;
-            issue = free_at;
-            self.wb.retire_completed(free_at);
-        }
-        let line = addr / self.config.l1d.line_bytes;
-        // The drain uses the cache port once the previous drain finished.
-        let drain_start = issue.max(self.drain_port_free);
-        let outcome = self.l1d.access(line, true);
-        let drain_done = if outcome.hit {
-            self.stats.components.l1d_hits += 1;
-            drain_start + self.config.l1d.hit_latency
-        } else {
-            self.stats.components.l1d_refills += 1;
-            self.handle_l1d_victim(&outcome);
-            self.l2_fill(
-                line,
-                true,
-                drain_start + self.config.l1d.hit_latency + self.config.l1d.miss_extra,
-            )
-        };
-        self.drain_port_free = drain_done;
-        self.wb.push(drain_done);
-        // Core-visible cost: one cycle to enqueue, plus any stall above.
-        (issue - self.now) + self.config.core.int_alu
-    }
-
-    fn retire_wb(&mut self) {
-        self.wb.retire_completed(self.now);
-    }
-
-    fn handle_l1d_victim(&mut self, outcome: &crate::cache::AccessOutcome) {
+    fn handle_l1d_victim(&mut self, outcome: &AccessOutcome) {
         // Dirty L1 victims drain into L2 (eviction buffers, Table 1);
         // charged as an L2 access for energy, overlapped for timing.
         if let Some(victim) = outcome.writeback {
@@ -337,31 +656,37 @@ impl<'a, B: MemoryBackend + ?Sized> Machine<'a, B> {
         }
     }
 
-    /// An access that missed L1 and proceeds to L2 (and possibly the
-    /// backend) starting at time `t`. Returns completion time.
-    fn l2_fill(&mut self, line: u64, write: bool, t: Cycle) -> Cycle {
+    /// An access that missed L1 and proceeds to L2 (and possibly below)
+    /// starting at time `t`. On an L2 hit, completes synchronously; on an
+    /// LLC miss, emits a [`StepEvent::DemandRead`] and suspends (the
+    /// post-fill eviction bookkeeping runs in [`SteppedSim::resume`],
+    /// when the completion time is known).
+    fn try_l2_fill(&mut self, line: u64, write: bool, t: Cycle) -> Fill {
         self.stats.components.l2_accesses += 1;
         let outcome = self.l2.access(line, write);
         let t = t + self.config.l2.hit_latency;
         if outcome.hit {
-            return t;
+            return Fill::Done(t);
         }
-        // LLC miss → backend (ORAM or DRAM).
+        // LLC miss → below-LLC event (ORAM or DRAM).
         self.stats.llc_demand_misses += 1;
         let t = t + self.config.l2.miss_extra;
-        let done = self.backend.request(line, AccessKind::Read, t);
-        self.process_l2_eviction(&outcome, done);
-        done
+        self.issued_requests += 1;
+        self.pending_read_at = t;
+        self.outbox.push_back(StepEvent::DemandRead {
+            line_addr: line,
+            at: t,
+        });
+        Fill::Suspended(outcome)
     }
 
-    fn process_l2_eviction(&mut self, outcome: &crate::cache::AccessOutcome, when: Cycle) {
+    fn process_l2_eviction(&mut self, outcome: &AccessOutcome, when: Cycle) {
         if let Some(evicted) = outcome.evicted {
             // Inclusive L2: back-invalidate L1 copies.
             if let Some(l1_dirty) = self.l1d.invalidate(evicted) {
                 // A dirty L1 copy makes the L2 line dirty on eviction.
                 if l1_dirty && outcome.writeback.is_none() {
-                    self.stats.llc_writebacks += 1;
-                    self.backend.request(evicted, AccessKind::Write, when);
+                    self.emit_writeback(evicted, when);
                     return;
                 }
             }
@@ -370,16 +695,15 @@ impl<'a, B: MemoryBackend + ?Sized> Machine<'a, B> {
         if let Some(victim) = outcome.writeback {
             // Dirty LLC eviction → ORAM/DRAM write-back (§3.1). Queued
             // after the demand miss; does not stall the core.
-            self.stats.llc_writebacks += 1;
-            self.backend.request(victim, AccessKind::Write, when);
+            self.emit_writeback(victim, when);
         }
     }
 
-    fn finish(mut self) -> SimStats {
-        self.backend.finish(self.now);
-        self.stats.cycles = self.now;
-        self.stats.backend = self.backend.energy_profile();
-        self.stats
+    fn emit_writeback(&mut self, line_addr: u64, at: Cycle) {
+        self.stats.llc_writebacks += 1;
+        self.issued_requests += 1;
+        self.outbox
+            .push_back(StepEvent::Writeback { line_addr, at });
     }
 }
 
@@ -577,5 +901,69 @@ mod tests {
         let b = mk();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.llc_demand_misses, b.llc_demand_misses);
+    }
+
+    #[test]
+    fn stepped_demand_read_suspends_until_resume() {
+        // A single far load: the core must emit exactly one DemandRead,
+        // refuse to proceed without resume(), and charge the supplied
+        // latency into the load stall.
+        let mut core = SteppedSim::new(SimConfig::default());
+        let mut wl = Script::new(looping(vec![Instr::Load { addr: 64 << 20 }]));
+        let ev = core.next_event(&mut wl, 1);
+        let StepEvent::DemandRead { at, .. } = ev else {
+            panic!("expected DemandRead, got {ev:?}");
+        };
+        assert!(core.awaiting_resume());
+        core.resume(at + 1_234);
+        assert!(!core.awaiting_resume());
+        assert_eq!(core.next_event(&mut wl, 1), StepEvent::Finished);
+        assert_eq!(core.instructions(), 1);
+        assert!(core.stats().load_stall_cycles >= 1_234);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the demand read's issue time")]
+    fn stepped_resume_before_issue_time_panics() {
+        let mut core = SteppedSim::new(SimConfig::default());
+        let mut wl = Script::new(looping(vec![Instr::Load { addr: 64 << 20 }]));
+        let StepEvent::DemandRead { at, .. } = core.next_event(&mut wl, 1) else {
+            panic!("expected DemandRead");
+        };
+        core.resume(at - 1); // service cannot finish before it started
+    }
+
+    #[test]
+    #[should_panic(expected = "call resume() first")]
+    fn stepped_next_event_without_resume_panics() {
+        let mut core = SteppedSim::new(SimConfig::default());
+        let mut wl = Script::new(looping(vec![Instr::Load { addr: 64 << 20 }]));
+        let _ = core.next_event(&mut wl, 4);
+        let _ = core.next_event(&mut wl, 4); // suspended: must panic
+    }
+
+    #[test]
+    fn stepped_larger_latency_costs_more_cycles() {
+        // Same script, two latency assignments: the slower backend can
+        // never finish earlier (the monotonicity the closed-loop host
+        // relies on; the property suite generalizes this).
+        let script: Vec<Instr> = (0..256u64)
+            .map(|i| Instr::Load {
+                addr: (i * 131) % (1 << 20) * 64,
+            })
+            .collect();
+        let total = |latency: Cycle| {
+            let mut core = SteppedSim::new(SimConfig::default());
+            let mut wl = Script::new(looping(script.clone()));
+            loop {
+                match core.next_event(&mut wl, 2_000) {
+                    StepEvent::DemandRead { at, .. } => core.resume(at + latency),
+                    StepEvent::Writeback { .. } => {}
+                    StepEvent::Finished => break,
+                }
+            }
+            core.now()
+        };
+        assert!(total(2_000) > total(40));
     }
 }

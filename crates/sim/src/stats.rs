@@ -58,7 +58,10 @@ pub struct WindowSample {
 }
 
 /// Full result of one simulation.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq`/`Eq` compare every field — the stepped-vs-blocking
+/// equivalence suite relies on exact equality.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total cycles elapsed.
     pub cycles: Cycle,

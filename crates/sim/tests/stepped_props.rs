@@ -1,0 +1,162 @@
+//! Property tests for the stepped simulator core: random instruction
+//! scripts driven with random per-event service latencies never wedge the
+//! event protocol, and slower backends can never make a run finish in
+//! fewer cycles (the monotonicity the closed-loop host leans on).
+
+use otc_sim::instr::{Instr, InstructionStream};
+use otc_sim::{Cycle, SimConfig, StepEvent, SteppedSim};
+use proptest::prelude::*;
+
+/// A fixed instruction vector, repeated (keeps code/data footprints
+/// bounded, like a looping program).
+struct Script {
+    instrs: Vec<Instr>,
+    i: usize,
+}
+
+impl InstructionStream for Script {
+    fn next_instr(&mut self) -> Instr {
+        let instr = self.instrs[self.i % self.instrs.len()];
+        self.i += 1;
+        instr
+    }
+}
+
+/// Deterministic per-event latency stream (SplitMix64 step), so the
+/// monotonicity property can replay the same base draws and add slack.
+fn latency(seed: u64, event: u64, span: u64) -> Cycle {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_mul(event | 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % span
+}
+
+/// Strategy: one random instruction, biased toward memory ops so LLC
+/// events actually occur. Addresses span 64 MB (beyond the LLC); branch
+/// targets stay inside a 16 KB code region.
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    (0u8..10, 0u64..(1 << 26), any::<bool>()).prop_map(|(op, addr, flag)| match op {
+        0 => Instr::IntAlu,
+        1 => Instr::IntMul,
+        2 => Instr::IntDiv,
+        3 => Instr::FpAlu,
+        4 => Instr::FpMul,
+        5 | 6 => Instr::Load { addr },
+        7 | 8 => Instr::Store { addr },
+        _ => Instr::Branch {
+            taken: flag,
+            target: 0x1000 + (addr % (1 << 14)) / 4 * 4,
+        },
+    })
+}
+
+fn script_strategy() -> impl Strategy<Value = Vec<Instr>> {
+    collection::vec(instr_strategy(), 4..120)
+}
+
+/// Drives `script` to completion, supplying `latency(seed, i, span)` per
+/// demand read. Returns (total cycles, demand reads, writebacks,
+/// instructions). Panics (failing the property) if the protocol wedges:
+/// more events than `max_events` without finishing.
+fn drive(
+    script: Vec<Instr>,
+    budget: u64,
+    seed: u64,
+    span: u64,
+    max_events: u64,
+) -> (Cycle, u64, u64, u64) {
+    let mut core = SteppedSim::new(SimConfig::default());
+    let mut wl = Script {
+        instrs: script,
+        i: 0,
+    };
+    let (mut reads, mut writes, mut events) = (0u64, 0u64, 0u64);
+    loop {
+        match core.next_event(&mut wl, budget) {
+            StepEvent::DemandRead { at, .. } => {
+                reads += 1;
+                core.resume(at + latency(seed, reads, span));
+            }
+            StepEvent::Writeback { .. } => writes += 1,
+            StepEvent::Finished => break,
+        }
+        events += 1;
+        assert!(
+            events <= max_events,
+            "stepped core wedged: {events} events without finishing"
+        );
+    }
+    let instructions = core.instructions();
+    let stats = core.stats();
+    assert_eq!(reads, stats.llc_demand_misses, "read events vs stats");
+    assert_eq!(writes, stats.llc_writebacks, "writeback events vs stats");
+    (core.now(), reads, writes, instructions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random scripts + random per-event latencies: the stepped protocol
+    /// always reaches `Finished` with the full budget retired, and event
+    /// counts reconcile with the miss statistics.
+    #[test]
+    fn prop_random_latencies_never_deadlock(
+        script in script_strategy(),
+        seed in any::<u64>(),
+        span in 1u64..20_000,
+    ) {
+        let budget = 4_000;
+        // Each instruction produces at most a handful of events; 16x the
+        // budget is far beyond any legitimate event volume.
+        let (cycles, _, _, instructions) = drive(script, budget, seed, span, budget * 16);
+        prop_assert_eq!(instructions, budget);
+        prop_assert!(cycles >= budget, "cycles {} below instruction count", cycles);
+    }
+
+    /// Pointwise-larger service latencies never decrease total cycles:
+    /// the event sequence is latency-independent (same instruction and
+    /// address stream), and every timestamp is monotone in the supplied
+    /// completions.
+    #[test]
+    fn prop_monotone_latencies_monotone_cycles(
+        script in script_strategy(),
+        seed in any::<u64>(),
+        span in 1u64..10_000,
+        slack in 1u64..8_000,
+    ) {
+        let budget = 3_000;
+        let (base, base_reads, base_writes, _) =
+            drive(script.clone(), budget, seed, span, budget * 16);
+        // Same base draws, plus a positive per-event bump: `latency` with
+        // span+slack dominates pointwise only if re-derived; instead just
+        // add a constant bump, the simplest pointwise-larger assignment.
+        let bump = slack;
+        let bumped = {
+            let mut core = SteppedSim::new(SimConfig::default());
+            let mut wl = Script { instrs: script, i: 0 };
+            let mut reads = 0u64;
+            loop {
+                match core.next_event(&mut wl, budget) {
+                    StepEvent::DemandRead { at, .. } => {
+                        reads += 1;
+                        core.resume(at + latency(seed, reads, span) + bump);
+                    }
+                    StepEvent::Writeback { .. } => {}
+                    StepEvent::Finished => break,
+                }
+            }
+            prop_assert_eq!(reads, base_reads, "event sequence must be latency-independent");
+            prop_assert_eq!(core.stats().llc_writebacks, base_writes);
+            core.now()
+        };
+        prop_assert!(
+            bumped >= base,
+            "slower backend finished earlier: {} < {} (bump {})",
+            bumped,
+            base,
+            bump
+        );
+    }
+}

@@ -31,6 +31,28 @@
 //!     .run(&mut wl, &mut DramBackend::new(), 100_000);
 //! assert!(stats.llc_demand_misses > 1_000); // mcf is memory-bound
 //! ```
+//!
+//! The same workload can drive the event-steppable core directly, with
+//! the caller supplying each LLC miss's service latency — this is how the
+//! multi-tenant host's closed-loop frontends run tenants against shared,
+//! contended backends:
+//!
+//! ```
+//! use otc_workloads::SpecBenchmark;
+//! use otc_sim::{SimConfig, StepEvent, SteppedSim};
+//!
+//! let mut wl = SpecBenchmark::Mcf.workload(20_000);
+//! let mut core = SteppedSim::new(SimConfig::default());
+//! loop {
+//!     match core.next_event(&mut wl, 20_000) {
+//!         // Pretend every miss takes 1488 cycles (the paper's OLAT).
+//!         StepEvent::DemandRead { at, .. } => core.resume(at + 1_488),
+//!         StepEvent::Writeback { .. } => {} // absorbed in background
+//!         StepEvent::Finished => break,
+//!     }
+//! }
+//! assert_eq!(core.instructions(), 20_000);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -75,11 +75,14 @@ pub mod prelude {
     };
     pub use otc_crypto::{SplitMix64, SymmetricKey};
     pub use otc_dram::{Cycle, DdrConfig, FlatDram, TransferSpec};
-    pub use otc_host::{HostConfig, LeakageLedger, MultiTenantHost, ShardedOram, TenantSpec};
+    pub use otc_host::{
+        HostConfig, LeakageLedger, LoopMode, MultiTenantHost, ShardedOram, TenantSpec,
+    };
     pub use otc_oram::{OramConfig, OramTiming, RecursivePathOram};
     pub use otc_power::{PowerModel, PowerReport};
     pub use otc_sim::{
         DramBackend, Instr, InstructionStream, MemoryBackend, SimConfig, SimStats, Simulator,
+        StepEvent, SteppedSim,
     };
     pub use otc_workloads::{AddressPattern, InstructionMix, SpecBenchmark, WorkloadSpec};
 }

@@ -1,0 +1,282 @@
+//! Stepped-vs-blocking equivalence: driving [`SteppedSim`] to completion
+//! by hand, against the same backend, must reproduce the blocking
+//! `Simulator::run` `SimResult` **field-for-field** — cycles, misses,
+//! writebacks, stall breakdown, window samples, energy profile.
+//!
+//! `Simulator::run` is itself a thin driver over the stepped core, so
+//! these tests pin the *protocol*: every piece of state a caller needs to
+//! continue a run is carried by the event/resume API, for every
+//! `SpecBenchmark` and for a seeded synthetic mix, over both the flat
+//! DRAM backend and a queue-stateful rate-limited ORAM backend.
+
+use otc_core::{RateLimitedOramBackend, RatePolicy};
+use otc_dram::DdrConfig;
+use otc_oram::OramConfig;
+use otc_sim::instr::InstructionStream;
+use otc_sim::{
+    AccessKind, DramBackend, MemoryBackend, SimConfig, SimResult, Simulator, StepEvent, SteppedSim,
+};
+use otc_workloads::{
+    AddressPattern, InstructionMix, PhaseSpec, SpecBenchmark, SyntheticWorkload, WorkloadSpec,
+};
+
+/// Drives a fresh [`SteppedSim`] to completion by hand over `backend`.
+fn drive_stepped<S, B>(
+    config: SimConfig,
+    workload: &mut S,
+    backend: &mut B,
+    max_instructions: u64,
+) -> SimResult
+where
+    S: InstructionStream + ?Sized,
+    B: MemoryBackend + ?Sized,
+{
+    let mut core = SteppedSim::new(config);
+    loop {
+        match core.next_event(workload, max_instructions) {
+            StepEvent::DemandRead { line_addr, at } => {
+                let done = backend.request(line_addr, AccessKind::Read, at);
+                core.resume(done);
+            }
+            StepEvent::Writeback { line_addr, at } => {
+                backend.request(line_addr, AccessKind::Write, at);
+            }
+            StepEvent::Finished => break,
+        }
+    }
+    core.into_result(backend)
+}
+
+fn windowed_config() -> SimConfig {
+    SimConfig {
+        window_instructions: Some(5_000),
+        ..SimConfig::default()
+    }
+}
+
+fn assert_equiv_dram(mk_workload: &dyn Fn() -> SyntheticWorkload, n: u64, label: &str) {
+    let cfg = windowed_config();
+    let blocking = {
+        let mut wl = mk_workload();
+        let mut backend = DramBackend::new();
+        Simulator::new(cfg).run(&mut wl, &mut backend, n)
+    };
+    let stepped = {
+        let mut wl = mk_workload();
+        let mut backend = DramBackend::new();
+        drive_stepped(cfg, &mut wl, &mut backend, n)
+    };
+    assert_eq!(blocking, stepped, "{label}: stepped run diverged over DRAM");
+    assert_eq!(blocking.instructions, n, "{label}: short run");
+    assert!(!blocking.windows.is_empty(), "{label}: no window samples");
+}
+
+fn assert_equiv_oram(
+    mk_workload: &dyn Fn() -> SyntheticWorkload,
+    policy: RatePolicy,
+    n: u64,
+    label: &str,
+) {
+    let cfg = windowed_config();
+    let mk_backend = || {
+        RateLimitedOramBackend::new(OramConfig::small(), &DdrConfig::default(), policy.clone())
+            .expect("valid ORAM config")
+    };
+    let blocking = {
+        let mut wl = mk_workload();
+        let mut backend = mk_backend();
+        Simulator::new(cfg).run(&mut wl, &mut backend, n)
+    };
+    let stepped = {
+        let mut wl = mk_workload();
+        let mut backend = mk_backend();
+        drive_stepped(cfg, &mut wl, &mut backend, n)
+    };
+    assert_eq!(blocking, stepped, "{label}: stepped run diverged over ORAM");
+}
+
+#[test]
+fn every_spec_benchmark_is_equivalent_over_dram() {
+    let all = [
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Omnetpp,
+        SpecBenchmark::Libquantum,
+        SpecBenchmark::Bzip2,
+        SpecBenchmark::Hmmer,
+        SpecBenchmark::AstarRivers,
+        SpecBenchmark::AstarBigLakes,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Gobmk,
+        SpecBenchmark::Sjeng,
+        SpecBenchmark::H264ref,
+        SpecBenchmark::PerlbenchDiffmail,
+        SpecBenchmark::PerlbenchSplitmail,
+    ];
+    for bench in all {
+        let n = 40_000;
+        assert_equiv_dram(&|| bench.workload(n), n, bench.full_name());
+    }
+}
+
+#[test]
+fn memory_and_compute_benchmarks_are_equivalent_over_rate_limited_oram() {
+    // The rate-limited backend is queue-stateful (slot grid + FIFO), so
+    // any protocol drift shows up as shifted completions immediately.
+    for bench in [SpecBenchmark::Mcf, SpecBenchmark::Hmmer] {
+        let n = 15_000;
+        assert_equiv_oram(
+            &|| bench.workload(n),
+            RatePolicy::Static { rate: 500 },
+            n,
+            bench.full_name(),
+        );
+        assert_equiv_oram(
+            &|| bench.workload(n),
+            RatePolicy::dynamic_paper(4, 4),
+            n,
+            bench.full_name(),
+        );
+    }
+}
+
+/// A seeded synthetic mix that isn't any single SpecBenchmark: two
+/// phases, memory-heavy streaming then int-heavy pointer chasing.
+fn seeded_mix(seed: u64, n: u64) -> SyntheticWorkload {
+    WorkloadSpec {
+        name: "seeded-mix".into(),
+        phases: vec![
+            PhaseSpec {
+                mix: InstructionMix::memory_heavy(),
+                pattern: AddressPattern::Streaming {
+                    footprint: 16 << 20,
+                    stride: 8,
+                },
+                fraction: 0.5,
+            },
+            PhaseSpec {
+                mix: InstructionMix::int_heavy(),
+                pattern: AddressPattern::HotCold {
+                    hot: 24 << 10,
+                    cold: 8 << 20,
+                    hot_percent: 70,
+                },
+                fraction: 0.5,
+            },
+        ],
+        code_bytes: 32 << 10,
+        branch_every: 7,
+        nominal_instructions: n,
+        seed,
+    }
+    .build()
+}
+
+#[test]
+fn seeded_synthetic_mix_is_equivalent_over_both_backends() {
+    for seed in [0xDEAD_BEEF, 42, 0x07C0_57ED] {
+        let n = 30_000;
+        assert_equiv_dram(&|| seeded_mix(seed, n), n, "seeded-mix/dram");
+        assert_equiv_oram(
+            &|| seeded_mix(seed, 10_000),
+            RatePolicy::Static { rate: 700 },
+            10_000,
+            "seeded-mix/oram",
+        );
+    }
+}
+
+/// Streams stores over 8 MB so the LLC spills dirty lines (nonzero
+/// writebacks for the golden snapshot below).
+struct StoreStream(u64);
+
+impl InstructionStream for StoreStream {
+    fn next_instr(&mut self) -> otc_sim::Instr {
+        self.0 += 1;
+        otc_sim::Instr::Store {
+            addr: (self.0 % 131_072) * 64,
+        }
+    }
+}
+
+#[test]
+fn golden_simresults_pin_timing_semantics() {
+    // The equivalence tests above compare two entry points to the SAME
+    // stepped core, so a semantic change to the core itself would slip
+    // through them. These absolute values (recorded from the pre-refactor
+    // blocking Machine) pin the Table 1 timing model: any change to
+    // cache/stall/write-buffer arithmetic must show up here and be
+    // justified explicitly.
+    let run = |wl: &mut dyn InstructionStream, n: u64| {
+        let mut backend = DramBackend::new();
+        Simulator::new(SimConfig::default()).run(wl, &mut backend, n)
+    };
+    let mcf = run(&mut SpecBenchmark::Mcf.workload(40_000), 40_000);
+    assert_eq!(
+        (
+            mcf.cycles,
+            mcf.llc_demand_misses,
+            mcf.load_stall_cycles,
+            mcf.wb_stall_cycles
+        ),
+        (317_967, 5_677, 241_037, 170),
+        "mcf golden drifted: {mcf:?}"
+    );
+    let hmmer = run(&mut SpecBenchmark::Hmmer.workload(40_000), 40_000);
+    assert_eq!(
+        (
+            hmmer.cycles,
+            hmmer.llc_demand_misses,
+            hmmer.load_stall_cycles
+        ),
+        (179_585, 2_285, 101_962),
+        "hmmer golden drifted: {hmmer:?}"
+    );
+    let stores = run(&mut StoreStream(0), 50_000);
+    assert_eq!(
+        (
+            stores.cycles,
+            stores.llc_demand_misses,
+            stores.llc_writebacks,
+            stores.wb_stall_cycles
+        ),
+        (2_861_141, 52_028, 34_586, 1_867_419),
+        "store-stream golden drifted: {stores:?}"
+    );
+}
+
+#[test]
+fn warmed_runs_are_equivalent() {
+    // The warm path too: blocking run_warm vs a SteppedSim::warmed drive
+    // must agree, with the warm state produced by the same fast-forward.
+    let bench = SpecBenchmark::Mcf;
+    let n = 30_000;
+    let cfg = windowed_config();
+    let sim = Simulator::new(cfg);
+
+    let blocking = {
+        let mut wl = bench.workload(2 * n);
+        let warm = sim.warm_caches(&mut wl, n);
+        let mut backend = DramBackend::new();
+        sim.run_warm(&mut wl, &mut backend, n, warm)
+    };
+    let stepped = {
+        let mut wl = bench.workload(2 * n);
+        let warm = sim.warm_caches(&mut wl, n);
+        let mut backend = DramBackend::new();
+        let mut core = SteppedSim::warmed(cfg, warm);
+        loop {
+            match core.next_event(&mut wl, n) {
+                StepEvent::DemandRead { line_addr, at } => {
+                    let done = backend.request(line_addr, AccessKind::Read, at);
+                    core.resume(done);
+                }
+                StepEvent::Writeback { line_addr, at } => {
+                    backend.request(line_addr, AccessKind::Write, at);
+                }
+                StepEvent::Finished => break,
+            }
+        }
+        core.into_result(&mut backend)
+    };
+    assert_eq!(blocking, stepped, "warmed stepped run diverged");
+}
