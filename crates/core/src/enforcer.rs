@@ -170,6 +170,11 @@ pub struct SlotStream {
     policy: RatePolicy,
     current_rate: Cycle,
     next_slot: Cycle,
+    /// Cycle the stream's grid is anchored at: the first slot is
+    /// `origin + rate`, and the epoch schedule runs relative to `origin`.
+    /// 0 for streams created at host start; the admission clock for
+    /// tenants spliced in mid-run.
+    origin: Cycle,
     // Learner state (dynamic only; counters idle for static).
     counters: PerfCounters,
     epoch_index: u32,
@@ -202,6 +207,15 @@ impl SlotStream {
     /// Creates a stream for an ORAM with access latency `olat` under
     /// `policy`. The first slot is scheduled `rate` cycles after time 0.
     pub fn new(olat: Cycle, policy: RatePolicy) -> Self {
+        Self::starting_at(olat, policy, 0)
+    }
+
+    /// As [`SlotStream::new`], anchoring the grid at `origin` instead of
+    /// time 0: the first slot is `origin + rate`, and the epoch schedule
+    /// `E` runs relative to `origin`. This is how a tenant admitted
+    /// mid-run splices into a host whose clock is already at `origin`
+    /// without materializing a backlog of phantom past-due slots.
+    pub fn starting_at(olat: Cycle, policy: RatePolicy, origin: Cycle) -> Self {
         let initial = match &policy {
             RatePolicy::Static { rate } => {
                 assert!(*rate > 0, "rate must be positive");
@@ -216,7 +230,8 @@ impl SlotStream {
             olat,
             policy,
             current_rate: initial,
-            next_slot: initial,
+            next_slot: origin + initial,
+            origin,
             counters: PerfCounters::new(),
             epoch_index: 0,
             transitions: Vec::new(),
@@ -235,6 +250,12 @@ impl SlotStream {
     /// Time of the next scheduled slot.
     pub fn next_slot(&self) -> Cycle {
         self.next_slot
+    }
+
+    /// Cycle the grid is anchored at (0 unless built with
+    /// [`SlotStream::starting_at`]).
+    pub fn origin(&self) -> Cycle {
+        self.origin
     }
 
     /// The rate currently in force.
@@ -384,7 +405,11 @@ impl SlotStream {
             return;
         };
         let (rates, schedule, divider) = (rates.clone(), *schedule, *divider);
-        while completion >= schedule.epoch_end(self.epoch_index) {
+        // The schedule is public and runs on the stream's own clock: a
+        // stream anchored mid-run at `origin` sees its epochs start there
+        // (`at` in the recorded transition stays global).
+        let local = completion - self.origin;
+        while local >= schedule.epoch_end(self.epoch_index) {
             let epoch_cycles = schedule.epoch_length(self.epoch_index);
             let predictor = RatePredictor::new(divider);
             let raw = predictor.predict_raw(epoch_cycles, &self.counters);
@@ -839,6 +864,48 @@ mod tests {
         let b =
             UnprotectedOramBackend::new(OramConfig::small(), &DdrConfig::default()).expect("valid");
         assert_eq!(b.label(), "base_oram");
+    }
+
+    #[test]
+    fn stream_anchored_mid_run_is_a_pure_translation() {
+        // A stream spliced in at `origin` must behave exactly like a
+        // stream born at time 0 with every observable shifted by
+        // `origin`: slots, real/dummy decisions, waste counters, and the
+        // epoch schedule (which runs on the stream's own clock).
+        let policy = || RatePolicy::Dynamic {
+            rates: RateSet::paper(4),
+            schedule: EpochSchedule::new(14, 2, 20),
+            divider: DividerImpl::ShiftRegister,
+            initial_rate: 1_000,
+        };
+        let origin: Cycle = 3 << 16;
+        let mut anchored = SlotStream::starting_at(100, policy(), origin);
+        let mut base = SlotStream::new(100, policy());
+        assert_eq!(anchored.origin(), origin);
+        assert_eq!(base.origin(), 0);
+        for k in 0..300u64 {
+            // Mix reals (arriving one cycle before the slot) and dummies.
+            let (a, b) = if k % 3 == 0 {
+                (
+                    anchored.serve(Some(anchored.next_slot() - 1)),
+                    base.serve(Some(base.next_slot() - 1)),
+                )
+            } else {
+                (anchored.serve(None), base.serve(None))
+            };
+            assert_eq!(a.start, b.start + origin, "slot {k}");
+            assert_eq!(a.real, b.real, "slot {k}");
+        }
+        assert!(
+            !base.transitions().is_empty(),
+            "test needs epoch transitions to exercise the schedule"
+        );
+        assert_eq!(anchored.transitions().len(), base.transitions().len());
+        for (a, b) in anchored.transitions().iter().zip(base.transitions()) {
+            assert_eq!((a.epoch, a.new_rate), (b.epoch, b.new_rate));
+            assert_eq!(a.at, b.at + origin, "transition times stay global");
+        }
+        assert_eq!(anchored.lifetime_waste(), base.lifetime_waste());
     }
 
     /// Reconstructs the slot timeline that *must* result from a given

@@ -3,6 +3,8 @@
 //! ```text
 //! otc run     [opts]   drive a workload mix through the full stack
 //! otc tenants [opts]   K-tenant saturation sweep (throughput/waste per K)
+//! otc churn   [opts]   drive a fleet through a churn script (admit/evict/
+//!                      resize online) and report the outcome
 //! otc leakage [opts]   leakage budget report (no simulation)
 //! ```
 //!
@@ -24,10 +26,30 @@
 //! --trace N          print the first N observable slot records per
 //!                    tenant (otc run only; used by the CI determinism
 //!                    diff — ignored with a warning elsewhere)
+//! --churn-script S   online churn events applied at round boundaries
+//!                    while the fleet serves (otc churn and otc tenants)
 //! ```
+//!
+//! # Churn scripts
+//!
+//! A script is a `;`-separated list of events, each anchored at a
+//! scheduling round (one round = one quantum of virtual time):
+//!
+//! ```text
+//! @<round> admit <bench> <scheme> [closed]   splice a new tenant in
+//! @<round> evict <tenant-id>                 retire a tenant online
+//! @<round> shards <n>                        resize the backend pool
+//! ```
+//!
+//! Example: `--churn-script '@8 admit mcf dynamic_R4_E4; @16 evict 0;
+//! @24 shards 8'`. Events apply at the *start* of their round — a public
+//! time boundary — and rejected events (saturation, unknown ids) are
+//! reported and skipped deterministically, so seeded re-runs emit
+//! byte-identical output (the CI churn-determinism job diffs exactly
+//! that).
 
 use otc_core::{DividerImpl, EpochSchedule, LeakageModel, RatePolicy, RateSet};
-use otc_host::{render, HostConfig, HostError, LoopMode, MultiTenantHost, TenantSpec};
+use otc_host::{render, HostConfig, HostError, HostReport, LoopMode, MultiTenantHost, TenantSpec};
 use otc_oram::OramConfig;
 use otc_workloads::SpecBenchmark;
 
@@ -38,11 +60,14 @@ fn usage() -> ! {
          subcommands:\n\
          \x20 otc run      drive a workload mix through the full stack\n\
          \x20 otc tenants  K-tenant saturation sweep with per-tenant throughput/waste\n\
+         \x20 otc churn    drive a fleet through an online churn script\n\
          \x20 otc leakage  leakage budget report\n\
          \n\
          options: --tenants N --accesses N --shards N --scheme S --oram small|paper\n\
          \x20        --instructions N --limit BITS --bench a,b,.. --seed N\n\
-         \x20        --closed-loop --trace N\n"
+         \x20        --closed-loop --trace N\n\
+         \x20        --churn-script '@R admit <bench> <scheme> [closed]; @R evict <id>;\n\
+         \x20                        @R shards <n>; ...'\n"
     );
     std::process::exit(2);
 }
@@ -60,6 +85,7 @@ struct Opts {
     seed: u64,
     closed_loop: bool,
     trace: usize,
+    churn_script: Option<String>,
 }
 
 impl Default for Opts {
@@ -76,6 +102,7 @@ impl Default for Opts {
             seed: 0x07C0_57ED,
             closed_loop: false,
             trace: 0,
+            churn_script: None,
         }
     }
 }
@@ -106,6 +133,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--closed-loop" => o.closed_loop = true,
             "--trace" => o.trace = val("--trace").parse().unwrap_or_else(|_| usage()),
+            "--churn-script" => o.churn_script = Some(val("--churn-script")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -188,6 +216,208 @@ fn loop_mode(o: &Opts) -> LoopMode {
     }
 }
 
+/// One churn-script action (see the module docs for the grammar).
+#[derive(Debug, Clone)]
+enum ChurnAction {
+    Admit {
+        bench: SpecBenchmark,
+        policy: RatePolicy,
+        scheme: String,
+        closed: bool,
+    },
+    Evict {
+        id: usize,
+    },
+    Shards {
+        n: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ChurnEvent {
+    round: u64,
+    action: ChurnAction,
+}
+
+/// Parses `@R admit <bench> <scheme> [closed]; @R evict <id>; @R shards
+/// <n>` into round-sorted events (stable, so same-round events keep
+/// script order).
+fn parse_churn_script(s: &str) -> Result<Vec<ChurnEvent>, String> {
+    let mut events = Vec::new();
+    for (i, raw) in s.split(';').enumerate() {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = raw.split_whitespace().collect();
+        let err = |msg: &str| format!("churn event {} ({raw:?}): {msg}", i + 1);
+        let round: u64 = toks[0]
+            .strip_prefix('@')
+            .ok_or_else(|| err("must start with @<round>"))?
+            .parse()
+            .map_err(|_| err("bad round number"))?;
+        let action = match toks.get(1).copied() {
+            Some("admit") => {
+                let bench_name = toks.get(2).ok_or_else(|| err("admit needs <bench>"))?;
+                let scheme = toks.get(3).ok_or_else(|| err("admit needs <scheme>"))?;
+                let closed = match toks.get(4).copied() {
+                    None => false,
+                    Some("closed") => true,
+                    Some(x) => return Err(err(&format!("unknown admit flag {x:?}"))),
+                };
+                ChurnAction::Admit {
+                    bench: parse_bench(bench_name)
+                        .ok_or_else(|| err(&format!("unknown benchmark {bench_name:?}")))?,
+                    policy: parse_policy(scheme)
+                        .ok_or_else(|| err(&format!("bad scheme {scheme:?}")))?,
+                    scheme: scheme.to_string(),
+                    closed,
+                }
+            }
+            Some("evict") => ChurnAction::Evict {
+                id: toks
+                    .get(2)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("evict needs <tenant-id>"))?,
+            },
+            Some("shards") => ChurnAction::Shards {
+                n: toks
+                    .get(2)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("shards needs <n>"))?,
+            },
+            _ => return Err(err("action must be admit|evict|shards")),
+        };
+        events.push(ChurnEvent { round, action });
+    }
+    events.sort_by_key(|e| e.round);
+    Ok(events)
+}
+
+/// Applies one event, printing a deterministic one-line outcome (the CI
+/// churn-determinism job diffs this output across seeded re-runs).
+fn apply_event(host: &mut MultiTenantHost, ev: &ChurnEvent, instructions: u64) {
+    let clock = host.clock();
+    match &ev.action {
+        ChurnAction::Admit {
+            bench,
+            policy,
+            scheme,
+            closed,
+        } => {
+            let name = format!("c{}", host.tenant_count());
+            let mode = if *closed {
+                LoopMode::Closed
+            } else {
+                LoopMode::Open
+            };
+            let outcome = host.admit(
+                &TenantSpec {
+                    name: name.clone(),
+                    benchmark: *bench,
+                    policy: policy.clone(),
+                    instructions,
+                },
+                mode,
+            );
+            match outcome {
+                Ok(id) => println!(
+                    "@{} clock {clock}: admitted {name} ({}, {scheme}, {} loop) as id {id}",
+                    ev.round,
+                    bench.full_name(),
+                    if *closed { "closed" } else { "open" },
+                ),
+                Err(e) => println!("@{} clock {clock}: admit REJECTED: {e}", ev.round),
+            }
+        }
+        ChurnAction::Evict { id } => match host.evict(*id) {
+            Ok(retired) => println!(
+                "@{} clock {clock}: evicted tenant {id} ({retired} due slots retired as dummies)",
+                ev.round
+            ),
+            Err(e) => println!("@{} clock {clock}: evict REJECTED: {e}", ev.round),
+        },
+        ChurnAction::Shards { n } => match host.resize_shards(*n) {
+            Ok(()) => println!("@{} clock {clock}: resized shard pool to {n}", ev.round),
+            Err(e) => println!("@{} clock {clock}: resize REJECTED: {e}", ev.round),
+        },
+    }
+}
+
+/// Drives the host round by round, applying script events at their
+/// round boundaries, until every active tenant has served `target`
+/// slots and every event has fired. A safety cap bounds the run for
+/// scripts/targets that would never finish (very slow rates, events
+/// anchored far past the serving horizon) — hitting it is reported, not
+/// silent, so a truncated report can't be mistaken for a completed one.
+fn run_with_script(
+    host: &mut MultiTenantHost,
+    target: u64,
+    script: &[ChurnEvent],
+    instructions: u64,
+) -> HostReport {
+    const MAX_ROUNDS: u64 = 1 << 14;
+    let mut round = 0u64;
+    let mut next = 0usize;
+    loop {
+        while next < script.len() && script[next].round <= round {
+            apply_event(host, &script[next], instructions);
+            next += 1;
+        }
+        let all_served = (0..host.tenant_count())
+            .all(|id| !host.tenant_active(id) || host.tenant_stream(id).slots_served() >= target);
+        if next >= script.len() && all_served {
+            break;
+        }
+        if round >= MAX_ROUNDS {
+            println!(
+                "NOTE: stopped at the {MAX_ROUNDS}-round safety cap: {} unfired event(s){}",
+                script.len() - next,
+                if all_served {
+                    String::new()
+                } else {
+                    format!(", some tenants under the {target}-slot target")
+                }
+            );
+            break;
+        }
+        host.step_round();
+        round += 1;
+    }
+    host.report()
+}
+
+fn cmd_churn(o: &Opts) {
+    require_tenants(o);
+    let Some(script_text) = &o.churn_script else {
+        eprintln!("otc churn needs --churn-script (see --help for the grammar)");
+        std::process::exit(2);
+    };
+    let script = parse_churn_script(script_text).unwrap_or_else(|e| {
+        eprintln!("otc churn: {e}");
+        std::process::exit(2);
+    });
+    let mut host = match build_fleet(o, o.tenants) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("otc churn: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "otc churn: {} initial tenants, {} shards, scheme {}, {} slots/tenant, {} loop, {} events",
+        o.tenants,
+        o.shards,
+        o.scheme,
+        o.accesses,
+        if o.closed_loop { "closed" } else { "open" },
+        script.len()
+    );
+    let instructions = o.instructions.unwrap_or(o.accesses.saturating_mul(50));
+    let report = run_with_script(&mut host, o.accesses, &script, instructions);
+    print!("{}", render(&report));
+}
+
 fn build_fleet(o: &Opts, k: usize) -> Result<MultiTenantHost, HostError> {
     let policy = parse_policy(&o.scheme).unwrap_or_else(|| {
         eprintln!("bad --scheme (want dynamic_R<n>_E<g> or static_<rate>)");
@@ -256,13 +486,25 @@ fn cmd_run(o: &Opts) {
 
 fn cmd_tenants(o: &Opts) {
     require_tenants(o);
+    let script = match &o.churn_script {
+        Some(text) => parse_churn_script(text).unwrap_or_else(|e| {
+            eprintln!("otc tenants: {e}");
+            std::process::exit(2);
+        }),
+        None => Vec::new(),
+    };
     println!(
-        "otc tenants: saturation sweep K=1..={} | {} shards | scheme {} | {} slots/tenant | {} loop",
+        "otc tenants: saturation sweep K=1..={} | {} shards | scheme {} | {} slots/tenant | {} loop{}",
         o.tenants,
         o.shards,
         o.scheme,
         o.accesses,
-        if o.closed_loop { "closed" } else { "open" }
+        if o.closed_loop { "closed" } else { "open" },
+        if script.is_empty() {
+            String::new()
+        } else {
+            format!(" | churn script ({} events)", script.len())
+        }
     );
     println!(
         "{:<4}{:>14}{:>14}{:>14}{:>14}{:>16}{:>16}",
@@ -278,10 +520,26 @@ fn cmd_tenants(o: &Opts) {
     for k in 1..=o.tenants {
         match build_fleet(o, k) {
             Ok(mut host) => {
-                let report = host.run_until_slots(o.accesses);
-                let fleet_tp: f64 = report.tenants.iter().map(|t| t.throughput_per_mcycle).sum();
-                let mean_waste: f64 = report.tenants.iter().map(|t| t.waste_per_real).sum::<f64>()
-                    / report.tenants.len() as f64;
+                let report = if script.is_empty() {
+                    host.run_until_slots(o.accesses)
+                } else {
+                    let instructions = o.instructions.unwrap_or(o.accesses.saturating_mul(50));
+                    println!("-- K={k} churn log --");
+                    run_with_script(&mut host, o.accesses, &script, instructions)
+                };
+                // Fleet columns cover the *active* fleet: frozen eviction
+                // rows (possible under a churn script) would otherwise
+                // keep their lifetime rates in the sums forever.
+                let active = || report.tenants.iter().filter(|t| t.is_active());
+                let n_active = report.active_tenants().max(1) as f64;
+                // `.max(0.0)` normalizes the -0.0 an empty sum yields
+                // (a fully evicted fleet) so the table prints 0.0.
+                let fleet_tp: f64 = active()
+                    .map(|t| t.throughput_per_mcycle)
+                    .sum::<f64>()
+                    .max(0.0);
+                let mean_waste: f64 =
+                    (active().map(|t| t.waste_per_real).sum::<f64>() / n_active).max(0.0);
                 let max_util = report
                     .shard_utilization
                     .iter()
@@ -289,12 +547,8 @@ fn cmd_tenants(o: &Opts) {
                     .fold(0.0f64, f64::max);
                 // Per-tenant queueing feedback: in closed-loop mode these
                 // backend cycles were actually felt by the tenants' cores.
-                let mean_fb: f64 = report
-                    .tenants
-                    .iter()
-                    .map(|t| t.feedback_cycles)
-                    .sum::<u64>() as f64
-                    / report.tenants.len() as f64;
+                let mean_fb: f64 =
+                    active().map(|t| t.feedback_cycles).sum::<u64>() as f64 / n_active;
                 println!(
                     "{:<4}{:>14.1}{:>14.1}{:>14.1}{:>14}{:>16.0}{:>16.1}",
                     k,
@@ -384,7 +638,54 @@ fn main() {
     match cmd.as_str() {
         "run" => cmd_run(&opts),
         "tenants" => cmd_tenants(&opts),
+        "churn" => cmd_churn(&opts),
         "leakage" => cmd_leakage(&opts),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_script_round_trips() {
+        let script = parse_churn_script(
+            "@8 admit mcf dynamic_R4_E4; @24 shards 8; @16 evict 0; @8 admit hmmer static_900 closed",
+        )
+        .expect("parses");
+        assert_eq!(script.len(), 4);
+        // Round-sorted, stable within a round.
+        assert_eq!(
+            script.iter().map(|e| e.round).collect::<Vec<_>>(),
+            [8, 8, 16, 24]
+        );
+        assert!(matches!(
+            &script[0].action,
+            ChurnAction::Admit { closed: false, .. }
+        ));
+        assert!(matches!(
+            &script[1].action,
+            ChurnAction::Admit { closed: true, .. }
+        ));
+        assert!(matches!(&script[2].action, ChurnAction::Evict { id: 0 }));
+        assert!(matches!(&script[3].action, ChurnAction::Shards { n: 8 }));
+    }
+
+    #[test]
+    fn churn_script_rejects_malformed_events() {
+        for bad in [
+            "admit mcf dynamic_R4_E4",       // missing @round
+            "@x admit mcf dynamic_R4_E4",    // bad round
+            "@1 admit nosuch dynamic_R4_E4", // unknown bench
+            "@1 admit mcf bogus",            // bad scheme
+            "@1 evict",                      // missing id
+            "@1 shards many",                // bad count
+            "@1 retire 0",                   // unknown action
+            "@1 admit mcf static_900 turbo", // unknown flag
+        ] {
+            assert!(parse_churn_script(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(parse_churn_script(" ; ;").expect("empty ok").is_empty());
     }
 }

@@ -1,0 +1,341 @@
+//! A calendar-queue (bucketed timing-wheel) priority queue over tenant
+//! slot times — the data structure that makes the host's scheduling
+//! round cost O(slots due) instead of O(K tenants).
+//!
+//! # Why a calendar queue
+//!
+//! The scheduler's job each round is "serve every slot due before the
+//! quantum frontier, in global slot-time order". A k-way merge answers
+//! that with a linear scan over all K tenants **per served slot** —
+//! O(K · slots) per round, the exact bottleneck the ROADMAP's scale
+//! sweeps hit past dozens of tenants. A calendar queue instead hashes
+//! each tenant's next slot time into a bucket of `width` cycles on a
+//! ring of `n_buckets` slots. Because the frontier only moves forward,
+//! a round visits exactly the buckets overlapping `[cursor, frontier)`
+//! once, touching only the entries that are actually due: insertion and
+//! removal are O(1) bucket ops, and a round costs O(slots due +
+//! quantum/width), independent of K.
+//!
+//! # Bucket-width choice
+//!
+//! Each tenant has exactly one entry (its next slot time), and
+//! reinsertions always move forward by one slot period (`rate + OLAT`).
+//! Two regimes matter:
+//!
+//! * `width` too small → many empty buckets scanned per round (cost
+//!   quantum/width); `width` too large → each bucket holds many due
+//!   entries and the per-bucket min-scan degrades toward the k-way
+//!   merge. A width of `quantum / 16` keeps the empty-bucket overhead
+//!   at a constant 16 visits per round while leaving buckets sparse for
+//!   any fleet the admission controller can accept.
+//! * The ring span (`n_buckets × width`) should exceed the longest slot
+//!   period a tenant can have (slowest candidate rate + OLAT, ≈ 34k
+//!   cycles for the paper's rate set — see `RateSet::paper` — plus the
+//!   10k-cycle dynamic warm-up rate). Entries beyond one span alias
+//!   onto the ring ("next year") and are skipped by the pass check at
+//!   scan time — correct, but each aliased entry costs a skip per pass,
+//!   so the default span (256 buckets × 4096 cycles ≈ 1M cycles) keeps
+//!   every sane period under one span. Only a user-supplied static rate
+//!   in the hundreds of thousands of cycles aliases, and then only that
+//!   tenant pays.
+//!
+//! Ties (two tenants due the same cycle) are broken by a caller-supplied
+//! rank so the host can reproduce the k-way merge's rotating round-robin
+//! tie-break exactly — `churn_props.rs` holds the equivalence property.
+
+use otc_dram::Cycle;
+
+/// One scheduled slot: the key is the host's dense tenant index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    time: Cycle,
+    key: usize,
+}
+
+/// Calendar-queue priority queue mapping tenant keys to their next slot
+/// time. At most one entry per key (enforced by the caller: a tenant is
+/// reinserted only after its previous slot is popped or removed).
+#[derive(Debug, Clone)]
+pub struct CalendarQueue {
+    buckets: Vec<Vec<Entry>>,
+    width: Cycle,
+    /// Absolute (non-wrapped) index of the earliest bucket that may hold
+    /// an entry; advances monotonically except when an insert lands
+    /// earlier.
+    cursor: u64,
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// Builds a queue with `n_buckets` buckets of `width` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `n_buckets == 0`.
+    pub fn new(width: Cycle, n_buckets: usize) -> Self {
+        assert!(width > 0, "calendar bucket width must be positive");
+        assert!(n_buckets > 0, "calendar needs at least one bucket");
+        Self {
+            buckets: vec![Vec::new(); n_buckets],
+            width,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of scheduled entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entry is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bucket width in cycles.
+    pub fn bucket_width(&self) -> Cycle {
+        self.width
+    }
+
+    fn abs_bucket(&self, time: Cycle) -> u64 {
+        time / self.width
+    }
+
+    /// Schedules `key` at `time`. O(1).
+    pub fn insert(&mut self, key: usize, time: Cycle) {
+        let abs = self.abs_bucket(time);
+        if self.is_empty() || abs < self.cursor {
+            self.cursor = abs;
+        }
+        let ring = (abs % self.buckets.len() as u64) as usize;
+        self.buckets[ring].push(Entry { time, key });
+        self.len += 1;
+    }
+
+    /// Removes the entry for `key` scheduled at `time` (both must match
+    /// what was inserted). O(bucket size). Returns whether an entry was
+    /// removed.
+    pub fn remove(&mut self, key: usize, time: Cycle) -> bool {
+        let ring = (self.abs_bucket(time) % self.buckets.len() as u64) as usize;
+        let bucket = &mut self.buckets[ring];
+        match bucket.iter().position(|e| e.key == key && e.time == time) {
+            Some(i) => {
+                bucket.swap_remove(i);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pops the earliest entry strictly before `frontier`; among entries
+    /// due the same cycle, the one with the smallest `rank(key)` wins
+    /// (the host passes its rotating round-robin rank). Returns `None`
+    /// when nothing is due.
+    ///
+    /// Amortized O(entries due + buckets crossed): the cursor never
+    /// revisits a bucket it has drained unless an insert lands there.
+    pub fn pop_due(
+        &mut self,
+        frontier: Cycle,
+        mut rank: impl FnMut(usize) -> usize,
+    ) -> Option<(usize, Cycle)> {
+        if self.is_empty() {
+            return None;
+        }
+        let n = self.buckets.len() as u64;
+        loop {
+            // Everything at or past the frontier is not due; the cursor
+            // lower-bounds all entries, so once it reaches the frontier's
+            // bucket and finds nothing due there, we are done.
+            if self.cursor.saturating_mul(self.width) >= frontier {
+                return None;
+            }
+            let ring = (self.cursor % n) as usize;
+            let mut best: Option<(usize, Entry)> = None;
+            for (i, e) in self.buckets[ring].iter().enumerate() {
+                // Pass check: skip entries that alias from a later span.
+                if e.time / self.width != self.cursor || e.time >= frontier {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => {
+                        e.time < b.time || (e.time == b.time && rank(e.key) < rank(b.key))
+                    }
+                };
+                if better {
+                    best = Some((i, *e));
+                }
+            }
+            match best {
+                Some((i, e)) => {
+                    self.buckets[ring].swap_remove(i);
+                    self.len -= 1;
+                    return Some((e.key, e.time));
+                }
+                None => {
+                    // This bucket holds nothing due in the current pass;
+                    // move on. Entries of this very bucket at or past the
+                    // frontier stay for a later round (the cursor may
+                    // then point at them again because inserts pull it
+                    // back — see `insert`).
+                    let holds_current_pass = self.buckets[ring]
+                        .iter()
+                        .any(|e| e.time / self.width == self.cursor);
+                    if holds_current_pass {
+                        // Due entries exhausted, rest are >= frontier in
+                        // this same bucket: nothing else can be earlier.
+                        return None;
+                    }
+                    self.cursor += 1;
+                }
+            }
+        }
+    }
+
+    /// Iterates all scheduled `(key, time)` pairs in arbitrary order
+    /// (diagnostics and tests).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Cycle)> + '_ {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|e| (e.key, e.time)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut CalendarQueue, frontier: Cycle) -> Vec<(usize, Cycle)> {
+        let mut out = Vec::new();
+        while let Some(x) = q.pop_due(frontier, |k| k) {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order_across_buckets() {
+        let mut q = CalendarQueue::new(64, 8);
+        q.insert(0, 500);
+        q.insert(1, 10);
+        q.insert(2, 300);
+        q.insert(3, 65); // second bucket
+        assert_eq!(
+            drain(&mut q, 1_000),
+            vec![(1, 10), (3, 65), (2, 300), (0, 500)]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn frontier_is_exclusive() {
+        let mut q = CalendarQueue::new(64, 8);
+        q.insert(0, 100);
+        q.insert(1, 200);
+        assert_eq!(drain(&mut q, 200), vec![(0, 100)]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(drain(&mut q, 201), vec![(1, 200)]);
+    }
+
+    #[test]
+    fn ties_break_by_rank() {
+        let mut q = CalendarQueue::new(64, 8);
+        q.insert(5, 100);
+        q.insert(2, 100);
+        q.insert(9, 100);
+        // rank = key: ascending keys pop first.
+        assert_eq!(drain(&mut q, 1_000), vec![(2, 100), (5, 100), (9, 100)]);
+        // Rotating rank: with rank (k + 10 - 5) % 10, key 5 ranks 0.
+        q.insert(5, 100);
+        q.insert(2, 100);
+        q.insert(9, 100);
+        let mut out = Vec::new();
+        while let Some(x) = q.pop_due(1_000, |k| (k + 10 - 5) % 10) {
+            out.push(x);
+        }
+        assert_eq!(out, vec![(5, 100), (9, 100), (2, 100)]);
+    }
+
+    #[test]
+    fn entries_beyond_one_ring_span_alias_correctly() {
+        // Span is 8 × 64 = 512 cycles; an entry a full span later lands
+        // in the same ring slot but must not pop until its own pass.
+        let mut q = CalendarQueue::new(64, 8);
+        q.insert(0, 20);
+        q.insert(1, 20 + 512);
+        q.insert(2, 20 + 2 * 512);
+        assert_eq!(drain(&mut q, 512), vec![(0, 20)]);
+        assert_eq!(drain(&mut q, 2 * 512), vec![(1, 532)]);
+        assert_eq!(drain(&mut q, 3 * 512), vec![(2, 1_044)]);
+    }
+
+    #[test]
+    fn insert_behind_cursor_is_found() {
+        let mut q = CalendarQueue::new(64, 8);
+        q.insert(0, 400);
+        assert_eq!(drain(&mut q, 500), vec![(0, 400)]);
+        // Cursor has advanced past bucket 0; a new early entry must
+        // still pop (reinsertion after a pop can land in an earlier
+        // bucket than the cursor when the pop emptied the queue).
+        q.insert(1, 30);
+        assert_eq!(drain(&mut q, 500), vec![(1, 30)]);
+    }
+
+    #[test]
+    fn remove_deletes_exactly_the_keyed_entry() {
+        let mut q = CalendarQueue::new(64, 8);
+        q.insert(0, 100);
+        q.insert(1, 100);
+        q.insert(2, 130);
+        assert!(q.remove(1, 100));
+        assert!(!q.remove(1, 100), "double remove must report false");
+        assert!(!q.remove(0, 130), "time must match the insertion");
+        assert_eq!(drain(&mut q, 1_000), vec![(0, 100), (2, 130)]);
+    }
+
+    #[test]
+    fn interleaved_insert_pop_matches_naive_merge() {
+        // Randomized mini-model: a naive sorted vec against the calendar
+        // queue under interleaved inserts/pops with a moving frontier.
+        let mut rng = otc_crypto::SplitMix64::new(0xCA1E);
+        for _ in 0..200 {
+            let width = 1 + rng.next_below(200);
+            let n_buckets = 1 + rng.next_below(32) as usize;
+            let mut q = CalendarQueue::new(width, n_buckets);
+            let mut model: Vec<(usize, Cycle)> = Vec::new();
+            let mut frontier = 0u64;
+            for key in 0..8usize {
+                let t = rng.next_below(4_000);
+                q.insert(key, t);
+                model.push((key, t));
+            }
+            for _ in 0..40 {
+                frontier += rng.next_below(800);
+                loop {
+                    let got = q.pop_due(frontier, |k| k);
+                    // Model: earliest time, then smallest key.
+                    let want = model
+                        .iter()
+                        .filter(|&&(_, t)| t < frontier)
+                        .min_by_key(|&&(k, t)| (t, k))
+                        .copied();
+                    assert_eq!(got, want, "width {width} buckets {n_buckets}");
+                    match got {
+                        Some((k, t)) => {
+                            model.retain(|&e| e != (k, t));
+                            // Reinsert like the scheduler: one period on.
+                            let nt = t + 1 + rng.next_below(1_500);
+                            q.insert(k, nt);
+                            model.push((k, nt));
+                        }
+                        None => break,
+                    }
+                }
+            }
+            assert_eq!(q.len(), model.len());
+        }
+    }
+}

@@ -5,27 +5,57 @@
 //!
 //! Each tenant owns a [`SlotStream`] (the enforcer timeline of
 //! `otc-core`, factored out for exactly this purpose): its observable
-//! access times are `s_0 = r`, `s_{k+1} = s_k + OLAT + r`, with `r`
-//! evolving only at public epoch boundaries. The scheduler works in
-//! quantum-sized batches of virtual time: each round it pulls every
-//! tenant's traffic arrivals up to the next frontier (rotating
-//! round-robin), then serves *all* slots due before the frontier in
-//! global slot-time order against the shared [`ShardedOram`]. Real
-//! requests go to the shard owning the (tenant-tagged) address; each
-//! dummy's shard is drawn uniformly from the tenant's own PRNG.
+//! access times are `s_0 = origin + r`, `s_{k+1} = s_k + OLAT + r`, with
+//! `r` evolving only at public epoch boundaries and `origin` the
+//! tenant's admission time. The scheduler works in quantum-sized batches
+//! of virtual time: each round it serves *all* slots due before the next
+//! frontier in global slot-time order against the shared
+//! [`ShardedOram`], pulling each tenant's traffic arrivals lazily as its
+//! slots come due. Real requests go to the shard owning the
+//! (tenant-tagged) address; each dummy's shard is drawn uniformly from
+//! the tenant's own PRNG.
+//!
+//! Due slots are found through a [`CalendarQueue`] keyed by global slot
+//! time, so a round costs O(slots due + quantum/bucket-width) instead of
+//! the O(K tenants) per served slot a k-way merge pays; the merge
+//! survives as [`SchedulerKind::Merge`], the reference implementation
+//! the equivalence property tests (and the K-scaling sweep in
+//! `fig_multi_tenant`) compare against.
+//!
+//! # Online churn
+//!
+//! Tenants arrive and leave while the host serves traffic:
+//!
+//! * [`MultiTenantHost::admit`] authorizes a tenant's leakage
+//!   parameters and splices its slot stream into the calendar mid-run —
+//!   the new grid is anchored at the admission clock
+//!   ([`SlotStream::starting_at`]), so no phantom past-due slots
+//!   materialize and no other tenant's stream moves.
+//! * [`MultiTenantHost::evict`] retires any still-due slots as dummies,
+//!   freezes the tenant's ledger entry (fleet sums are conserved — an
+//!   eviction never un-spends bits), drops its queued arrivals, and
+//!   removes its calendar entry. Other tenants' streams are untouched:
+//!   eviction is an O(1) bucket op, not a drain.
+//! * [`MultiTenantHost::resize_shards`] grows or shrinks the backend
+//!   shard pool online; re-balancing is incremental in that only
+//!   accesses issued after the resize route over the new interleave —
+//!   nothing pauses, nothing drains.
 //!
 //! Two invariants make multi-tenancy leakage-sound:
 //!
 //! 1. **Per-tenant periodicity** — a tenant's slot times are computed
 //!    from its own stream state only; the scheduler never moves, drops,
-//!    or reorders a slot because of another tenant. Cross-tenant
+//!    or reorders a slot because of another tenant (churn events
+//!    included — see `tests/churn_isolation.rs`). Cross-tenant
 //!    contention shows up as internal shard queueing
 //!    ([`ShardedOram::queueing_cycles`]), never in the observable grid.
 //! 2. **Admission-controlled capacity** — a tenant is admitted only if
-//!    the fleet's worst-case slot demand (every tenant at its fastest
-//!    candidate rate) fits within the shards' aggregate service
+//!    the fleet's worst-case slot demand (every *active* tenant at its
+//!    fastest candidate rate) fits within the shards' aggregate service
 //!    bandwidth, so invariant 1 is sustainable, not aspirational.
+//!    Eviction returns its capacity to the pool.
 
+use crate::calendar::CalendarQueue;
 use crate::ledger::LeakageLedger;
 use crate::shard::ShardedOram;
 use crate::tenant::TenantDirectory;
@@ -38,28 +68,36 @@ use otc_sim::AccessKind;
 use otc_workloads::SpecBenchmark;
 use std::collections::VecDeque;
 
+/// Cap on recorded serve-log entries (memory guard, mirroring the
+/// per-stream trace cap in `otc-core`).
+const SERVE_LOG_CAP: usize = 4_000_000;
+
 /// Host-level errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HostError {
     /// The tenant's leakage parameters exceed the processor's limit, or
     /// session establishment failed.
     Session(SessionError),
-    /// Admitting the tenant would oversubscribe the shards: worst-case
-    /// fleet slot demand (in shard-equivalents) against available
-    /// capacity.
+    /// Admitting the tenant (or shrinking the shard pool) would
+    /// oversubscribe the shards: worst-case fleet slot demand (in
+    /// shard-equivalents) against available capacity.
     Saturated {
-        /// Shard-equivalents the fleet would demand with the new tenant.
+        /// Shard-equivalents the fleet would demand.
         demanded: f64,
         /// Shard-equivalents available under the utilization cap.
         available: f64,
     },
-    /// Tenant admission was attempted after the scheduler already ran.
-    /// A [`crate::SlotStream`]'s grid starts at time 0, so admitting
-    /// mid-run would materialize a backlog of phantom past-due slots;
-    /// online churn (dynamic re-admission) is a roadmap item.
-    LateAdmission {
-        /// The host clock at the attempted admission.
-        clock: Cycle,
+    /// The tenant id is not registered with this host.
+    UnknownTenant {
+        /// The offending id.
+        id: usize,
+    },
+    /// The tenant was already evicted.
+    AlreadyEvicted {
+        /// The offending id.
+        id: usize,
+        /// Host clock at which it was evicted.
+        at: Cycle,
     },
     /// ORAM construction / configuration failure.
     Build(String),
@@ -76,10 +114,10 @@ impl std::fmt::Display for HostError {
                 f,
                 "saturated: fleet demands {demanded:.2} shard-equivalents, {available:.2} available"
             ),
-            HostError::LateAdmission { clock } => write!(
-                f,
-                "tenants must be admitted before the scheduler runs (clock is already {clock})"
-            ),
+            HostError::UnknownTenant { id } => write!(f, "unknown tenant id {id}"),
+            HostError::AlreadyEvicted { id, at } => {
+                write!(f, "tenant {id} was already evicted at cycle {at}")
+            }
             HostError::Build(e) => write!(f, "build: {e}"),
         }
     }
@@ -91,6 +129,21 @@ impl From<SessionError> for HostError {
     fn from(e: SessionError) -> Self {
         HostError::Session(e)
     }
+}
+
+/// Which due-slot finder the scheduler runs (identical serve order —
+/// `churn_props.rs` holds the equivalence property; they differ only in
+/// per-round cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Calendar-queue (bucketed timing wheel): O(slots due) per round,
+    /// O(1) tenant insertion/removal. The production default.
+    #[default]
+    Calendar,
+    /// Linear k-way merge over all tenants per served slot: O(K · slots
+    /// due) per round. Kept as the reference implementation for the
+    /// equivalence tests and the K-scaling comparison sweep.
+    Merge,
 }
 
 /// Host configuration.
@@ -111,9 +164,19 @@ pub struct HostConfig {
     pub max_shard_utilization: f64,
     /// Seed for the directory's protocol randomness.
     pub seed: u64,
-    /// Whether tenant slot traces are recorded (tests/analysis; off for
-    /// long sweeps).
+    /// Whether tenant slot traces and the global serve log are recorded
+    /// (tests/analysis; off for long sweeps).
     pub record_traces: bool,
+    /// Due-slot finder (see [`SchedulerKind`]).
+    pub scheduler: SchedulerKind,
+    /// Calendar bucket width in cycles. The default (`quantum / 16`)
+    /// bounds empty-bucket scans at 16 per round; see the `calendar`
+    /// module docs for the width/rate-period trade-off.
+    pub calendar_bucket_width: Cycle,
+    /// Calendar ring size in buckets. The default span (256 × 4096 ≈ 1M
+    /// cycles) exceeds every slot period the paper's rate sets produce,
+    /// so entries almost never alias onto a later pass of the ring.
+    pub calendar_buckets: usize,
 }
 
 impl Default for HostConfig {
@@ -127,6 +190,9 @@ impl Default for HostConfig {
             max_shard_utilization: 0.9,
             seed: 0x07C0_57ED,
             record_traces: false,
+            scheduler: SchedulerKind::Calendar,
+            calendar_bucket_width: 1 << 12,
+            calendar_buckets: 256,
         }
     }
 }
@@ -182,6 +248,13 @@ impl TenantSpec {
     }
 }
 
+/// Lifecycle state of one tenant slot on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TenantState {
+    Active,
+    Evicted { at: Cycle },
+}
+
 struct TenantRuntime {
     id: usize,
     benchmark: SpecBenchmark,
@@ -189,6 +262,10 @@ struct TenantRuntime {
     traffic: TenantTraffic,
     lookahead: Option<Request>,
     pending: VecDeque<Request>,
+    state: TenantState,
+    /// Host clock at admission; the stream's grid and the frontend's
+    /// tenant-local arrival clock are both anchored here.
+    origin: Cycle,
     /// Per-tenant address tag: a SplitMix64 draw XORed onto line
     /// addresses so each tenant's miss stream spreads across shards
     /// uniformly and decorrelated from other tenants'. This is *routing*
@@ -208,6 +285,27 @@ struct TenantRuntime {
     queueing_cycles: Cycle,
 }
 
+impl TenantRuntime {
+    fn is_active(&self) -> bool {
+        self.state == TenantState::Active
+    }
+}
+
+/// One entry of the global serve log (recorded when
+/// [`HostConfig::record_traces`] is on): whose slot was served at which
+/// global cycle. The cross-tenant *ordering* is what the
+/// calendar-vs-merge equivalence properties key on — per-tenant traces
+/// alone cannot distinguish tie-break order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedSlot {
+    /// Tenant id whose slot was served.
+    pub tenant: usize,
+    /// Global cycle the slot started.
+    pub start: Cycle,
+    /// Whether the slot carried a real request.
+    pub real: bool,
+}
+
 /// One tenant's share of a [`HostReport`].
 #[derive(Debug, Clone)]
 pub struct TenantReport {
@@ -225,7 +323,9 @@ pub struct TenantReport {
     pub real_served: u64,
     /// Fraction of slots that were dummies.
     pub dummy_fraction: f64,
-    /// Real accesses per million cycles of host time.
+    /// Real accesses per million cycles of the tenant's own serving
+    /// lifetime (admission until eviction or the current clock), so
+    /// tenants admitted or evicted mid-run report undistorted rates.
     pub throughput_per_mcycle: f64,
     /// Cumulative Fig. 4 waste cycles.
     pub waste_cycles: u64,
@@ -249,12 +349,22 @@ pub struct TenantReport {
     /// Closed-loop only: total backend cycles fed back into the tenant's
     /// clock (Σ service completion − request arrival); 0 for open-loop.
     pub feedback_cycles: u64,
+    /// Host clock at admission (0 for tenants admitted before the
+    /// scheduler first ran).
+    pub admitted_at: Cycle,
+    /// Host clock at eviction; `None` while the tenant is active.
+    pub evicted_at: Option<Cycle>,
 }
 
 impl TenantReport {
     /// Whether the tenant stayed within its leakage budget.
     pub fn within_budget(&self) -> bool {
         crate::ledger::within_budget_bits(self.spent_bits, self.budget_bits)
+    }
+
+    /// Whether the tenant is still being served.
+    pub fn is_active(&self) -> bool {
+        self.evicted_at.is_none()
     }
 }
 
@@ -263,17 +373,20 @@ impl TenantReport {
 pub struct HostReport {
     /// Virtual cycles the host advanced.
     pub horizon: Cycle,
-    /// Per-tenant rows, in id order.
+    /// Per-tenant rows, in id order (evicted tenants keep their frozen
+    /// rows: the ledger never forgets).
     pub tenants: Vec<TenantReport>,
-    /// Total accesses (real + dummy) per shard.
+    /// Total accesses (real + dummy) per live shard.
     pub shard_accesses: Vec<u64>,
+    /// Accesses served by shards since retired by a shrink.
+    pub retired_shard_accesses: u64,
     /// Per-shard busy fraction over the horizon.
     pub shard_utilization: Vec<f64>,
     /// Cycles slots spent queued behind busy shards (internal metric).
     pub shard_queueing_cycles: u64,
-    /// Sum of per-tenant budgets (bits).
+    /// Sum of per-tenant budgets (bits), frozen tenants included.
     pub fleet_budget_bits: f64,
-    /// Sum of per-tenant bits revealed (bits).
+    /// Sum of per-tenant bits revealed (bits), frozen tenants included.
     pub fleet_spent_bits: f64,
 }
 
@@ -281,6 +394,11 @@ impl HostReport {
     /// Whether every tenant stayed within its budget.
     pub fn all_within_budget(&self) -> bool {
         self.tenants.iter().all(TenantReport::within_budget)
+    }
+
+    /// Number of tenants still being served.
+    pub fn active_tenants(&self) -> usize {
+        self.tenants.iter().filter(|t| t.is_active()).count()
     }
 }
 
@@ -291,6 +409,10 @@ pub struct MultiTenantHost {
     directory: TenantDirectory,
     ledger: LeakageLedger,
     tenants: Vec<TenantRuntime>,
+    /// Next slot time per active tenant, keyed by tenant id. Maintained
+    /// (and consulted) only under [`SchedulerKind::Calendar`].
+    calendar: CalendarQueue,
+    serve_log: Vec<ServedSlot>,
     clock: Cycle,
     rotation: usize,
 }
@@ -299,6 +421,7 @@ impl std::fmt::Debug for MultiTenantHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiTenantHost")
             .field("tenants", &self.tenants.len())
+            .field("active", &self.active_tenants())
             .field("shards", &self.sharded.n_shards())
             .field("clock", &self.clock)
             .finish()
@@ -310,25 +433,42 @@ impl MultiTenantHost {
     ///
     /// # Errors
     ///
-    /// [`HostError::Build`] on invalid ORAM geometry or zero shards.
+    /// [`HostError::Build`] on invalid ORAM geometry, zero shards, or a
+    /// degenerate calendar configuration.
     pub fn new(cfg: HostConfig) -> Result<Self, HostError> {
         let sharded =
             ShardedOram::new(&cfg.oram, &cfg.ddr, cfg.n_shards).map_err(HostError::Build)?;
+        if cfg.calendar_bucket_width == 0 {
+            return Err(HostError::Build("calendar bucket width must be > 0".into()));
+        }
+        if cfg.calendar_buckets == 0 {
+            return Err(HostError::Build(
+                "calendar needs at least one bucket".into(),
+            ));
+        }
         let directory = TenantDirectory::new(cfg.leakage_limit_bits, cfg.seed);
+        let calendar = CalendarQueue::new(cfg.calendar_bucket_width, cfg.calendar_buckets);
         Ok(Self {
             cfg,
             sharded,
             directory,
             ledger: LeakageLedger::new(),
             tenants: Vec::new(),
+            calendar,
+            serve_log: Vec::new(),
             clock: 0,
             rotation: 0,
         })
     }
 
-    /// Worst-case shard-equivalents the current fleet demands.
+    /// Worst-case shard-equivalents the *active* fleet demands (evicted
+    /// tenants return their share to the pool).
     pub fn fleet_demand(&self) -> f64 {
-        self.tenants.iter().map(|t| t.worst_case_util).sum()
+        self.tenants
+            .iter()
+            .filter(|t| t.is_active())
+            .map(|t| t.worst_case_util)
+            .sum()
     }
 
     /// Shard-equivalents available under the admission cap.
@@ -336,33 +476,41 @@ impl MultiTenantHost {
         self.sharded.n_shards() as f64 * self.cfg.max_shard_utilization
     }
 
-    /// Admits a tenant: leakage authorization (directory), capacity check
-    /// (admission control), stream + frontend construction. Returns the
-    /// tenant id.
+    /// Admits an open-loop tenant (online: works at any host clock).
+    /// Returns the tenant id.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiTenantHost::admit`].
+    pub fn add_tenant(&mut self, spec: &TenantSpec) -> Result<usize, HostError> {
+        self.admit(spec, LoopMode::Open)
+    }
+
+    /// As [`MultiTenantHost::add_tenant`], choosing the tenant frontend's
+    /// feedback discipline (see the `traffic` module docs for the
+    /// open-vs-closed trade-off).
+    pub fn add_tenant_with_mode(
+        &mut self,
+        spec: &TenantSpec,
+        mode: LoopMode,
+    ) -> Result<usize, HostError> {
+        self.admit(spec, mode)
+    }
+
+    /// Admits a tenant *online*: leakage authorization (directory),
+    /// capacity check against the active fleet, stream + frontend
+    /// construction, and an O(1) splice of its first slot into the
+    /// calendar. The tenant's grid is anchored at the current clock —
+    /// always a round boundary, hence a public time — so admission never
+    /// perturbs any other tenant's stream and never materializes
+    /// past-due slots. Returns the tenant id.
     ///
     /// # Errors
     ///
     /// [`HostError::Session`] when the leakage parameters exceed the
     /// processor's limit; [`HostError::Saturated`] when the shards cannot
     /// absorb the tenant's worst-case slot demand.
-    pub fn add_tenant(&mut self, spec: &TenantSpec) -> Result<usize, HostError> {
-        self.add_tenant_with_mode(spec, LoopMode::Open)
-    }
-
-    /// As [`MultiTenantHost::add_tenant`], choosing the tenant frontend's
-    /// feedback discipline. [`LoopMode::Closed`] runs the full stepped
-    /// core and feeds actual shard service + queueing cycles back into
-    /// the tenant's virtual clock — higher fidelity, but the tenant's
-    /// arrival process (not its slot grid) becomes co-tenant-dependent;
-    /// see the `traffic` module docs for the trade-off.
-    pub fn add_tenant_with_mode(
-        &mut self,
-        spec: &TenantSpec,
-        mode: LoopMode,
-    ) -> Result<usize, HostError> {
-        if self.clock > 0 {
-            return Err(HostError::LateAdmission { clock: self.clock });
-        }
+    pub fn admit(&mut self, spec: &TenantSpec, mode: LoopMode) -> Result<usize, HostError> {
         let util = spec.worst_case_utilization(self.sharded.olat());
         let demanded = self.fleet_demand() + util;
         let available = self.capacity();
@@ -374,12 +522,17 @@ impl MultiTenantHost {
         }
         let params = spec.leakage_params();
         let id = self.directory.register(&spec.name, params)?;
+        debug_assert_eq!(id, self.tenants.len(), "directory and runtime in lockstep");
         self.ledger
             .add_tenant(id, params.rate_count, params.schedule);
-        let mut stream = SlotStream::new(self.sharded.olat(), spec.policy.clone());
+        let origin = self.clock;
+        let mut stream = SlotStream::starting_at(self.sharded.olat(), spec.policy.clone(), origin);
         stream.set_trace_recording(self.cfg.record_traces);
         let mut rng = SplitMix64::new(self.cfg.seed ^ (id as u64 + 1));
         let addr_tag = rng.next_u64();
+        if self.cfg.scheduler == SchedulerKind::Calendar {
+            self.calendar.insert(id, stream.next_slot());
+        }
         self.tenants.push(TenantRuntime {
             id,
             benchmark: spec.benchmark,
@@ -387,6 +540,8 @@ impl MultiTenantHost {
             traffic: TenantTraffic::with_mode(spec.benchmark, spec.instructions, mode),
             lookahead: None,
             pending: VecDeque::new(),
+            state: TenantState::Active,
+            origin,
             addr_tag,
             rng,
             worst_case_util: util,
@@ -395,9 +550,121 @@ impl MultiTenantHost {
         Ok(id)
     }
 
-    /// Number of admitted tenants.
+    /// Evicts tenant `id` online. Any slots of its grid still due at the
+    /// current clock are retired as dummies (so the observable stream
+    /// ends exactly on its own grid, never mid-slot), its queued
+    /// arrivals are dropped unserved, its calendar entry is removed
+    /// (O(1) bucket op — no other tenant's stream pauses), and its
+    /// ledger entry is frozen in place: the fleet's budget and spent
+    /// sums are conserved, an eviction never un-spends bits. Returns the
+    /// number of dummy slots retired (0 when called between rounds, the
+    /// normal case).
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownTenant`] / [`HostError::AlreadyEvicted`].
+    pub fn evict(&mut self, id: usize) -> Result<u64, HostError> {
+        if id >= self.tenants.len() {
+            return Err(HostError::UnknownTenant { id });
+        }
+        if let TenantState::Evicted { at } = self.tenants[id].state {
+            return Err(HostError::AlreadyEvicted { id, at });
+        }
+        let clock = self.clock;
+        let rt = &mut self.tenants[id];
+        if self.cfg.scheduler == SchedulerKind::Calendar {
+            let removed = self.calendar.remove(id, rt.stream.next_slot());
+            debug_assert!(
+                removed,
+                "calendar entry out of sync with tenant {id}'s stream"
+            );
+        }
+        // Retire still-due slots as dummies. Under the scheduler's own
+        // invariant (every due slot is served before the clock advances)
+        // this loop never iterates — `churn_props.rs` asserts retired ==
+        // 0 — so it is a release-mode safety net: if that invariant ever
+        // breaks, eviction still ends the stream on its own grid instead
+        // of abandoning due slots.
+        let mut retired = 0u64;
+        while rt.stream.next_slot() < clock {
+            Self::serve_dummy(
+                rt,
+                &mut self.sharded,
+                &mut self.serve_log,
+                self.cfg.record_traces,
+            );
+            retired += 1;
+        }
+        // Final ledger sync, then freeze the row where it stands.
+        self.ledger
+            .record_transitions(id, rt.stream.transitions().len() as u64);
+        self.ledger.freeze(id);
+        rt.pending.clear();
+        rt.lookahead = None;
+        rt.state = TenantState::Evicted { at: clock };
+        self.directory.mark_evicted(id);
+        Ok(retired)
+    }
+
+    /// Resizes the shard pool online to `n_shards`. Growing adds fresh,
+    /// idle shards; shrinking retires the highest-indexed shards (their
+    /// access counters are preserved in
+    /// [`ShardedOram::retired_accesses`]). Re-balancing is incremental:
+    /// only accesses issued after the resize route over the new
+    /// interleave, so no tenant's stream pauses and no drain happens —
+    /// the slot grids are pure timing and never move. Shrinking is
+    /// refused if the active fleet's worst-case demand would no longer
+    /// fit.
+    ///
+    /// The host discards access payloads (timing is the product), so no
+    /// data migration happens; a payload-preserving resize would need
+    /// the oblivious re-shuffle pass the ROADMAP lists.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Saturated`] when the active fleet would oversubscribe
+    /// the shrunk pool; [`HostError::Build`] for a zero-shard request.
+    pub fn resize_shards(&mut self, n_shards: usize) -> Result<(), HostError> {
+        if n_shards == 0 {
+            return Err(HostError::Build(
+                "a sharded ORAM needs at least one shard".into(),
+            ));
+        }
+        let available = n_shards as f64 * self.cfg.max_shard_utilization;
+        let demanded = self.fleet_demand();
+        if demanded > available {
+            return Err(HostError::Saturated {
+                demanded,
+                available,
+            });
+        }
+        self.sharded.resize(n_shards).map_err(HostError::Build)?;
+        self.cfg.n_shards = n_shards;
+        Ok(())
+    }
+
+    /// Number of tenants ever admitted (evicted ones included — ids are
+    /// dense and never reused).
     pub fn tenant_count(&self) -> usize {
         self.tenants.len()
+    }
+
+    /// Number of tenants currently being served.
+    pub fn active_tenants(&self) -> usize {
+        self.tenants.iter().filter(|t| t.is_active()).count()
+    }
+
+    /// Whether tenant `id` is still being served.
+    pub fn tenant_active(&self, id: usize) -> bool {
+        self.tenants.get(id).is_some_and(TenantRuntime::is_active)
+    }
+
+    /// Host clock at which tenant `id` was evicted, if it was.
+    pub fn evicted_at(&self, id: usize) -> Option<Cycle> {
+        match self.tenants.get(id)?.state {
+            TenantState::Active => None,
+            TenantState::Evicted { at } => Some(at),
+        }
     }
 
     /// Virtual time reached so far.
@@ -426,22 +693,31 @@ impl MultiTenantHost {
         &self.tenants[id].stream
     }
 
-    /// Pulls `rt`'s arrivals (tagged for shard routing) into its pending
-    /// queue up to `frontier`, stopping at a suspended closed-loop core
-    /// or program end.
-    fn pull_arrivals(rt: &mut TenantRuntime, frontier: Cycle) {
+    /// The global serve log (empty unless [`HostConfig::record_traces`]
+    /// is set): every served slot in exact service order.
+    pub fn serve_log(&self) -> &[ServedSlot] {
+        &self.serve_log
+    }
+
+    /// Pulls `rt`'s arrivals (tagged for shard routing, shifted onto the
+    /// host clock by the tenant's admission origin) into its pending
+    /// queue up to `until`, stopping at a suspended closed-loop core or
+    /// program end. Called lazily — for a tenant's due slot, not for the
+    /// whole fleet per round — so idle tenants cost nothing.
+    fn pull_arrivals(rt: &mut TenantRuntime, until: Cycle) {
         loop {
             if rt.lookahead.is_none() {
                 rt.lookahead = match rt.traffic.poll() {
                     TrafficPull::Request(mut r) => {
                         r.line_addr ^= rt.addr_tag;
+                        r.at += rt.origin;
                         Some(r)
                     }
                     TrafficPull::AwaitingService | TrafficPull::Exhausted => None,
                 };
             }
             match rt.lookahead {
-                Some(r) if r.at <= frontier => {
+                Some(r) if r.at <= until => {
                     rt.pending.push_back(r);
                     rt.lookahead = None;
                 }
@@ -450,43 +726,73 @@ impl MultiTenantHost {
         }
     }
 
-    /// Runs one scheduling round: pulls each tenant's arrivals up to the
-    /// next quantum frontier (round-robin), then serves all due slots in
-    /// **global slot-time order** (a k-way merge over the tenants' grids,
-    /// rotating tie-break). Time-ordered service keeps the shards'
-    /// queueing accounting honest and matches what the appliance hardware
-    /// would do; per-tenant batching caps how many consecutive slots one
-    /// tenant can absorb per round.
+    /// Serves one dummy slot for `rt`: shard drawn from the tenant's own
+    /// PRNG, queueing accrued, serve log appended (capped). Shared by
+    /// the scheduler's dummy branch and eviction's retire-as-dummies
+    /// drain so the two accounting paths stay in lockstep.
+    fn serve_dummy(
+        rt: &mut TenantRuntime,
+        sharded: &mut ShardedOram,
+        serve_log: &mut Vec<ServedSlot>,
+        record: bool,
+    ) {
+        let shard = rt.rng.next_below(sharded.n_shards() as u64) as usize;
+        let outcome = rt.stream.serve(None);
+        let service = sharded.dummy_access(shard, outcome.start);
+        rt.queueing_cycles += service.queued_cycles;
+        if record && serve_log.len() < SERVE_LOG_CAP {
+            serve_log.push(ServedSlot {
+                tenant: rt.id,
+                start: outcome.start,
+                real: false,
+            });
+        }
+    }
+
+    /// Finds the next due slot via the reference k-way merge: the
+    /// earliest `next_slot < frontier` over all active tenants, rotation
+    /// breaking ties so no tenant systematically goes first. O(K) per
+    /// call — this is exactly the cost the calendar queue removes.
+    fn pick_merge(&self, frontier: Cycle) -> Option<(usize, Cycle)> {
+        let n = self.tenants.len();
+        let mut pick: Option<(usize, Cycle)> = None;
+        for k in 0..n {
+            let idx = (self.rotation + k) % n;
+            if !self.tenants[idx].is_active() {
+                continue;
+            }
+            let s = self.tenants[idx].stream.next_slot();
+            if s < frontier && pick.is_none_or(|(_, best)| s < best) {
+                pick = Some((idx, s));
+            }
+        }
+        pick
+    }
+
+    /// Runs one scheduling round: serves every slot due before the next
+    /// quantum frontier in **global slot-time order**, pulling each
+    /// tenant's arrivals lazily as its slots come due. Time-ordered
+    /// service keeps the shards' queueing accounting honest and matches
+    /// what the appliance hardware would do.
     pub fn step_round(&mut self) {
         let frontier = self.clock + self.cfg.quantum;
         let n = self.tenants.len();
-        // Phase 1 (round-robin): pull arrivals up to the frontier. A
-        // closed-loop tenant stops early when its core suspends on a
-        // demand read — phase 2 re-pulls it as soon as that read's
-        // service completion is fed back.
-        for k in 0..n {
-            let idx = (self.rotation + k) % n;
-            Self::pull_arrivals(&mut self.tenants[idx], frontier);
-        }
-        // Phase 2 (merge): serve every slot due before the frontier, in
-        // global slot-time order — a k-way merge over the tenants' grids.
-        // Time-ordered service keeps the shards' queueing accounting
-        // honest, and serving *all* due slots means no tenant can fall
-        // behind its own grid (admission already bounds total demand).
-        let n_shards = self.sharded.n_shards() as u64;
+        let rotation = self.rotation;
         loop {
-            // Earliest due slot; rotation breaks ties so no tenant
-            // systematically goes first.
-            let mut pick: Option<(usize, Cycle)> = None;
-            for k in 0..n {
-                let idx = (self.rotation + k) % n;
-                let s = self.tenants[idx].stream.next_slot();
-                if s < frontier && pick.is_none_or(|(_, best)| s < best) {
-                    pick = Some((idx, s));
-                }
-            }
+            let pick = match self.cfg.scheduler {
+                SchedulerKind::Calendar => self
+                    .calendar
+                    .pop_due(frontier, |key| (key + n - rotation) % n),
+                SchedulerKind::Merge => self.pick_merge(frontier),
+            };
             let Some((idx, slot)) = pick else { break };
+            debug_assert_eq!(self.tenants[idx].stream.next_slot(), slot);
             let rt = &mut self.tenants[idx];
+            // Lazy arrival pull: everything that arrived by this slot's
+            // start decides real-vs-dummy; later arrivals wait for the
+            // tenant's own later slots, exactly as with the old eager
+            // per-round pull.
+            Self::pull_arrivals(rt, slot);
             let eligible = matches!(rt.pending.front(), Some(p) if p.at <= slot);
             if eligible {
                 let req = rt.pending.pop_front().expect("front exists");
@@ -502,39 +808,70 @@ impl MultiTenantHost {
                 // Closed-loop feedback: the tenant's core is suspended on
                 // its demand read; resume it with the service completion
                 // it actually observed (slot wait + queueing + OLAT),
-                // then pull the arrivals the resumed core can now produce
-                // so this round's later slots can serve them.
+                // translated back onto the tenant-local clock. The
+                // arrivals the resumed core can now produce are pulled
+                // lazily at its next due slot.
                 if rt.traffic.is_closed_loop() && req.kind == AccessKind::Read {
-                    rt.traffic.complete(service.completion);
-                    Self::pull_arrivals(rt, frontier);
+                    rt.traffic.complete(service.completion - rt.origin);
+                }
+                if self.cfg.record_traces && self.serve_log.len() < SERVE_LOG_CAP {
+                    self.serve_log.push(ServedSlot {
+                        tenant: rt.id,
+                        start: slot,
+                        real: true,
+                    });
                 }
             } else {
-                let shard = rt.rng.next_below(n_shards) as usize;
-                let outcome = rt.stream.serve(None);
-                let service = self.sharded.dummy_access(shard, outcome.start);
-                rt.queueing_cycles += service.queued_cycles;
+                Self::serve_dummy(
+                    rt,
+                    &mut self.sharded,
+                    &mut self.serve_log,
+                    self.cfg.record_traces,
+                );
             }
-        }
-        for rt in &self.tenants {
+            if self.cfg.scheduler == SchedulerKind::Calendar {
+                self.calendar.insert(idx, rt.stream.next_slot());
+            }
+            // Ledger sync per served slot (transitions only move when a
+            // slot is served, so untouched tenants need no sweep).
             self.ledger
                 .record_transitions(rt.id, rt.stream.transitions().len() as u64);
+        }
+        // Churn-safe lag check (debug builds only): every *active*
+        // stream must have been served up to the frontier. Evicted
+        // streams legitimately freeze behind the clock, and the lag is
+        // computed saturating so an exhausted/frozen stream can never
+        // underflow the subtraction (the pre-churn version of this
+        // assertion compared against the raw difference and wrapped).
+        #[cfg(debug_assertions)]
+        for rt in &self.tenants {
+            debug_assert!(
+                !rt.is_active() || rt.stream.next_slot() >= frontier,
+                "active tenant {} lags the frontier by {} cycles",
+                rt.id,
+                frontier.saturating_sub(rt.stream.next_slot())
+            );
         }
         self.rotation = if n == 0 { 0 } else { (self.rotation + 1) % n };
         self.clock = frontier;
     }
 
-    /// Runs rounds until every tenant has served at least `target` slots
-    /// (or a safety horizon is hit). Returns the fleet report.
+    /// Runs rounds until every *active* tenant has served at least
+    /// `target` slots (or a safety horizon is hit). Returns the fleet
+    /// report. A host with no active tenants returns immediately.
     pub fn run_until_slots(&mut self, target: u64) -> HostReport {
-        assert!(!self.tenants.is_empty(), "no tenants admitted");
         // Safety horizon: each policy's slowest candidate rate bounds the
         // cycles a slot can take; add generous slack for epoch ramp-in.
         let slowest_period = self
             .tenants
             .iter()
+            .filter(|t| t.is_active())
             .map(|t| t.stream.policy().slowest_rate() + self.sharded.olat())
             .max()
-            .unwrap_or(1);
+            .unwrap_or(0);
+        if slowest_period == 0 {
+            return self.report();
+        }
         let safety = target
             .saturating_mul(slowest_period)
             .saturating_mul(4)
@@ -545,7 +882,7 @@ impl MultiTenantHost {
         while self
             .tenants
             .iter()
-            .any(|t| t.stream.slots_served() < target)
+            .any(|t| t.is_active() && t.stream.slots_served() < target)
             && self.clock < end
         {
             self.step_round();
@@ -555,7 +892,6 @@ impl MultiTenantHost {
 
     /// Runs rounds until virtual time reaches `horizon`.
     pub fn run_for(&mut self, horizon: Cycle) -> HostReport {
-        assert!(!self.tenants.is_empty(), "no tenants admitted");
         let end = self.clock + horizon;
         while self.clock < end {
             self.step_round();
@@ -572,6 +908,14 @@ impl MultiTenantHost {
             .map(|t| {
                 let entry = self.ledger.entry(t.id);
                 let real = t.stream.real_served();
+                // Throughput over the tenant's own serving lifetime, not
+                // the global horizon — a tenant admitted late or evicted
+                // early would otherwise report a diluted rate.
+                let lifetime = match t.state {
+                    TenantState::Active => horizon.saturating_sub(t.origin),
+                    TenantState::Evicted { at } => at.saturating_sub(t.origin),
+                }
+                .max(1);
                 TenantReport {
                     id: t.id,
                     name: self.directory.entry(t.id).name.clone(),
@@ -580,7 +924,7 @@ impl MultiTenantHost {
                     slots_served: t.stream.slots_served(),
                     real_served: real,
                     dummy_fraction: t.stream.dummy_fraction(),
-                    throughput_per_mcycle: real as f64 * 1e6 / horizon as f64,
+                    throughput_per_mcycle: real as f64 * 1e6 / lifetime as f64,
                     waste_cycles: t.stream.lifetime_waste(),
                     waste_per_real: if real == 0 {
                         0.0
@@ -595,6 +939,11 @@ impl MultiTenantHost {
                     closed_loop: t.traffic.is_closed_loop(),
                     queueing_cycles: t.queueing_cycles,
                     feedback_cycles: t.traffic.feedback_cycles(),
+                    admitted_at: t.origin,
+                    evicted_at: match t.state {
+                        TenantState::Active => None,
+                        TenantState::Evicted { at } => Some(at),
+                    },
                 }
             })
             .collect();
@@ -602,6 +951,7 @@ impl MultiTenantHost {
             horizon: self.clock,
             tenants,
             shard_accesses: self.sharded.accesses().to_vec(),
+            retired_shard_accesses: self.sharded.retired_accesses(),
             shard_utilization: self.sharded.utilization(self.clock),
             shard_queueing_cycles: self.sharded.queueing_cycles(),
             fleet_budget_bits: self.ledger.fleet_budget_bits(),
@@ -648,6 +998,11 @@ mod tests {
             .add_tenant(&spec("overflow", SpecBenchmark::Mcf, dynamic_policy()))
             .expect_err("must saturate");
         assert!(matches!(err, HostError::Saturated { .. }), "{err:?}");
+        // Evicting one tenant frees exactly its share: the next admit
+        // succeeds again.
+        host.evict(0).expect("evict");
+        host.add_tenant(&spec("refill", SpecBenchmark::Mcf, dynamic_policy()))
+            .expect("eviction must return capacity to the pool");
     }
 
     #[test]
@@ -711,23 +1066,119 @@ mod tests {
     }
 
     #[test]
-    fn admission_is_rejected_once_the_scheduler_ran() {
-        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
-        host.add_tenant(&spec(
-            "early",
-            SpecBenchmark::Mcf,
-            RatePolicy::Static { rate: 2_000 },
-        ))
-        .expect("admit at clock 0");
+    fn mid_run_admission_splices_into_the_calendar() {
+        // Online churn: a tenant admitted after the scheduler ran gets a
+        // grid anchored at its admission clock — no phantom past-due
+        // slots, no perturbation of the incumbent.
+        let cfg = HostConfig {
+            record_traces: true,
+            ..HostConfig::small()
+        };
+        let mut host = MultiTenantHost::new(cfg).expect("builds");
+        let early = host
+            .add_tenant(&spec(
+                "early",
+                SpecBenchmark::Mcf,
+                RatePolicy::Static { rate: 2_000 },
+            ))
+            .expect("admit at clock 0");
         host.run_for(1 << 18);
-        let err = host
+        let admit_clock = host.clock();
+        let late = host
             .add_tenant(&spec(
                 "late",
                 SpecBenchmark::Hmmer,
                 RatePolicy::Static { rate: 2_000 },
             ))
-            .expect_err("mid-run admission must be rejected");
-        assert!(matches!(err, HostError::LateAdmission { .. }), "{err:?}");
+            .expect("mid-run admission");
+        host.run_for(1 << 18);
+        let olat = host.sharded.olat();
+        let late_trace = host.tenant_trace(late);
+        assert!(!late_trace.is_empty(), "late tenant never served");
+        for (k, s) in late_trace.iter().enumerate() {
+            assert_eq!(
+                s.start,
+                admit_clock + 2_000 + k as u64 * (2_000 + olat),
+                "late slot {k} off its anchored grid"
+            );
+        }
+        // The incumbent's grid still runs from time 0, untouched.
+        let early_trace = host.tenant_trace(early);
+        for (k, s) in early_trace.iter().enumerate() {
+            assert_eq!(s.start, 2_000 + k as u64 * (2_000 + olat));
+        }
+    }
+
+    #[test]
+    fn eviction_freezes_stream_and_ledger() {
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        let gone = host
+            .add_tenant(&spec("gone", SpecBenchmark::Mcf, dynamic_policy()))
+            .expect("admit");
+        let stay = host
+            .add_tenant(&spec(
+                "stay",
+                SpecBenchmark::Hmmer,
+                RatePolicy::Static { rate: 1_500 },
+            ))
+            .expect("admit");
+        host.run_for(1 << 20);
+        let served_at_eviction = host.tenant_stream(gone).slots_served();
+        let spent_at_eviction = host.ledger().entry(gone).spent_bits;
+        let budget_before = host.ledger().fleet_budget_bits();
+        let retired = host.evict(gone).expect("evict");
+        assert_eq!(retired, 0, "between rounds nothing is due");
+        assert!(!host.tenant_active(gone));
+        assert_eq!(host.evicted_at(gone), Some(host.clock()));
+        host.run_for(1 << 20);
+        // The evicted stream froze; the survivor kept running.
+        assert_eq!(host.tenant_stream(gone).slots_served(), served_at_eviction);
+        assert!(host.tenant_stream(stay).slots_served() > 0);
+        assert!(host.tenant_active(stay));
+        // Ledger: frozen in place, fleet sums conserved.
+        assert_eq!(host.ledger().entry(gone).spent_bits, spent_at_eviction);
+        assert_eq!(host.ledger().fleet_budget_bits(), budget_before);
+        // Double eviction and unknown ids are errors.
+        assert!(matches!(
+            host.evict(gone),
+            Err(HostError::AlreadyEvicted { .. })
+        ));
+        assert!(matches!(
+            host.evict(99),
+            Err(HostError::UnknownTenant { id: 99 })
+        ));
+    }
+
+    #[test]
+    fn evicted_stream_never_trips_the_lag_assertion() {
+        // Regression (churn-safety of the round lag check): an evicted
+        // tenant's stream freezes with next_slot far behind the
+        // advancing clock. The pre-churn assertion compared every
+        // stream's next_slot against the clock and computed the lag with
+        // a raw subtraction — underflow in debug builds the moment a
+        // frozen stream was swept. Running many rounds past an eviction
+        // must not panic.
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        host.add_tenant(&spec(
+            "doomed",
+            SpecBenchmark::Mcf,
+            RatePolicy::Static { rate: 400 },
+        ))
+        .expect("admit");
+        host.add_tenant(&spec(
+            "survivor",
+            SpecBenchmark::Hmmer,
+            RatePolicy::Static { rate: 900 },
+        ))
+        .expect("admit");
+        host.run_for(1 << 18);
+        host.evict(0).expect("evict");
+        host.run_for(1 << 20); // would underflow/panic pre-fix
+        let frozen = host.tenant_stream(0).next_slot();
+        assert!(
+            frozen < host.clock(),
+            "frozen stream must lag the clock for this regression to bite"
+        );
     }
 
     #[test]
@@ -755,8 +1206,99 @@ mod tests {
         assert!(
             stream.next_slot() >= host.clock(),
             "stream lags clock by {} cycles",
-            host.clock() - stream.next_slot()
+            host.clock().saturating_sub(stream.next_slot())
         );
+    }
+
+    #[test]
+    fn merge_and_calendar_serve_identically() {
+        // Smoke-level equivalence (the full property lives in
+        // tests/churn_props.rs): same fleet, same seeds, both scheduler
+        // kinds — identical serve logs and identical traces.
+        let build = |kind: SchedulerKind| {
+            let cfg = HostConfig {
+                record_traces: true,
+                scheduler: kind,
+                ..HostConfig::small()
+            };
+            let mut host = MultiTenantHost::new(cfg).expect("builds");
+            host.add_tenant(&spec("a", SpecBenchmark::Mcf, dynamic_policy()))
+                .expect("admit");
+            host.add_tenant(&spec(
+                "b",
+                SpecBenchmark::Libquantum,
+                RatePolicy::Static { rate: 700 },
+            ))
+            .expect("admit");
+            host.add_tenant(&spec(
+                "c",
+                SpecBenchmark::Hmmer,
+                RatePolicy::Static { rate: 700 },
+            ))
+            .expect("admit");
+            host.run_for(1 << 20);
+            host
+        };
+        let cal = build(SchedulerKind::Calendar);
+        let mrg = build(SchedulerKind::Merge);
+        assert!(!cal.serve_log().is_empty());
+        assert_eq!(cal.serve_log(), mrg.serve_log());
+        for id in 0..3 {
+            assert_eq!(cal.tenant_trace(id), mrg.tenant_trace(id), "tenant {id}");
+        }
+    }
+
+    #[test]
+    fn resize_shards_online_grow_and_shrink() {
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        host.add_tenant(&spec(
+            "t",
+            SpecBenchmark::Mcf,
+            RatePolicy::Static { rate: 1_000 },
+        ))
+        .expect("admit");
+        host.run_for(1 << 18);
+        let before: u64 = host.sharded.accesses().iter().sum();
+        host.resize_shards(4).expect("grow");
+        host.run_for(1 << 18);
+        let report = host.report();
+        assert_eq!(report.shard_accesses.len(), 4);
+        // Accounting stays conserved across the resize.
+        let total: u64 = report.shard_accesses.iter().sum::<u64>() + report.retired_shard_accesses;
+        let slots: u64 = report.tenants.iter().map(|t| t.slots_served).sum();
+        assert_eq!(total, slots);
+        assert!(report.shard_accesses.iter().sum::<u64>() > before);
+        // Shrink keeps the retired counters.
+        host.resize_shards(1).expect("shrink");
+        host.run_for(1 << 18);
+        let report = host.report();
+        assert_eq!(report.shard_accesses.len(), 1);
+        let total: u64 = report.shard_accesses.iter().sum::<u64>() + report.retired_shard_accesses;
+        let slots: u64 = report.tenants.iter().map(|t| t.slots_served).sum();
+        assert_eq!(total, slots);
+        // Zero shards is refused.
+        assert!(matches!(host.resize_shards(0), Err(HostError::Build(_))));
+    }
+
+    #[test]
+    fn shrink_below_fleet_demand_is_refused() {
+        let cfg = HostConfig {
+            n_shards: 4,
+            ..HostConfig::small()
+        };
+        let mut host = MultiTenantHost::new(cfg).expect("builds");
+        for i in 0..4 {
+            host.add_tenant(&spec(
+                &format!("t{i}"),
+                SpecBenchmark::Mcf,
+                dynamic_policy(),
+            ))
+            .expect("admit");
+        }
+        let err = host.resize_shards(1).expect_err("cannot shrink under load");
+        assert!(matches!(err, HostError::Saturated { .. }), "{err:?}");
+        // The pool is untouched after the refusal.
+        assert_eq!(host.report().shard_accesses.len(), 4);
     }
 
     #[test]
@@ -772,6 +1314,7 @@ mod tests {
         .expect("admit");
         let report = host.run_until_slots(300);
         assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.active_tenants(), 2);
         assert_eq!(report.shard_accesses.len(), 2);
         assert!(report.tenants.iter().all(|t| t.slots_served >= 300));
         // mcf under a dynamic policy does real work.

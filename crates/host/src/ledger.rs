@@ -24,6 +24,10 @@ pub struct LedgerEntry {
     pub spent_bits: f64,
     /// Epoch transitions observed so far.
     pub transitions: u64,
+    /// Whether the row is frozen (the tenant was evicted). A frozen row
+    /// stays in every fleet sum — eviction never un-spends bits — but
+    /// accepts no further spending.
+    pub frozen: bool,
 }
 
 /// The single budget predicate used everywhere bits are compared (the
@@ -68,16 +72,27 @@ impl LeakageLedger {
             budget_bits,
             spent_bits: 0.0,
             transitions: 0,
+            frozen: false,
         });
         self.entries.len() - 1
     }
 
     /// Records that `tenant` has taken `transitions` epoch transitions in
-    /// total (idempotent: pass the running total, not a delta).
+    /// total (idempotent: pass the running total, not a delta). A frozen
+    /// row ignores the update — an evicted tenant's spend is final.
     pub fn record_transitions(&mut self, tenant: usize, transitions: u64) {
         let e = &mut self.entries[tenant];
+        if e.frozen {
+            return;
+        }
         e.transitions = transitions;
         e.spent_bits = transitions as f64 * (e.model.rate_count() as f64).log2();
+    }
+
+    /// Freezes `tenant`'s row at its current spend (called at eviction).
+    /// The row keeps contributing to every fleet sum.
+    pub fn freeze(&mut self, tenant: usize) {
+        self.entries[tenant].frozen = true;
     }
 
     /// Per-tenant rows.
@@ -145,5 +160,27 @@ mod tests {
         l.record_transitions(0, total);
         assert_eq!(l.entry(0).spent_bits, l.entry(0).budget_bits);
         assert!(l.all_within_budget());
+    }
+
+    #[test]
+    fn frozen_rows_keep_contributing_but_stop_spending() {
+        let mut l = LeakageLedger::new();
+        l.add_tenant(0, 4, EpochSchedule::scaled(4)); // 32-bit budget
+        l.add_tenant(1, 4, EpochSchedule::scaled(4));
+        l.record_transitions(0, 3); // 6 bits
+        let fleet_budget = l.fleet_budget_bits();
+        let fleet_spent = l.fleet_spent_bits();
+        l.freeze(0);
+        // Further spending on the frozen row is ignored...
+        l.record_transitions(0, 10);
+        assert_eq!(l.entry(0).spent_bits, 6.0);
+        assert_eq!(l.entry(0).transitions, 3);
+        assert!(l.entry(0).frozen);
+        // ...and the fleet sums are conserved, not shrunk.
+        assert_eq!(l.fleet_budget_bits(), fleet_budget);
+        assert_eq!(l.fleet_spent_bits(), fleet_spent);
+        // Live rows keep spending normally.
+        l.record_transitions(1, 2);
+        assert_eq!(l.fleet_spent_bits(), 6.0 + 4.0);
     }
 }

@@ -14,8 +14,8 @@
 //!     ├─ TenantTraffic  : workload → LLC-miss arrivals        otc-workloads/otc-sim
 //!     ├─ SlotStream     : per-tenant rate-periodic timeline   otc-core enforcer
 //!     │
-//!  MultiTenantHost ── batched round-robin slot scheduler
-//!     │
+//!  MultiTenantHost ── calendar-queue slot scheduler + churn
+//!     │               (admit / evict / resize, O(slots due) per round)
 //!  ShardedOram ── N independent RecursivePathOrams            otc-oram
 //!     │
 //!  LeakageLedger ── per-tenant + fleet bit accounting         otc-core §6/§10
@@ -23,10 +23,14 @@
 //!
 //! Each tenant's observable timeline is its own [`SlotStream`] grid — a
 //! pure function of its rate choices, never of co-tenants (see
-//! `tests/tenant_isolation.rs`). Admission control caps worst-case fleet
-//! slot demand below shard bandwidth so the grids stay servable, and the
-//! [`LeakageLedger`] tracks bits revealed against each tenant's
-//! authorized [`otc_core::LeakageModel`] budget.
+//! `tests/tenant_isolation.rs`), and never of churn events (see
+//! `tests/churn_isolation.rs`): tenants are admitted, evicted, and the
+//! shard pool resized online without moving any surviving stream's
+//! slots. Admission control caps worst-case fleet slot demand below
+//! shard bandwidth so the grids stay servable, and the [`LeakageLedger`]
+//! tracks bits revealed against each tenant's authorized
+//! [`otc_core::LeakageModel`] budget — evicted tenants' rows freeze in
+//! place so fleet sums are conserved across churn.
 //!
 //! # Quickstart
 //!
@@ -57,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod host;
 mod ledger;
 mod report;
@@ -64,7 +69,11 @@ mod shard;
 mod tenant;
 mod traffic;
 
-pub use host::{HostConfig, HostError, HostReport, MultiTenantHost, TenantReport, TenantSpec};
+pub use calendar::CalendarQueue;
+pub use host::{
+    HostConfig, HostError, HostReport, MultiTenantHost, SchedulerKind, ServedSlot, TenantReport,
+    TenantSpec,
+};
 pub use ledger::{within_budget_bits, LeakageLedger, LedgerEntry};
 pub use report::{leakage_summary, render, shard_summary, tenant_table};
 pub use shard::{ShardService, ShardedOram};

@@ -11,15 +11,17 @@ fn fmt_f(v: f64) -> String {
     }
 }
 
-/// Renders the per-tenant table: throughput, waste, queueing, leakage.
+/// Renders the per-tenant table: lifecycle, throughput, waste, queueing,
+/// leakage. Evicted tenants keep their (frozen) rows.
 pub fn tenant_table(report: &HostReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10}{:<20}{:<16}{:>6}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
+        "{:<10}{:<20}{:<16}{:>6}{:>9}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
         "tenant",
         "benchmark",
         "policy",
         "loop",
+        "state",
         "slots",
         "real",
         "dummy%",
@@ -32,11 +34,12 @@ pub fn tenant_table(report: &HostReport) -> String {
     ));
     for t in &report.tenants {
         out.push_str(&format!(
-            "{:<10}{:<20}{:<16}{:>6}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
+            "{:<10}{:<20}{:<16}{:>6}{:>9}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
             t.name,
             t.benchmark,
             t.policy,
             if t.closed_loop { "closed" } else { "open" },
+            if t.is_active() { "active" } else { "evicted" },
             t.slots_served,
             t.real_served,
             format!("{:.1}", t.dummy_fraction * 100.0),
@@ -63,22 +66,30 @@ pub fn shard_summary(report: &HostReport) -> String {
         .iter()
         .map(|u| format!("{:.0}%", u * 100.0))
         .collect();
+    let retired = if report.retired_shard_accesses > 0 {
+        format!(" (+{} on retired shards)", report.retired_shard_accesses)
+    } else {
+        String::new()
+    };
     format!(
-        "shards: {} | per-shard accesses {:?} | utilization [{}] | queueing {} cycles",
+        "shards: {} | per-shard accesses {:?}{} | utilization [{}] | queueing {} cycles",
         report.shard_accesses.len(),
         report.shard_accesses,
+        retired,
         utils.join(" "),
         report.shard_queueing_cycles
     )
 }
 
-/// Renders the aggregate leakage line.
+/// Renders the aggregate leakage line (evicted tenants' frozen rows
+/// stay in the sums — churn conserves fleet accounting).
 pub fn leakage_summary(report: &HostReport) -> String {
     format!(
-        "fleet leakage: {:.1} bits revealed of {:.1} budgeted across {} tenants ({})",
+        "fleet leakage: {:.1} bits revealed of {:.1} budgeted across {} tenants ({} active; {})",
         report.fleet_spent_bits,
         report.fleet_budget_bits,
         report.tenants.len(),
+        report.active_tenants(),
         if report.all_within_budget() {
             "all tenants within budget"
         } else {

@@ -46,6 +46,9 @@ pub struct ShardService {
 
 /// `N` independent Path ORAM shards behind one flat block address space.
 pub struct ShardedOram {
+    /// Base geometry every shard is derived from (kept for online
+    /// resizing: a grown pool mints new shards from the same base).
+    base: OramConfig,
     shards: Vec<RecursivePathOram>,
     per_shard_capacity: u64,
     olat: Cycle,
@@ -54,6 +57,10 @@ pub struct ShardedOram {
     busy_until: Vec<Cycle>,
     accesses: Vec<u64>,
     dummies: Vec<u64>,
+    /// Accesses/dummies served by shards that a shrink later retired
+    /// (so fleet-wide conservation checks survive resizes).
+    retired_accesses: u64,
+    retired_dummies: u64,
     queueing_cycles: u64,
 }
 
@@ -84,14 +91,52 @@ impl ShardedOram {
             .map(|i| RecursivePathOram::new(base.shard(i as u64)))
             .collect::<Result<Vec<_>, String>>()?;
         Ok(Self {
+            base: base.clone(),
             shards,
             per_shard_capacity,
             olat: timing.latency,
             busy_until: vec![0; n_shards],
             accesses: vec![0; n_shards],
             dummies: vec![0; n_shards],
+            retired_accesses: 0,
+            retired_dummies: 0,
             queueing_cycles: 0,
         })
+    }
+
+    /// Resizes the pool online to `n_shards`. New shards are minted from
+    /// the base geometry with their shard-unique seeds and start idle;
+    /// shrinking retires the highest-indexed shards, folding their
+    /// access counters into [`ShardedOram::retired_accesses`] so
+    /// conservation checks (`Σ shard accesses == Σ slots served`) keep
+    /// holding across resizes. Payloads are not migrated — the serving
+    /// host discards them (timing is the product); callers that need the
+    /// stored bytes must not shrink.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n_shards == 0`; propagates ORAM construction failures
+    /// (in which case the pool is unchanged).
+    pub fn resize(&mut self, n_shards: usize) -> Result<(), String> {
+        if n_shards == 0 {
+            return Err("a sharded ORAM needs at least one shard".into());
+        }
+        if n_shards > self.shards.len() {
+            let grown = (self.shards.len()..n_shards)
+                .map(|i| RecursivePathOram::new(self.base.shard(i as u64)))
+                .collect::<Result<Vec<_>, String>>()?;
+            self.shards.extend(grown);
+        } else {
+            for retired in n_shards..self.shards.len() {
+                self.retired_accesses += self.accesses[retired];
+                self.retired_dummies += self.dummies[retired];
+            }
+            self.shards.truncate(n_shards);
+        }
+        self.busy_until.resize(n_shards, 0);
+        self.accesses.resize(n_shards, 0);
+        self.dummies.resize(n_shards, 0);
+        Ok(())
     }
 
     /// Number of shards.
@@ -168,6 +213,17 @@ impl ShardedOram {
     /// Dummy accesses per shard.
     pub fn dummies(&self) -> &[u64] {
         &self.dummies
+    }
+
+    /// Accesses (real + dummy) served by shards since retired by a
+    /// shrink ([`ShardedOram::resize`]).
+    pub fn retired_accesses(&self) -> u64 {
+        self.retired_accesses
+    }
+
+    /// Dummy accesses served by shards since retired by a shrink.
+    pub fn retired_dummies(&self) -> u64 {
+        self.retired_dummies
     }
 
     /// Cycles slots spent queued behind a busy shard (an internal service
@@ -272,6 +328,38 @@ mod tests {
         let u = s.utilization(horizon);
         assert!(u[0] <= 1.0, "utilization {u:?} exceeds 100%");
         assert!(u[0] > 0.0);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_with_conserved_counters() {
+        let mut s = small(2);
+        for addr in 0..10u64 {
+            s.read(addr, addr * 10_000);
+        }
+        let served: u64 = s.accesses().iter().sum();
+        assert_eq!(served, 10);
+        // Grow: fresh idle shards, distinct seeds, old counters kept.
+        s.resize(5).expect("grow");
+        assert_eq!(s.n_shards(), 5);
+        assert_eq!(s.accesses().iter().sum::<u64>(), 10);
+        assert_eq!(s.accesses()[2..], [0, 0, 0]);
+        let seeds: Vec<u64> = (0..5).map(|i| OramConfig::small().shard(i).seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+        for addr in 0..10u64 {
+            s.read(addr, 200_000 + addr * 10_000);
+        }
+        // Shrink: retired shards fold into the retired counters so the
+        // total stays conserved.
+        s.resize(1).expect("shrink");
+        assert_eq!(s.n_shards(), 1);
+        let total = s.accesses().iter().sum::<u64>() + s.retired_accesses();
+        assert_eq!(total, 20);
+        // Zero shards is refused and leaves the pool intact.
+        assert!(s.resize(0).is_err());
+        assert_eq!(s.n_shards(), 1);
     }
 
     #[test]

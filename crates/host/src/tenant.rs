@@ -26,6 +26,11 @@ pub struct TenantEntry {
     /// Bits the parameters permit over the ORAM timing channel, as
     /// computed by the processor at authorization time.
     pub authorized_bits: u64,
+    /// Whether the tenant has been evicted from the host. The entry is
+    /// retained — ids are dense and never reused, and the frozen leakage
+    /// accounting still references it — but its session is dead for
+    /// serving purposes.
+    pub evicted: bool,
     processor: SecureProcessor,
     session: UserSession,
 }
@@ -78,10 +83,23 @@ impl TenantDirectory {
             name: name.to_string(),
             params,
             authorized_bits,
+            evicted: false,
             processor,
             session,
         });
         Ok(id)
+    }
+
+    /// Marks `id` as evicted (the entry itself is retained; ids are
+    /// never reused, so a returning tenant re-registers and gets a fresh
+    /// id, processor context, and session).
+    pub fn mark_evicted(&mut self, id: usize) {
+        self.entries[id].evicted = true;
+    }
+
+    /// Number of tenants not marked evicted.
+    pub fn active_len(&self) -> usize {
+        self.entries.iter().filter(|e| !e.evicted).count()
     }
 
     /// Number of registered tenants.
@@ -140,6 +158,21 @@ mod tests {
         let err = d.register("eve", params(4, 2)).expect_err("over limit");
         assert!(matches!(err, SessionError::LeakageLimitExceeded { .. }));
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn eviction_marks_but_retains_the_entry() {
+        let mut d = TenantDirectory::new(32, 0xD4);
+        let a = d.register("alice", params(4, 4)).expect("register");
+        let b = d.register("bob", params(1, 4)).expect("register");
+        d.mark_evicted(a);
+        assert!(d.entry(a).evicted);
+        assert!(!d.entry(b).evicted);
+        assert_eq!(d.len(), 2, "entries are retained");
+        assert_eq!(d.active_len(), 1);
+        // A returning tenant gets a fresh id, never a reused one.
+        let a2 = d.register("alice", params(4, 4)).expect("re-register");
+        assert_eq!(a2, 2);
     }
 
     #[test]

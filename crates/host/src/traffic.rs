@@ -233,6 +233,18 @@ impl TenantTraffic {
         }
     }
 
+    /// Whether a closed-loop core is currently suspended on a demand
+    /// read it handed out (always `false` for open-loop). A frontend
+    /// abandoned in this state — e.g. its tenant evicted mid-DemandRead —
+    /// is simply never polled or completed again; the suspended core
+    /// holds no host resources.
+    pub fn awaiting_service(&self) -> bool {
+        match &self.mode {
+            Mode::Open(_) => false,
+            Mode::Closed(c) => c.outstanding.is_some(),
+        }
+    }
+
     /// Pulls the next LLC-level request, or reports why none is
     /// available. Arrival times are strictly non-decreasing.
     pub fn poll(&mut self) -> TrafficPull {
@@ -529,8 +541,10 @@ mod tests {
                         reads += 1;
                         // While the read is outstanding the frontend must
                         // not produce more traffic.
+                        assert!(t.awaiting_service());
                         assert_eq!(t.poll(), TrafficPull::AwaitingService);
                         t.complete(r.at + 2_000);
+                        assert!(!t.awaiting_service());
                     }
                     AccessKind::Write => writes += 1,
                 },

@@ -1,0 +1,244 @@
+//! Property tests for the calendar-queue slot scheduler and online
+//! churn (proptest shim; deterministic per-test seeds, no shrinking).
+//!
+//! 1. **Scheduler equivalence** — for random fleet mixes (sizes, rate
+//!    policies, loop modes, seeds) *and* random mid-run churn, the
+//!    calendar-queue scheduler serves the exact same global slot order
+//!    as the reference k-way merge ([`SchedulerKind::Merge`]), tie-breaks
+//!    included. The serve log is the witness: per-tenant traces alone
+//!    cannot see cross-tenant ordering.
+//! 2. **Churn safety** — random admit/evict scripts never deadlock,
+//!    never serve a slot for an evicted tenant, and never skip a due
+//!    slot of an active tenant (every static grid is served to the
+//!    closed-form count; every stream, dynamic included, reconstructs
+//!    exactly from its public rate choices anchored at its origin).
+
+use otc_core::RatePolicy;
+use otc_dram::Cycle;
+use otc_host::{HostConfig, LoopMode, MultiTenantHost, SchedulerKind, TenantSpec};
+use otc_workloads::SpecBenchmark;
+use proptest::prelude::*;
+use util::static_slots_before;
+
+mod util;
+
+const QUANTUM: Cycle = 1 << 16;
+
+fn traced(kind: SchedulerKind) -> HostConfig {
+    HostConfig {
+        record_traces: true,
+        scheduler: kind,
+        ..HostConfig::small()
+    }
+}
+
+fn bench_for(i: u64) -> SpecBenchmark {
+    const ROTATION: [SpecBenchmark; 5] = [
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Hmmer,
+        SpecBenchmark::Libquantum,
+        SpecBenchmark::Sjeng,
+        SpecBenchmark::Gobmk,
+    ];
+    ROTATION[(i % ROTATION.len() as u64) as usize]
+}
+
+/// Derives a deterministic tenant spec + mode from a per-case RNG.
+fn draw_spec(rng: &mut otc_crypto::SplitMix64, name: String) -> (TenantSpec, LoopMode) {
+    let policy = match rng.next_below(4) {
+        0 => RatePolicy::dynamic_paper(4, 4),
+        1 => RatePolicy::dynamic_paper(2, 2),
+        _ => RatePolicy::Static {
+            rate: 1_200 + rng.next_below(3_800),
+        },
+    };
+    // Closed-loop cores are expensive; sample them, don't default them.
+    let mode = if rng.next_below(4) == 0 {
+        LoopMode::Closed
+    } else {
+        LoopMode::Open
+    };
+    (
+        TenantSpec {
+            name,
+            benchmark: bench_for(rng.next_below(64)),
+            policy,
+            instructions: 25_000,
+        },
+        mode,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(72))]
+
+    /// ≥64 random fleet configurations: identical serve order (and
+    /// traces, and reports) from both scheduler kinds, including across
+    /// a mid-run admission and a mid-run eviction.
+    #[test]
+    fn calendar_matches_merge_for_random_fleets(
+        seed in any::<u64>(),
+        k in 1usize..5,
+        churn in any::<bool>(),
+    ) {
+        let run = |kind: SchedulerKind| {
+            let mut rng = otc_crypto::SplitMix64::new(seed);
+            let mut host = MultiTenantHost::new(traced(kind)).expect("builds");
+            let mut admitted = Vec::new();
+            for i in 0..k {
+                let (spec, mode) = draw_spec(&mut rng, format!("t{i}"));
+                // Saturation is config-dependent but identical across
+                // scheduler kinds; skip symmetric rejections.
+                if let Ok(id) = host.admit(&spec, mode) {
+                    admitted.push(id);
+                }
+            }
+            host.run_for(4 * QUANTUM);
+            if churn {
+                let (spec, mode) = draw_spec(&mut rng, "late".into());
+                let _ = host.admit(&spec, mode);
+                host.run_for(4 * QUANTUM);
+                if let Some(&victim) = admitted.first() {
+                    host.evict(victim).expect("evict admitted tenant");
+                }
+            }
+            host.run_for(4 * QUANTUM);
+            host
+        };
+        let cal = run(SchedulerKind::Calendar);
+        let mrg = run(SchedulerKind::Merge);
+        prop_assert!(
+            !cal.serve_log().is_empty(),
+            "degenerate case served nothing (k={k})"
+        );
+        prop_assert_eq!(
+            cal.serve_log(),
+            mrg.serve_log(),
+            "global serve order diverged (seed {seed:#x} k {k} churn {churn})"
+        );
+        for id in 0..cal.tenant_count() {
+            prop_assert_eq!(
+                cal.tenant_trace(id),
+                mrg.tenant_trace(id),
+                "tenant {id} trace diverged"
+            );
+            prop_assert_eq!(
+                cal.tenant_stream(id).slots_served(),
+                mrg.tenant_stream(id).slots_served()
+            );
+        }
+        // Shard-level accounting agrees too (same order ⇒ same queueing).
+        let (ra, rb) = (cal.report(), mrg.report());
+        prop_assert_eq!(&ra.shard_accesses, &rb.shard_accesses);
+        prop_assert_eq!(ra.shard_queueing_cycles, rb.shard_queueing_cycles);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random admit/evict scripts terminate (no deadlock), never serve
+    /// an evicted tenant, and never skip a due slot.
+    #[test]
+    fn random_churn_scripts_preserve_grids(
+        seed in any::<u64>(),
+        rounds in 8u64..24,
+    ) {
+        let mut rng = otc_crypto::SplitMix64::new(seed);
+        let mut host = MultiTenantHost::new(traced(SchedulerKind::Calendar)).expect("builds");
+        // Start with one tenant so the host is never trivially idle.
+        let (spec, mode) = draw_spec(&mut rng, "t0".into());
+        host.admit(&spec, mode).expect("first admit fits");
+        let mut evicted_at: Vec<(usize, Cycle)> = Vec::new();
+        for r in 0..rounds {
+            match rng.next_below(4) {
+                0 => {
+                    let (spec, mode) = draw_spec(&mut rng, format!("r{r}"));
+                    let _ = host.admit(&spec, mode); // saturation is fine
+                }
+                1 => {
+                    let active: Vec<usize> = (0..host.tenant_count())
+                        .filter(|&id| host.tenant_active(id))
+                        .collect();
+                    // Keep at least one tenant serving.
+                    if active.len() > 1 {
+                        let id = active[rng.next_below(active.len() as u64) as usize];
+                        let retired = host.evict(id).expect("evict active tenant");
+                        prop_assert_eq!(retired, 0, "between rounds nothing is due");
+                        evicted_at.push((id, host.clock()));
+                    }
+                }
+                _ => {}
+            }
+            host.step_round();
+        }
+        let clock = host.clock();
+        prop_assert_eq!(clock, rounds * QUANTUM, "clock advanced exactly per round");
+
+        // Never a slot for an evicted tenant at or after its eviction.
+        for &(id, at) in &evicted_at {
+            prop_assert!(
+                !host
+                    .serve_log()
+                    .iter()
+                    .any(|s| s.tenant == id && s.start >= at),
+                "evicted tenant {id} served after {at}"
+            );
+        }
+
+        for id in 0..host.tenant_count() {
+            let stream = host.tenant_stream(id);
+            let end = host.evicted_at(id).unwrap_or(clock);
+            // Never skip a due slot: the stream is caught up to its
+            // lifecycle end...
+            prop_assert!(
+                stream.next_slot() >= end,
+                "tenant {id} left a due slot unserved ({} < {end})",
+                stream.next_slot()
+            );
+            // ...and for static policies the closed-form count matches
+            // exactly (dummies filled every gap — admission/eviction of
+            // co-tenants never dropped a slot).
+            if let RatePolicy::Static { rate } = *stream.policy() {
+                let expect = static_slots_before(end, stream.origin(), rate, stream.olat());
+                prop_assert_eq!(
+                    stream.slots_served(),
+                    expect,
+                    "tenant {id}: static grid count (origin {}, rate {rate}, end {end})",
+                    stream.origin()
+                );
+            }
+            // Every stream (dynamic included) reconstructs from its
+            // public rate choices alone, anchored at its origin.
+            let olat = stream.olat();
+            let transitions = stream.transitions();
+            let mut rate = match *stream.policy() {
+                RatePolicy::Static { rate } => rate,
+                RatePolicy::Dynamic { initial_rate, .. } => initial_rate,
+            };
+            let mut next = stream.origin() + rate;
+            let mut ti = 0;
+            for (kth, slot) in stream.trace().iter().enumerate() {
+                prop_assert_eq!(
+                    slot.start, next,
+                    "tenant {id} slot {kth} off its reconstructed grid"
+                );
+                let completion = next + olat;
+                while ti < transitions.len() && completion >= transitions[ti].at {
+                    rate = transitions[ti].new_rate;
+                    ti += 1;
+                }
+                next = completion + rate;
+            }
+        }
+
+        // Ledger conservation: fleet sums are the sum of every row,
+        // frozen rows included, and nobody overspent.
+        let report = host.report();
+        let budget_sum: f64 = report.tenants.iter().map(|t| t.budget_bits).sum();
+        let spent_sum: f64 = report.tenants.iter().map(|t| t.spent_bits).sum();
+        prop_assert!((report.fleet_budget_bits - budget_sum).abs() < 1e-9);
+        prop_assert!((report.fleet_spent_bits - spent_sum).abs() < 1e-9);
+        prop_assert!(report.all_within_budget());
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared helpers for the churn test suites.
+
+use otc_dram::Cycle;
+
+/// Closed-form slot count for a static grid anchored at `origin`: slots
+/// fall at `origin + rate + k·(rate + olat)`, so this counts those
+/// strictly before `t`. The single source of truth for "how many slots
+/// was this tenant owed" — both churn suites assert against it.
+pub fn static_slots_before(t: Cycle, origin: Cycle, rate: Cycle, olat: Cycle) -> u64 {
+    let local = t.saturating_sub(origin);
+    if local <= rate {
+        0
+    } else {
+        (local - rate - 1) / (rate + olat) + 1
+    }
+}

@@ -245,6 +245,88 @@ fn golden_simresults_pin_timing_semantics() {
 }
 
 #[test]
+fn warmed_then_churned_core_abandonment_leaves_survivor_untouched() {
+    // The multi-tenant host's eviction path abandons a tenant's stepped
+    // core wherever it stands — possibly suspended mid-DemandRead — and
+    // keeps driving the survivors. This pins the suspend/resume
+    // contract for that scenario on the core itself, warmed like a
+    // production tenant: interleaving a warmed survivor with a doomed
+    // co-core that is dropped while suspended must leave the survivor's
+    // SimResult field-for-field identical to a solo blocking run.
+    let bench = SpecBenchmark::Mcf;
+    let doomed_bench = SpecBenchmark::Libquantum;
+    let n = 30_000;
+    let cfg = windowed_config();
+    let sim = Simulator::new(cfg);
+
+    let solo = {
+        let mut wl = bench.workload(2 * n);
+        let warm = sim.warm_caches(&mut wl, n);
+        let mut backend = DramBackend::new();
+        sim.run_warm(&mut wl, &mut backend, n, warm)
+    };
+
+    let churned = {
+        let mut wl = bench.workload(2 * n);
+        let warm = sim.warm_caches(&mut wl, n);
+        let mut backend = DramBackend::new();
+        let mut survivor = SteppedSim::warmed(cfg, warm);
+
+        // The doomed co-tenant: its own warmed core and *its own*
+        // backend (as in the host, where eviction never touches the
+        // survivor's queue state — the shared-shard coupling is a host
+        // concern; here we pin the core contract).
+        let mut doomed_wl = doomed_bench.workload(2 * n);
+        let doomed_warm = sim.warm_caches(&mut doomed_wl, n);
+        let mut doomed_backend = DramBackend::new();
+        let mut doomed = Some(SteppedSim::warmed(cfg, doomed_warm));
+        let mut doomed_events = 0u64;
+
+        loop {
+            // Interleave: drive the doomed core one event per survivor
+            // event until "eviction" at event 40 — at which point it is
+            // REQUIRED to be suspended mid-DemandRead (we park it there
+            // by never resuming), then dropped.
+            if let Some(core) = doomed.as_mut() {
+                if !core.awaiting_resume() {
+                    match core.next_event(&mut doomed_wl, n) {
+                        StepEvent::DemandRead { .. } => { /* stay suspended */ }
+                        StepEvent::Writeback { line_addr, at } => {
+                            doomed_backend.request(line_addr, AccessKind::Write, at);
+                        }
+                        StepEvent::Finished => panic!("doomed core finished too early"),
+                    }
+                }
+                doomed_events += 1;
+                if doomed_events == 40 {
+                    let evicted = doomed.take().expect("present until eviction");
+                    assert!(
+                        evicted.awaiting_resume(),
+                        "eviction must catch the core suspended mid-DemandRead"
+                    );
+                    drop(evicted);
+                }
+            }
+            match survivor.next_event(&mut wl, n) {
+                StepEvent::DemandRead { line_addr, at } => {
+                    let done = backend.request(line_addr, AccessKind::Read, at);
+                    survivor.resume(done);
+                }
+                StepEvent::Writeback { line_addr, at } => {
+                    backend.request(line_addr, AccessKind::Write, at);
+                }
+                StepEvent::Finished => break,
+            }
+        }
+        survivor.into_result(&mut backend)
+    };
+    assert_eq!(
+        solo, churned,
+        "abandoning a suspended co-core perturbed the survivor"
+    );
+}
+
+#[test]
 fn warmed_runs_are_equivalent() {
     // The warm path too: blocking run_warm vs a SteppedSim::warmed drive
     // must agree, with the warm state produced by the same fast-forward.
