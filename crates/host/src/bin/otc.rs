@@ -5,6 +5,9 @@
 //! otc tenants [opts]   K-tenant saturation sweep (throughput/waste per K)
 //! otc churn   [opts]   drive a fleet through a churn script (admit/evict/
 //!                      resize online) and report the outcome
+//! otc bench   [opts]   seeded pipeline-vs-serial closed-loop sweep;
+//!                      --json emits the machine-readable record the CI
+//!                      perf gate checks, --gate PCT enforces the floor
 //! otc leakage [opts]   leakage budget report (no simulation)
 //! ```
 //!
@@ -23,6 +26,13 @@
 //! --closed-loop      closed-loop tenant frontends (full stepped cores;
 //!                    shard service + queueing cycles fed back into each
 //!                    tenant's clock)
+//! --pipeline P       shard pipeline: serial (pre-pipeline reference,
+//!                    default) | staged (overlapped posmap/data stages +
+//!                    background eviction)
+//! --gate PCT         otc bench only: exit nonzero unless the staged
+//!                    mean service time is ≥ PCT% below serial
+//! --json             otc bench only: emit the JSON record
+//!                    (BENCH_pipeline.json in CI) instead of a table
 //! --trace N          print the first N observable slot records per
 //!                    tenant (otc run only; used by the CI determinism
 //!                    diff — ignored with a warning elsewhere)
@@ -49,7 +59,10 @@
 //! that).
 
 use otc_core::{DividerImpl, EpochSchedule, LeakageModel, RatePolicy, RateSet};
-use otc_host::{render, HostConfig, HostError, HostReport, LoopMode, MultiTenantHost, TenantSpec};
+use otc_host::{
+    render, HostConfig, HostError, HostReport, LoopMode, MultiTenantHost, PipelineConfig,
+    PipelineKind, TenantSpec,
+};
 use otc_oram::OramConfig;
 use otc_workloads::SpecBenchmark;
 
@@ -61,18 +74,20 @@ fn usage() -> ! {
          \x20 otc run      drive a workload mix through the full stack\n\
          \x20 otc tenants  K-tenant saturation sweep with per-tenant throughput/waste\n\
          \x20 otc churn    drive a fleet through an online churn script\n\
+         \x20 otc bench    seeded pipeline-vs-serial sweep (--json / --gate PCT)\n\
          \x20 otc leakage  leakage budget report\n\
          \n\
          options: --tenants N --accesses N --shards N --scheme S --oram small|paper\n\
          \x20        --instructions N --limit BITS --bench a,b,.. --seed N\n\
-         \x20        --closed-loop --trace N\n\
+         \x20        --closed-loop --trace N --pipeline serial|staged\n\
+         \x20        --json --gate PCT\n\
          \x20        --churn-script '@R admit <bench> <scheme> [closed]; @R evict <id>;\n\
          \x20                        @R shards <n>; ...'\n"
     );
     std::process::exit(2);
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Opts {
     tenants: usize,
     accesses: u64,
@@ -86,6 +101,9 @@ struct Opts {
     closed_loop: bool,
     trace: usize,
     churn_script: Option<String>,
+    pipeline: PipelineKind,
+    json: bool,
+    gate: Option<f64>,
 }
 
 impl Default for Opts {
@@ -103,6 +121,9 @@ impl Default for Opts {
             closed_loop: false,
             trace: 0,
             churn_script: None,
+            pipeline: PipelineKind::Serial,
+            json: false,
+            gate: None,
         }
     }
 }
@@ -134,6 +155,18 @@ fn parse_opts(args: &[String]) -> Opts {
             "--closed-loop" => o.closed_loop = true,
             "--trace" => o.trace = val("--trace").parse().unwrap_or_else(|_| usage()),
             "--churn-script" => o.churn_script = Some(val("--churn-script")),
+            "--pipeline" => {
+                o.pipeline = match val("--pipeline").as_str() {
+                    "serial" => PipelineKind::Serial,
+                    "staged" => PipelineKind::Staged,
+                    other => {
+                        eprintln!("unknown --pipeline mode: {other} (want serial|staged)");
+                        usage()
+                    }
+                }
+            }
+            "--json" => o.json = true,
+            "--gate" => o.gate = Some(val("--gate").parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -204,6 +237,10 @@ fn host_config(o: &Opts) -> HostConfig {
         leakage_limit_bits: o.limit,
         seed: o.seed,
         record_traces: o.trace > 0,
+        pipeline: match o.pipeline {
+            PipelineKind::Serial => PipelineConfig::serial(),
+            PipelineKind::Staged => PipelineConfig::staged(),
+        },
         ..HostConfig::default()
     }
 }
@@ -583,6 +620,100 @@ fn cmd_tenants(o: &Opts) {
     }
 }
 
+/// `otc bench`: the seeded pipeline-vs-serial sweep behind the CI perf
+/// gate. The same closed-loop fleet (identical seeds, benchmarks and
+/// rate policy) runs once per pipeline discipline; the comparison is
+/// over simulated cycles, so the result is bit-deterministic — the
+/// `--gate` floor exists to catch real regressions, not wall-clock
+/// noise.
+fn cmd_bench(o: &Opts) {
+    require_tenants(o);
+    let run = |kind: PipelineKind| -> HostReport {
+        let mut opts = o.clone();
+        opts.pipeline = kind;
+        opts.closed_loop = true; // the gate measures fed-back service time
+        let mut host = match build_fleet(&opts, opts.tenants) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("otc bench: {e}");
+                std::process::exit(1);
+            }
+        };
+        host.run_until_slots(opts.accesses)
+    };
+    let serial = run(PipelineKind::Serial);
+    let staged = run(PipelineKind::Staged);
+    let improvement = if serial.mean_service_cycles > 0.0 {
+        (1.0 - staged.mean_service_cycles / serial.mean_service_cycles) * 100.0
+    } else {
+        0.0
+    };
+    let passed = o.gate.is_none_or(|g| improvement >= g);
+    let mode_json = |report: &HostReport| -> String {
+        let tp: f64 = report
+            .tenants
+            .iter()
+            .filter(|t| t.is_active())
+            .map(|t| t.throughput_per_mcycle)
+            .sum();
+        format!(
+            "{{\"mean_service_cycles\": {:.3}, \"queueing_cycles\": {}, \
+             \"service_cycles\": {}, \"fleet_throughput_per_mcycle\": {:.3}, \
+             \"background_eviction_drains\": {}}}",
+            report.mean_service_cycles,
+            report.shard_queueing_cycles,
+            report.shard_service_cycles,
+            tp,
+            report.background_eviction_drains
+        )
+    };
+    if o.json {
+        println!("{{");
+        println!("  \"bench\": \"pipeline_sweep\",");
+        println!(
+            "  \"config\": {{\"seed\": {}, \"tenants\": {}, \"shards\": {}, \
+             \"oram\": \"{}\", \"scheme\": \"{}\", \"slots_per_tenant\": {}, \
+             \"closed_loop\": true}},",
+            o.seed, o.tenants, o.shards, o.oram, o.scheme, o.accesses
+        );
+        println!("  \"serial\": {},", mode_json(&serial));
+        println!("  \"staged\": {},", mode_json(&staged));
+        println!("  \"improvement_pct\": {improvement:.3},");
+        println!(
+            "  \"gate_pct\": {},",
+            o.gate.map_or("null".into(), |g| format!("{g:.1}"))
+        );
+        println!("  \"gate_passed\": {passed}");
+        println!("}}");
+    } else {
+        println!(
+            "otc bench: pipeline sweep | {} tenants, {} shards, scheme {}, {} slots/tenant, \
+             closed loop, seed {}",
+            o.tenants, o.shards, o.scheme, o.accesses, o.seed
+        );
+        for (label, report) in [("serial", &serial), ("staged", &staged)] {
+            println!(
+                "  {label:<7} mean service {:>8.1} cycles | queueing {:>12} | drains {:>8}",
+                report.mean_service_cycles,
+                report.shard_queueing_cycles,
+                report.background_eviction_drains
+            );
+        }
+        println!("  staged mean service time is {improvement:.1}% below serial");
+    }
+    if let Some(g) = o.gate {
+        if !passed {
+            eprintln!(
+                "PERF GATE FAILED: staged mean service {:.1} cycles is only {improvement:.1}% \
+                 below serial {:.1} (floor {g:.0}%)",
+                staged.mean_service_cycles, serial.mean_service_cycles
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf gate passed: {improvement:.1}% >= {g:.0}% floor");
+    }
+}
+
 fn cmd_leakage(o: &Opts) {
     let policy = parse_policy(&o.scheme).unwrap_or_else(|| usage());
     let (rate_count, schedule) = match &policy {
@@ -639,6 +770,7 @@ fn main() {
         "run" => cmd_run(&opts),
         "tenants" => cmd_tenants(&opts),
         "churn" => cmd_churn(&opts),
+        "bench" => cmd_bench(&opts),
         "leakage" => cmd_leakage(&opts),
         _ => usage(),
     }

@@ -76,7 +76,7 @@ pub use host::{
 };
 pub use ledger::{within_budget_bits, LeakageLedger, LedgerEntry};
 pub use report::{leakage_summary, render, shard_summary, tenant_table};
-pub use shard::{ShardService, ShardedOram};
+pub use shard::{PipelineConfig, PipelineKind, ShardService, ShardedOram};
 pub use tenant::{TenantDirectory, TenantEntry};
 pub use traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
 

@@ -59,7 +59,8 @@ pub fn tenant_table(report: &HostReport) -> String {
     out
 }
 
-/// Renders the shard utilization line.
+/// Renders the shard utilization line, including the pipeline
+/// discipline and the mean per-access service time it governs.
 pub fn shard_summary(report: &HostReport) -> String {
     let utils: Vec<String> = report
         .shard_utilization
@@ -71,13 +72,25 @@ pub fn shard_summary(report: &HostReport) -> String {
     } else {
         String::new()
     };
+    let drains = if report.background_eviction_drains > 0 {
+        format!(
+            " | background evictions {}",
+            report.background_eviction_drains
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "shards: {} | per-shard accesses {:?}{} | utilization [{}] | queueing {} cycles",
+        "shards: {} ({:?} pipeline) | per-shard accesses {:?}{} | utilization [{}] | \
+         mean service {:.1} cycles | queueing {} cycles{}",
         report.shard_accesses.len(),
+        report.pipeline,
         report.shard_accesses,
         retired,
         utils.join(" "),
-        report.shard_queueing_cycles
+        report.mean_service_cycles,
+        report.shard_queueing_cycles,
+        drains
     )
 }
 
@@ -135,5 +148,7 @@ mod tests {
         assert!(text.contains("alpha") && text.contains("beta"));
         assert!(text.contains("fleet leakage"));
         assert!(text.contains("within budget"));
+        assert!(text.contains("Serial pipeline"));
+        assert!(text.contains("mean service"));
     }
 }

@@ -1,0 +1,171 @@
+//! Equivalence suite for the shard pipeline (the Serial-vs-Staged
+//! analogue of the Calendar-vs-Merge scheduler suite):
+//!
+//! 1. **Serial is the pre-pipeline reference, bit for bit** — the
+//!    `PipelineKind::Serial` service arithmetic is replayed against a
+//!    hand-rolled model of the original `ShardService` accounting
+//!    (`start = max(at, busy_until)`, `completion = start + OLAT`) over
+//!    a seeded access pattern and must match field for field.
+//! 2. **Open-loop observables are pipeline-independent** — a tenant's
+//!    slot grid is pure stream timing, so open-loop traces and serve
+//!    logs are bit-identical across `Serial` and `Staged`; the backend
+//!    discipline is invisible where it must be.
+//! 3. **Closed-loop saturation shows the win** — the same closed-loop
+//!    fleet serves with ≥15% lower mean per-access service time under
+//!    `Staged` (the floor the CI perf gate enforces from
+//!    `BENCH_pipeline.json`).
+//!
+//! CI runs this suite twice with fixed seeds: any nondeterminism in the
+//! pipeline (queue order, drain scheduling) would show up as a diff
+//! between runs.
+
+use otc_core::RatePolicy;
+use otc_dram::{Cycle, DdrConfig};
+use otc_host::{
+    HostConfig, LoopMode, MultiTenantHost, PipelineConfig, PipelineKind, ShardedOram, TenantSpec,
+};
+use otc_oram::OramConfig;
+use otc_workloads::SpecBenchmark;
+
+fn spec(name: &str, bench: SpecBenchmark, rate: u64) -> TenantSpec {
+    TenantSpec {
+        name: name.into(),
+        benchmark: bench,
+        policy: RatePolicy::Static { rate },
+        instructions: 200_000,
+    }
+}
+
+fn fleet(pipeline: PipelineConfig, mode: LoopMode) -> MultiTenantHost {
+    let cfg = HostConfig {
+        record_traces: true,
+        pipeline,
+        ..HostConfig::small()
+    };
+    let mut host = MultiTenantHost::new(cfg).expect("builds");
+    for (i, (bench, rate)) in [
+        (SpecBenchmark::Mcf, 600),
+        (SpecBenchmark::Libquantum, 900),
+        (SpecBenchmark::Hmmer, 700),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        host.add_tenant_with_mode(&spec(&format!("t{i}"), bench, rate), mode)
+            .expect("admit");
+    }
+    host
+}
+
+#[test]
+fn serial_service_matches_pre_pipeline_arithmetic_bit_for_bit() {
+    // Hand-rolled model of the original (pre-pipeline) ShardService
+    // accounting, replayed against PipelineKind::Serial over a seeded
+    // access pattern with queueing collisions and idle gaps.
+    let base = OramConfig::small();
+    let mut sharded = ShardedOram::new(&base, &DdrConfig::default(), 3).expect("valid");
+    let olat = sharded.olat();
+    let mut busy_until = [0u64; 3];
+    let mut model_queueing = 0u64;
+    let mut rng = otc_crypto::SplitMix64::new(0xBEEF_CAFE);
+    let mut at: Cycle = 0;
+    for step in 0..500u64 {
+        at += rng.next_below(olat * 2); // collisions and gaps both occur
+        let addr = rng.next_below(300);
+        let shard = sharded.shard_of(addr);
+        let service = if step % 5 == 0 {
+            sharded.dummy_access(shard, at)
+        } else {
+            sharded.read(addr, at).1
+        };
+        // The reference model.
+        let start = at.max(busy_until[shard]);
+        busy_until[shard] = start + olat;
+        model_queueing += start - at;
+        assert_eq!(service.shard, shard, "step {step}");
+        assert_eq!(service.start, start, "step {step}");
+        assert_eq!(service.completion, start + olat, "step {step}");
+        assert_eq!(service.queued_cycles, start - at, "step {step}");
+    }
+    assert_eq!(sharded.queueing_cycles(), model_queueing);
+    assert_eq!(sharded.pending_evictions(), 0, "serial never defers");
+    assert_eq!(sharded.drained_evictions(), 0);
+}
+
+#[test]
+fn open_loop_observables_identical_across_pipeline_modes() {
+    let mut serial = fleet(PipelineConfig::serial(), LoopMode::Open);
+    let mut staged = fleet(PipelineConfig::staged(), LoopMode::Open);
+    serial.run_for(1 << 20);
+    staged.run_for(1 << 20);
+    assert!(!serial.serve_log().is_empty());
+    assert_eq!(
+        serial.serve_log(),
+        staged.serve_log(),
+        "open-loop serve order must not depend on the backend pipeline"
+    );
+    for id in 0..3 {
+        assert_eq!(
+            serial.tenant_trace(id),
+            staged.tenant_trace(id),
+            "tenant {id} open-loop trace shifted"
+        );
+    }
+    // The backends did run differently — staged deferred evictions.
+    let staged_report = staged.report();
+    assert_eq!(staged_report.pipeline, PipelineKind::Staged);
+    assert!(staged_report.background_eviction_drains > 0);
+    // And the internal service metric improved even though the
+    // observable grids are identical.
+    let serial_report = serial.report();
+    assert!(staged_report.mean_service_cycles < serial_report.mean_service_cycles);
+}
+
+#[test]
+fn closed_loop_staged_meets_the_perf_gate_floor() {
+    // The acceptance criterion behind the CI perf gate: ≥15% lower mean
+    // per-access service time in the closed-loop saturation sweep.
+    let mut serial = fleet(PipelineConfig::serial(), LoopMode::Closed);
+    let mut staged = fleet(PipelineConfig::staged(), LoopMode::Closed);
+    let serial_report = serial.run_until_slots(2_000);
+    let staged_report = staged.run_until_slots(2_000);
+    let improvement =
+        (1.0 - staged_report.mean_service_cycles / serial_report.mean_service_cycles) * 100.0;
+    assert!(
+        improvement >= 15.0,
+        "staged mean service {:.1} vs serial {:.1}: only {improvement:.1}% below",
+        staged_report.mean_service_cycles,
+        serial_report.mean_service_cycles
+    );
+    assert!(staged_report.shard_queueing_cycles < serial_report.shard_queueing_cycles);
+    // Closed-loop cores actually felt the faster completions. Totals are
+    // not comparable (faster feedback lets a core issue *more* real
+    // requests inside the same slot budget), so compare the mean backend
+    // cycles fed back per real access.
+    let fb_per_real = |r: &otc_host::HostReport| -> f64 {
+        let fb: u64 = r.tenants.iter().map(|t| t.feedback_cycles).sum();
+        let real: u64 = r.tenants.iter().map(|t| t.real_served).sum();
+        fb as f64 / real.max(1) as f64
+    };
+    assert!(fb_per_real(&staged_report) < fb_per_real(&serial_report));
+    // Leakage accounting is untouched by the pipeline: same budgets,
+    // same spends.
+    assert_eq!(
+        serial_report.fleet_budget_bits,
+        staged_report.fleet_budget_bits
+    );
+    assert_eq!(
+        serial_report.fleet_spent_bits,
+        staged_report.fleet_spent_bits
+    );
+}
+
+#[test]
+fn serial_is_the_default_everywhere() {
+    // HostConfig::default / ::small must keep the pre-pipeline
+    // discipline: existing seeds, traces and reports stay bit-stable
+    // unless staged mode is opted into.
+    assert_eq!(HostConfig::default().pipeline, PipelineConfig::serial());
+    assert_eq!(HostConfig::small().pipeline, PipelineConfig::serial());
+    assert_eq!(PipelineConfig::default().kind, PipelineKind::Serial);
+}

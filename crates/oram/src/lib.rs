@@ -14,8 +14,11 @@
 //! * [`OramConfig`] — geometry; the default reproduces the paper's
 //!   4 GB / Z=3 / 64 B-block configuration, which moves 24.2 KB per
 //!   access.
-//! * [`OramTiming`] — access latency derived from the geometry and the
-//!   [`otc_dram`] channel model; 1488 CPU cycles at the defaults.
+//! * [`OramTiming`] / [`AccessPlan`] — access latency derived from the
+//!   geometry and the [`otc_dram`] channel model; 1488 CPU cycles at the
+//!   defaults, either as one opaque `OLAT` or decomposed into the
+//!   pipelineable stages (posmap lookups, data-path read, eviction) a
+//!   pipelined shard overlaps across consecutive accesses.
 //!
 //! Timing protection does **not** live here: this crate answers *what an
 //! access does and costs*, while `otc-core` (the paper's contribution)
@@ -59,6 +62,6 @@ pub use posmap::SparseLeafMap;
 pub use recursive::RecursivePathOram;
 pub use stash::Stash;
 pub use stats::OramStats;
-pub use timing::OramTiming;
+pub use timing::{AccessPlan, OramTiming};
 pub use tree::{DefaultPayload, TreeOram, TreeStats};
 pub use types::{BlockId, Leaf, NodeIndex, OramOp};

@@ -10,9 +10,12 @@
 use crate::config::{OramConfig, POSMAP_ENTRY_BYTES};
 use crate::posmap::SparseLeafMap;
 use crate::stats::OramStats;
+use crate::timing::AccessPlan;
 use crate::tree::{DefaultPayload, TreeOram};
 use crate::types::{BlockId, Leaf, NodeIndex, OramOp};
 use otc_crypto::{Prf, SplitMix64, SymmetricKey};
+use otc_dram::DdrConfig;
+use std::collections::VecDeque;
 
 /// A complete Path ORAM with recursive position maps.
 ///
@@ -35,6 +38,10 @@ pub struct RecursivePathOram {
     onchip: SparseLeafMap,
     rng: SplitMix64,
     stats: OramStats,
+    /// Data-tree paths whose write-back (eviction) has been deferred by
+    /// a `*_deferred` access, FIFO. Drained by
+    /// [`RecursivePathOram::drain_eviction`].
+    pending_evictions: VecDeque<Leaf>,
 }
 
 impl std::fmt::Debug for RecursivePathOram {
@@ -94,6 +101,7 @@ impl RecursivePathOram {
             onchip,
             rng: SplitMix64::new(rng_seed),
             stats: OramStats::default(),
+            pending_evictions: VecDeque::new(),
         })
     }
 
@@ -108,7 +116,7 @@ impl RecursivePathOram {
     ///
     /// Panics if `addr` exceeds [`OramConfig::data_block_capacity`].
     pub fn read(&mut self, addr: u64) -> Vec<u8> {
-        self.access(addr, OramOp::Read, None)
+        self.access(addr, OramOp::Read, None, false)
     }
 
     /// Writes the cache line at block address `addr`.
@@ -118,24 +126,101 @@ impl RecursivePathOram {
     /// Panics if `addr` is out of range or `data` is not one data block
     /// long.
     pub fn write(&mut self, addr: u64, data: &[u8]) {
-        self.access(addr, OramOp::Write, Some(data));
+        self.access(addr, OramOp::Write, Some(data), false);
+    }
+
+    /// As [`RecursivePathOram::read`], but the data tree's path
+    /// write-back is deferred into the background eviction queue
+    /// (posmap trees still evict inline — their paths are small and
+    /// their lookups form the pipeline's front stages). The caller
+    /// drains the queue via [`RecursivePathOram::drain_eviction`].
+    pub fn read_deferred(&mut self, addr: u64) -> Vec<u8> {
+        self.access(addr, OramOp::Read, None, true)
+    }
+
+    /// As [`RecursivePathOram::write`], with the data-tree eviction
+    /// deferred (see [`RecursivePathOram::read_deferred`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range or `data` is not one data block
+    /// long.
+    pub fn write_deferred(&mut self, addr: u64, data: &[u8]) {
+        self.access(addr, OramOp::Write, Some(data), true);
     }
 
     /// Performs an indistinguishable dummy access (§1.1.2): a random path
     /// is read and written in every tree, with all the same data movement
     /// and re-encryption as a real access.
     pub fn dummy_access(&mut self) {
+        self.dummy(false);
+    }
+
+    /// As [`RecursivePathOram::dummy_access`], with the data-tree
+    /// eviction deferred (see [`RecursivePathOram::read_deferred`]) —
+    /// dummies and real accesses must stay indistinguishable, so a
+    /// pipelined controller defers both the same way.
+    pub fn dummy_access_deferred(&mut self) {
+        self.dummy(true);
+    }
+
+    fn dummy(&mut self, defer: bool) {
         for i in (0..self.posmaps.len()).rev() {
             let leaf = Leaf(self.rng.next_below(self.posmaps[i].geometry().leaf_count()));
             self.posmaps[i].dummy_access(leaf);
         }
         let leaf = Leaf(self.rng.next_below(self.data.geometry().leaf_count()));
-        self.data.dummy_access(leaf);
+        if defer {
+            self.data.dummy_access_deferred(leaf);
+            self.pending_evictions.push_back(leaf);
+            self.stats.deferred_evictions += 1;
+        } else {
+            self.data.dummy_access(leaf);
+        }
         self.stats.dummy_accesses += 1;
         self.stats.bytes_moved += self.config.bytes_per_access();
     }
 
-    fn access(&mut self, addr: u64, op: OramOp, data: Option<&[u8]>) -> Vec<u8> {
+    /// Completes the oldest deferred data-tree eviction, if any. Returns
+    /// whether one was drained. After every pending eviction has drained,
+    /// bucket ciphertext fingerprints (the §3.2 observable) match what a
+    /// serial controller would have produced for the same access
+    /// sequence — deferral reorders write-backs, it never skips one.
+    pub fn drain_eviction(&mut self) -> bool {
+        match self.pending_evictions.pop_front() {
+            Some(leaf) => {
+                self.data.evict_path(leaf);
+                self.stats.eviction_drains += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drains every pending deferred eviction (oldest first).
+    pub fn drain_evictions(&mut self) {
+        while self.drain_eviction() {}
+    }
+
+    /// Number of data-tree evictions currently deferred.
+    pub fn pending_evictions(&self) -> usize {
+        self.pending_evictions.len()
+    }
+
+    /// Current occupancy of the *data tree's* stash — the one deferred
+    /// evictions grow. Bounded-deferral controllers watch this.
+    pub fn data_stash_len(&self) -> usize {
+        self.data.stash_len()
+    }
+
+    /// The staged timing decomposition of one access of this ORAM over
+    /// `ddr` (see [`AccessPlan`]): per-posmap-level costs in recursion
+    /// order, data-path read, and the (deferrable) eviction stage.
+    pub fn access_plan(&self, ddr: &DdrConfig) -> AccessPlan {
+        AccessPlan::derive(&self.config, ddr)
+    }
+
+    fn access(&mut self, addr: u64, op: OramOp, data: Option<&[u8]>, defer: bool) -> Vec<u8> {
         assert!(
             addr < self.config.data_block_capacity(),
             "address {addr} beyond ORAM capacity {}",
@@ -193,14 +278,37 @@ impl RecursivePathOram {
             cur_new = new_below_leaf;
         }
 
-        // 3. Data ORAM access.
+        // 3. Data ORAM access (eviction inline or deferred).
         let result = match (op, data) {
             (OramOp::Write, Some(bytes)) => {
-                self.data.write(BlockId(addr), cur_leaf, cur_new, bytes)
+                assert_eq!(
+                    bytes.len(),
+                    self.data.geometry().block_bytes(),
+                    "payload must be block-sized"
+                );
+                if defer {
+                    self.data
+                        .access_update_deferred(BlockId(addr), cur_leaf, cur_new, |p| {
+                            p.copy_from_slice(bytes)
+                        })
+                } else {
+                    self.data.write(BlockId(addr), cur_leaf, cur_new, bytes)
+                }
             }
-            (OramOp::Read, _) => self.data.read(BlockId(addr), cur_leaf, cur_new),
+            (OramOp::Read, _) => {
+                if defer {
+                    self.data
+                        .access_update_deferred(BlockId(addr), cur_leaf, cur_new, |_| {})
+                } else {
+                    self.data.read(BlockId(addr), cur_leaf, cur_new)
+                }
+            }
             (OramOp::Write, None) => unreachable!("write always carries data"),
         };
+        if defer {
+            self.pending_evictions.push_back(cur_leaf);
+            self.stats.deferred_evictions += 1;
+        }
         let _ = leaf_for_below;
 
         self.stats.real_accesses += 1;
@@ -335,6 +443,75 @@ mod tests {
     #[should_panic(expected = "beyond ORAM capacity")]
     fn out_of_range_address_panics() {
         small().read(u64::MAX);
+    }
+
+    #[test]
+    fn deferred_accesses_roundtrip_under_bounded_queue() {
+        let mut o = small();
+        for i in 0..32u64 {
+            o.write_deferred(i, &[i as u8; 64]);
+            while o.pending_evictions() > 4 {
+                assert!(o.drain_eviction());
+            }
+        }
+        o.check_invariants(); // stash residency is always legal
+        for i in (0..32u64).rev() {
+            assert_eq!(o.read_deferred(i), vec![i as u8; 64], "block {i}");
+            while o.pending_evictions() > 4 {
+                o.drain_eviction();
+            }
+        }
+        o.drain_evictions();
+        assert_eq!(o.pending_evictions(), 0);
+        assert!(!o.drain_eviction(), "drained queue reports empty");
+        o.check_invariants();
+        let s = o.stats();
+        assert_eq!(s.deferred_evictions, 64);
+        assert_eq!(s.eviction_drains, 64);
+        assert_eq!(s.pending_evictions(), 0);
+    }
+
+    #[test]
+    fn deferred_fingerprints_match_serial_after_drain() {
+        // The §3.2 observable (bucket ciphertexts) must not betray the
+        // pipelining: after all deferred evictions drain, every bucket
+        // has been re-encrypted exactly as many times as under a serial
+        // controller running the same access sequence.
+        let mut serial = small();
+        let mut deferred = small();
+        let mut rng = SplitMix64::new(0xFEED);
+        for step in 0..60u64 {
+            match rng.next_below(3) {
+                0 => {
+                    let addr = rng.next_below(100);
+                    let val = vec![step as u8; 64];
+                    serial.write(addr, &val);
+                    deferred.write_deferred(addr, &val);
+                }
+                1 => {
+                    let addr = rng.next_below(100);
+                    assert_eq!(serial.read(addr), deferred.read_deferred(addr));
+                }
+                _ => {
+                    serial.dummy_access();
+                    deferred.dummy_access_deferred();
+                }
+            }
+            while deferred.pending_evictions() > 3 {
+                deferred.drain_eviction();
+            }
+        }
+        deferred.drain_evictions();
+        assert_eq!(serial.root_fingerprint(), deferred.root_fingerprint());
+        for node in [0u64, 1, 2, 5, 12, 40] {
+            assert_eq!(
+                serial.bucket_fingerprint(NodeIndex(node)),
+                deferred.bucket_fingerprint(NodeIndex(node)),
+                "bucket {node}"
+            );
+        }
+        serial.check_invariants();
+        deferred.check_invariants();
     }
 
     #[test]

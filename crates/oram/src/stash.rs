@@ -9,12 +9,17 @@
 
 use crate::bucket::StoredBlock;
 use crate::types::{BlockId, Leaf};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// On-chip stash: an associative store of blocks awaiting eviction.
+///
+/// Backed by a `BTreeMap` so iteration is id-ordered: eviction's
+/// lowest-id tie-break falls out of a plain early-exit scan, and the
+/// DRAM image (not just timing and fingerprints) is bit-reproducible
+/// across runs — which matters once deferred evictions interleave.
 #[derive(Debug, Clone, Default)]
 pub struct Stash {
-    blocks: HashMap<BlockId, StoredBlock>,
+    blocks: BTreeMap<BlockId, StoredBlock>,
     peak: usize,
 }
 
@@ -67,6 +72,12 @@ impl Stash {
     ///
     /// `may_place(block_leaf)` is the geometry predicate — the block's own
     /// path must pass through that bucket.
+    ///
+    /// When more blocks are eligible than fit, the lowest block ids win
+    /// (the map iterates in id order, so the scan can still stop at
+    /// `limit`): a deterministic tie-break, where the earlier hash-order
+    /// choice could park different blocks in shared buckets from run to
+    /// run.
     pub fn drain_for_bucket<F>(&mut self, limit: usize, mut may_place: F) -> Vec<StoredBlock>
     where
         F: FnMut(Leaf) -> bool,
@@ -153,6 +164,20 @@ mod tests {
         assert_eq!(drained3.len(), 1);
         assert_eq!(drained3[0].leaf, Leaf(1));
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drain_prefers_lowest_ids_deterministically() {
+        let mut s = Stash::new();
+        for id in [5u64, 2, 9, 1] {
+            s.insert(blk(id, 0));
+        }
+        let ids: Vec<u64> = s
+            .drain_for_bucket(2, |_| true)
+            .iter()
+            .map(|b| b.id.0)
+            .collect();
+        assert_eq!(ids, [1, 2]);
     }
 
     #[test]

@@ -16,12 +16,23 @@ pub struct OramStats {
     pub bytes_moved: u64,
     /// Peak stash occupancy across all trees.
     pub stash_peak: usize,
+    /// Data-tree evictions deferred into the background queue (pipelined
+    /// controllers only; serial accesses evict inline and count 0).
+    pub deferred_evictions: u64,
+    /// Deferred evictions completed by a background drain. Pending =
+    /// `deferred_evictions - eviction_drains`.
+    pub eviction_drains: u64,
 }
 
 impl OramStats {
     /// Total accesses of either kind.
     pub fn total_accesses(&self) -> u64 {
         self.real_accesses + self.dummy_accesses
+    }
+
+    /// Deferred evictions still waiting for a background drain.
+    pub fn pending_evictions(&self) -> u64 {
+        self.deferred_evictions - self.eviction_drains
     }
 
     /// Fraction of accesses that were dummies (0.0 when idle).

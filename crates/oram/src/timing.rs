@@ -4,9 +4,22 @@
 //! channel model ([`otc_dram::DdrConfig`]) to produce the access latency
 //! the rest of the stack uses. With both at their defaults this reproduces
 //! §9.1.2 exactly: 24.2 KB per access, 1984 DRAM cycles, 1488 CPU cycles.
+//!
+//! Two views of the same access exist:
+//!
+//! * [`OramTiming`] — the access as one opaque latency (`OLAT`), the unit
+//!   a serial controller charges per slot.
+//! * [`AccessPlan`] — the access decomposed into its pipelineable stages:
+//!   one stage per recursive posmap lookup (smallest tree first, the
+//!   order the recursion actually runs), a data-tree path read, and the
+//!   data-tree path write-back (eviction). The stage costs sum to `OLAT`
+//!   *exactly*, so a serial replay of the plan reproduces [`OramTiming`]
+//!   bit for bit while a pipelined controller can overlap stages of
+//!   consecutive accesses.
 
 use crate::config::OramConfig;
-use otc_dram::{Cycle, DdrConfig, TransferSpec};
+use crate::geometry::TreeGeometry;
+use otc_dram::{dram_to_cpu_cycles, Cycle, DdrConfig, TransferSpec};
 
 /// The timing profile of one (real or dummy) ORAM access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +69,122 @@ impl OramTiming {
     }
 }
 
+/// One ORAM access decomposed into its pipelineable stages.
+///
+/// Stage costs are CPU cycles and sum to [`OramTiming::latency`]
+/// **exactly** (the derivation converts cumulative DRAM-cycle prefix
+/// sums, so per-stage rounding telescopes away). A serial controller
+/// charging `total()` per access is therefore bit-identical to the
+/// opaque-OLAT model; a pipelined controller may overlap the posmap
+/// stages of one access with the data-path/eviction stages of the
+/// previous one, because the stages touch disjoint trees.
+///
+/// # Example
+///
+/// ```
+/// use otc_oram::{AccessPlan, OramConfig, OramTiming};
+/// use otc_dram::DdrConfig;
+///
+/// let cfg = OramConfig::paper();
+/// let ddr = DdrConfig::default();
+/// let plan = AccessPlan::derive(&cfg, &ddr);
+/// assert_eq!(plan.total(), OramTiming::derive(&cfg, &ddr).latency);
+/// assert_eq!(plan.posmap_levels.len(), 3);
+/// assert!(plan.critical_path() < plan.total());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPlan {
+    /// Cost of each recursive posmap lookup (path read + write-back of
+    /// that posmap tree), in recursion order: smallest tree first, ending
+    /// at the tree that holds the data ORAM's positions.
+    pub posmap_levels: Vec<Cycle>,
+    /// Cost of reading the data tree's path — the stage whose completion
+    /// returns the requested block to the tenant.
+    pub data_read: Cycle,
+    /// Cost of the data tree's path write-back (the eviction stage). A
+    /// pipelined shard may defer this into a bounded background queue.
+    pub eviction: Cycle,
+}
+
+impl AccessPlan {
+    /// Decomposes one access of `oram` over `ddr` into stage costs.
+    ///
+    /// Accounting choices (mirroring [`OramTiming::derive`]'s aggregate
+    /// transfer): each tree's row activations are charged to the stage
+    /// that first opens its rows (posmap stages carry both directions of
+    /// their small trees; the data tree's rows are charged to the read,
+    /// which leaves them open for the write-back), and both bus
+    /// turnarounds are charged to the eviction stage that causes them.
+    pub fn derive(oram: &OramConfig, ddr: &DdrConfig) -> Self {
+        // Cumulative transfer after each stage; stage costs are
+        // differences of the converted CPU-cycle prefix sums.
+        let mut cum = TransferSpec {
+            bytes: 0,
+            row_activations: 0,
+            direction_switches: 0,
+        };
+        let mut last_cpu: Cycle = 0;
+        let mut stage = |cum: &mut TransferSpec, bytes: u64, rows: u64, switches: u64| -> Cycle {
+            cum.bytes += bytes;
+            cum.row_activations += rows;
+            cum.direction_switches += switches;
+            let cpu = dram_to_cpu_cycles(ddr.busy_dram_cycles(cum));
+            let cost = cpu - last_cpu;
+            last_cpu = cpu;
+            cost
+        };
+        // Recursion order: smallest posmap first (posmaps is stored
+        // largest-first, so walk it in reverse).
+        let posmap_levels = oram
+            .posmaps
+            .iter()
+            .rev()
+            .map(|g: &TreeGeometry| stage(&mut cum, 2 * g.path_bytes(), u64::from(g.levels()), 0))
+            .collect();
+        let data_read = stage(
+            &mut cum,
+            oram.data.path_bytes(),
+            u64::from(oram.data.levels()),
+            0,
+        );
+        let eviction = stage(&mut cum, oram.data.path_bytes(), 0, 2);
+        Self {
+            posmap_levels,
+            data_read,
+            eviction,
+        }
+    }
+
+    /// Sum of all stage costs — equals [`OramTiming::latency`] exactly.
+    pub fn total(&self) -> Cycle {
+        self.posmap_cycles() + self.data_read + self.eviction
+    }
+
+    /// Sum of the posmap-stage costs (the recursion prefix of an access).
+    pub fn posmap_cycles(&self) -> Cycle {
+        self.posmap_levels.iter().sum()
+    }
+
+    /// Uncontended cycles until the requested block is available: the
+    /// posmap recursion plus the data-path read. The eviction stage is
+    /// off the tenant's critical path once it can be deferred.
+    pub fn critical_path(&self) -> Cycle {
+        self.posmap_cycles() + self.data_read
+    }
+
+    /// The most expensive single stage — the sustained per-access cadence
+    /// of a fully pipelined shard (its throughput bound is `1 /
+    /// bottleneck` accesses per cycle instead of `1 / total`).
+    pub fn bottleneck(&self) -> Cycle {
+        self.posmap_levels
+            .iter()
+            .copied()
+            .chain([self.data_read, self.eviction])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +204,51 @@ mod tests {
         let small = OramTiming::derive(&OramConfig::small(), &DdrConfig::default());
         assert!(small.latency < paper.latency);
         assert!(small.latency > 0);
+    }
+
+    #[test]
+    fn plan_stages_sum_to_olat_exactly() {
+        for cfg in [OramConfig::paper(), OramConfig::small()] {
+            let ddr = DdrConfig::default();
+            let t = OramTiming::derive(&cfg, &ddr);
+            let plan = AccessPlan::derive(&cfg, &ddr);
+            assert_eq!(plan.total(), t.latency, "{cfg:?}");
+            assert_eq!(plan.posmap_levels.len(), cfg.posmaps.len());
+            assert!(plan.posmap_levels.iter().all(|&c| c > 0));
+            assert!(plan.data_read > 0 && plan.eviction > 0);
+        }
+    }
+
+    #[test]
+    fn plan_paper_shape() {
+        let plan = AccessPlan::derive(&OramConfig::paper(), &DdrConfig::default());
+        // Recursion order: smallest posmap (17 levels) first, so stage
+        // costs grow monotonically along the recursion.
+        assert!(plan.posmap_levels.windows(2).all(|w| w[0] < w[1]));
+        // The data read dominates any single posmap stage; the critical
+        // path (posmaps + data read) is meaningfully below full OLAT.
+        assert!(plan.data_read > *plan.posmap_levels.last().expect("non-empty"));
+        assert!(plan.critical_path() < plan.total());
+        assert_eq!(plan.bottleneck(), plan.data_read);
+        // A fully pipelined shard sustains better than 2 accesses per
+        // OLAT at the paper geometry.
+        assert!(2 * plan.bottleneck() < plan.total());
+    }
+
+    #[test]
+    fn plan_total_tracks_olat_across_geometries() {
+        // The exact-sum property must hold for odd geometries where
+        // per-stage DRAM->CPU rounding would otherwise drift.
+        for levels in [9u32, 13, 21] {
+            let mut c = OramConfig::small();
+            c.data = crate::geometry::TreeGeometry::new(levels, 3, 64, 16);
+            let ddr = DdrConfig::default();
+            assert_eq!(
+                AccessPlan::derive(&c, &ddr).total(),
+                OramTiming::derive(&c, &ddr).latency,
+                "levels={levels}"
+            );
+        }
     }
 
     #[test]

@@ -151,24 +151,10 @@ impl TreeOram {
     where
         F: FnOnce(&mut Vec<u8>),
     {
-        assert!(new_leaf.0 < self.geom.leaf_count(), "new_leaf out of range");
-        self.read_path_into_stash(leaf);
-
-        // The block must now be in the stash: either it came off the path,
-        // it was already waiting in the stash, or it has never been
-        // written and we synthesize it.
-        if !self.stash.contains(id) {
-            let payload = self.default_payload.synthesize(id, self.geom.block_bytes());
-            self.stash.insert(StoredBlock { id, leaf, payload });
-        }
-
-        let block = self.stash.get_mut(id).expect("block staged in stash");
-        block.leaf = new_leaf;
-        update(&mut block.payload);
-        let result = block.payload.clone();
-
+        let result = self.access_update_deferred(id, leaf, new_leaf, update);
+        // The deferred variant just emptied the path's buckets, so the
+        // immediate write-back is exactly the serial eviction.
         self.write_path_from_stash(leaf);
-        self.accesses += 1;
         result
     }
 
@@ -196,9 +182,77 @@ impl TreeOram {
     /// Indistinguishable from a real access by construction — the same
     /// bytes move and every bucket is re-encrypted.
     pub fn dummy_access(&mut self, leaf: Leaf) {
+        self.dummy_access_deferred(leaf);
+        self.write_path_from_stash(leaf);
+    }
+
+    /// As [`TreeOram::access_update`], but with the path write-back
+    /// *deferred*: the path's blocks stay in the stash and the caller
+    /// must later call [`TreeOram::evict_path`] with the same `leaf` to
+    /// complete the eviction. Until then the Path ORAM invariant still
+    /// holds (stash residency is always legal) and reads of any staged
+    /// block keep working — only the write-back bandwidth and the
+    /// re-encryption of the path's buckets are postponed.
+    pub fn access_update_deferred<F>(
+        &mut self,
+        id: BlockId,
+        leaf: Leaf,
+        new_leaf: Leaf,
+        update: F,
+    ) -> Vec<u8>
+    where
+        F: FnOnce(&mut Vec<u8>),
+    {
+        assert!(new_leaf.0 < self.geom.leaf_count(), "new_leaf out of range");
+        self.read_path_into_stash(leaf);
+
+        // The block must now be in the stash: either it came off the path,
+        // it was already waiting in the stash, or it has never been
+        // written and we synthesize it.
+        if !self.stash.contains(id) {
+            let payload = self.default_payload.synthesize(id, self.geom.block_bytes());
+            self.stash.insert(StoredBlock { id, leaf, payload });
+        }
+
+        let block = self.stash.get_mut(id).expect("block staged in stash");
+        block.leaf = new_leaf;
+        update(&mut block.payload);
+        let result = block.payload.clone();
+        self.accesses += 1;
+        result
+    }
+
+    /// Dummy-access counterpart of [`TreeOram::access_update_deferred`]:
+    /// reads the path to `leaf` into the stash and leaves the write-back
+    /// to a later [`TreeOram::evict_path`].
+    pub fn dummy_access_deferred(&mut self, leaf: Leaf) {
+        self.read_path_into_stash(leaf);
+        self.accesses += 1;
+    }
+
+    /// Completes a deferred eviction: gathers the current contents of the
+    /// path to `leaf` back into the stash (interleaved earlier evictions
+    /// may have re-filled shared buckets — the root is on every path) and
+    /// writes the path back with greedy eviction. Exactly one bucket
+    /// re-encryption per path bucket, the same as the write-back half of
+    /// a serial access, so ciphertext fingerprints after all pending
+    /// evictions drain match serial mode bit for bit.
+    ///
+    /// Timing-model note: the gather is *functional bookkeeping*, not
+    /// modeled DRAM traffic — callers charge a drain the path-write cost
+    /// only ([`crate::AccessPlan::eviction`]). The buckets a drain can
+    /// find non-empty are exactly the path prefix shared with an earlier
+    /// pending eviction (deeper buckets were emptied by this path's own
+    /// read and FIFO order keeps them empty), and a hardware controller
+    /// holds those top-of-tree levels in its on-chip tree-top buffer
+    /// (standard in the Ren et al. [26] designs this models), so the
+    /// write-back re-reads nothing from DRAM. Worst case outside the
+    /// buffered depth — two pending paths to nearby leaves — the model
+    /// is optimistic by the shared suffix; bytes_moved accounting is
+    /// unaffected (each access still moves read + write once).
+    pub fn evict_path(&mut self, leaf: Leaf) {
         self.read_path_into_stash(leaf);
         self.write_path_from_stash(leaf);
-        self.accesses += 1;
     }
 
     /// The ciphertext fingerprint of a bucket, as an adversary snapshotting
