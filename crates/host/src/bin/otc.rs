@@ -29,10 +29,23 @@
 //! --pipeline P       shard pipeline: serial (pre-pipeline reference,
 //!                    default) | staged (overlapped posmap/data stages +
 //!                    background eviction)
-//! --gate PCT         otc bench only: exit nonzero unless the staged
-//!                    mean service time is ≥ PCT% below serial
+//! --capacity C       admission pricing: olat (one full OLAT per slot,
+//!                    the pre-cadence reference, default) | cadence
+//!                    (the pipeline's steady-state initiation interval
+//!                    — staged pools admit up to their real bandwidth;
+//!                    slot grids identical under both)
+//! --admission        otc bench only: run the admission sweep instead
+//!                    of the pipeline sweep — fill serial/olat and
+//!                    staged/cadence pools to their admission ceilings
+//!                    and compare tenants admitted at the same p99
+//!                    service-time SLO
+//! --gate X           otc bench only: exit nonzero unless the staged
+//!                    mean service time is ≥ X% below serial (pipeline
+//!                    sweep) / the staged pool admits ≥ X× the tenants
+//!                    within the SLO (admission sweep)
 //! --json             otc bench only: emit the JSON record
-//!                    (BENCH_pipeline.json in CI) instead of a table
+//!                    (BENCH_pipeline.json / BENCH_admission.json in
+//!                    CI) instead of a table
 //! --trace N          print the first N observable slot records per
 //!                    tenant (otc run only; used by the CI determinism
 //!                    diff — ignored with a warning elsewhere)
@@ -60,10 +73,10 @@
 
 use otc_core::{DividerImpl, EpochSchedule, LeakageModel, RatePolicy, RateSet};
 use otc_host::{
-    render, HostConfig, HostError, HostReport, LoopMode, MultiTenantHost, PipelineConfig,
-    PipelineKind, TenantSpec,
+    render, CapacityKind, HostConfig, HostError, HostReport, LoopMode, MultiTenantHost,
+    PipelineConfig, PipelineKind, TenantSpec,
 };
-use otc_oram::OramConfig;
+use otc_oram::{OramConfig, OramTiming};
 use otc_workloads::SpecBenchmark;
 
 fn usage() -> ! {
@@ -80,7 +93,7 @@ fn usage() -> ! {
          options: --tenants N --accesses N --shards N --scheme S --oram small|paper\n\
          \x20        --instructions N --limit BITS --bench a,b,.. --seed N\n\
          \x20        --closed-loop --trace N --pipeline serial|staged\n\
-         \x20        --json --gate PCT\n\
+         \x20        --capacity olat|cadence --admission --json --gate X\n\
          \x20        --churn-script '@R admit <bench> <scheme> [closed]; @R evict <id>;\n\
          \x20                        @R shards <n>; ...'\n"
     );
@@ -102,6 +115,8 @@ struct Opts {
     trace: usize,
     churn_script: Option<String>,
     pipeline: PipelineKind,
+    capacity: CapacityKind,
+    admission: bool,
     json: bool,
     gate: Option<f64>,
 }
@@ -122,6 +137,8 @@ impl Default for Opts {
             trace: 0,
             churn_script: None,
             pipeline: PipelineKind::Serial,
+            capacity: CapacityKind::Olat,
+            admission: false,
             json: false,
             gate: None,
         }
@@ -165,6 +182,17 @@ fn parse_opts(args: &[String]) -> Opts {
                     }
                 }
             }
+            "--capacity" => {
+                o.capacity = match val("--capacity").as_str() {
+                    "olat" => CapacityKind::Olat,
+                    "cadence" => CapacityKind::Cadence,
+                    other => {
+                        eprintln!("unknown --capacity pricing: {other} (want olat|cadence)");
+                        usage()
+                    }
+                }
+            }
+            "--admission" => o.admission = true,
             "--json" => o.json = true,
             "--gate" => o.gate = Some(val("--gate").parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
@@ -241,6 +269,7 @@ fn host_config(o: &Opts) -> HostConfig {
             PipelineKind::Serial => PipelineConfig::serial(),
             PipelineKind::Staged => PipelineConfig::staged(),
         },
+        capacity: o.capacity,
         ..HostConfig::default()
     }
 }
@@ -601,10 +630,14 @@ fn cmd_tenants(o: &Opts) {
             Err(HostError::Saturated {
                 demanded,
                 available,
+                cadence,
+                pricing,
             }) => {
                 println!(
                     "{k:<4}  SATURATED: demands {demanded:.2} shard-equivalents, \
-                     {available:.2} available — stop"
+                     {available:.2} available ({:.2} short; {pricing} pricing at \
+                     {cadence} cycles/slot) — stop",
+                    demanded - available
                 );
                 break;
             }
@@ -620,14 +653,159 @@ fn cmd_tenants(o: &Opts) {
     }
 }
 
+/// `otc bench --admission`: the capacity-model sweep behind the CI
+/// admission gate. Two pools of identical shards are filled to their
+/// admission ceilings with identical tenants — serial shards priced at
+/// one `OLAT` per slot (the pre-cadence reference) against staged
+/// shards priced at their pipeline cadence — then each admitted fleet
+/// serves closed-loop and reports its p99 per-access service time
+/// against the SLO. The payoff on record: the cadence-priced staged
+/// pool admits ≥1.5× the tenants (`--gate` floor) while both pools
+/// meet the same p99 SLO. Deterministic: admission is arithmetic over
+/// the capacity model and the serve is over simulated cycles.
+fn cmd_bench_admission(o: &Opts) {
+    /// Runaway guard on the fill loop (a pricing bug could otherwise
+    /// admit forever); generous — stock geometries saturate in dozens.
+    const MAX_FILL: usize = 4_096;
+    /// The p99 service-time SLO, in OLATs: generous enough that a pool
+    /// correctly admitted to ~90% of its *real* bandwidth meets it, so
+    /// a miss means the pricing let in tenants the shards cannot carry.
+    const SLO_OLATS: u64 = 8;
+    let policy = parse_policy(&o.scheme).unwrap_or_else(|| {
+        eprintln!("bad --scheme (want dynamic_R<n>_E<g> or static_<rate>)");
+        usage()
+    });
+    let instructions = o.instructions.unwrap_or(o.accesses.saturating_mul(50));
+    let benches = benchmarks(o);
+    let base = host_config(o);
+    let slo_cycles = SLO_OLATS * OramTiming::derive(&base.oram, &base.ddr).latency;
+    let fill = |pipeline: PipelineKind, capacity: CapacityKind| -> (usize, String, HostReport) {
+        let mut opts = o.clone();
+        opts.pipeline = pipeline;
+        opts.capacity = capacity;
+        let mut host = match MultiTenantHost::new(host_config(&opts)) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("otc bench: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut admitted = 0usize;
+        let denial = loop {
+            if admitted >= MAX_FILL {
+                eprintln!("otc bench: admission never saturated after {MAX_FILL} tenants");
+                std::process::exit(1);
+            }
+            let spec = TenantSpec {
+                name: format!("t{admitted}"),
+                benchmark: benches[admitted % benches.len()],
+                policy: policy.clone(),
+                instructions,
+            };
+            match host.admit(&spec, LoopMode::Closed) {
+                Ok(_) => admitted += 1,
+                Err(e @ HostError::Saturated { .. }) => break e.to_string(),
+                Err(e) => {
+                    eprintln!("otc bench: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        (admitted, denial, host.run_until_slots(o.accesses))
+    };
+    let (serial_k, serial_denial, serial) = fill(PipelineKind::Serial, CapacityKind::Olat);
+    let (staged_k, staged_denial, staged) = fill(PipelineKind::Staged, CapacityKind::Cadence);
+    let ratio = staged_k as f64 / serial_k.max(1) as f64;
+    let slo_met =
+        serial.p99_service_cycles <= slo_cycles && staged.p99_service_cycles <= slo_cycles;
+    let passed = slo_met && o.gate.is_none_or(|g| ratio >= g);
+    let mode_json = |k: usize, report: &HostReport| -> String {
+        format!(
+            "{{\"tenants_admitted\": {k}, \"capacity_pricing\": \"{}\", \
+             \"effective_cadence\": {}, \"fleet_demand\": {:.4}, \"fleet_capacity\": {:.4}, \
+             \"p99_service_cycles\": {}, \"mean_service_cycles\": {:.3}, \
+             \"queueing_cycles\": {}}}",
+            report.capacity,
+            report.effective_cadence,
+            report.fleet_demand,
+            report.fleet_capacity,
+            report.p99_service_cycles,
+            report.mean_service_cycles,
+            report.shard_queueing_cycles
+        )
+    };
+    if o.json {
+        println!("{{");
+        println!("  \"bench\": \"admission_sweep\",");
+        println!(
+            "  \"config\": {{\"seed\": {}, \"shards\": {}, \"oram\": \"{}\", \
+             \"scheme\": \"{}\", \"slots_per_tenant\": {}, \"closed_loop\": true, \
+             \"slo_cycles\": {slo_cycles}}},",
+            o.seed, o.shards, o.oram, o.scheme, o.accesses
+        );
+        println!("  \"serial_olat\": {},", mode_json(serial_k, &serial));
+        println!("  \"staged_cadence\": {},", mode_json(staged_k, &staged));
+        println!("  \"admission_ratio\": {ratio:.3},");
+        println!("  \"slo_met\": {slo_met},");
+        println!(
+            "  \"gate_ratio\": {},",
+            o.gate.map_or("null".into(), |g| format!("{g:.2}"))
+        );
+        println!("  \"gate_passed\": {passed}");
+        println!("}}");
+    } else {
+        println!(
+            "otc bench: admission sweep | {} shards, oram {}, scheme {}, {} slots/tenant, \
+             closed loop, seed {} | p99 SLO {slo_cycles} cycles",
+            o.shards, o.oram, o.scheme, o.accesses, o.seed
+        );
+        for (label, k, denial, report) in [
+            ("serial/olat", serial_k, &serial_denial, &serial),
+            ("staged/cadence", staged_k, &staged_denial, &staged),
+        ] {
+            println!(
+                "  {label:<15} admitted {k:>3} tenants | p99 service {:>8} cycles | \
+                 mean {:>8.1} | demand {:.2}/{:.2} shard-equivalents",
+                report.p99_service_cycles,
+                report.mean_service_cycles,
+                report.fleet_demand,
+                report.fleet_capacity
+            );
+            println!("  {label:<15} denial: {denial}");
+        }
+        println!(
+            "  cadence pricing admits {ratio:.2}x the tenants; SLO {}",
+            if slo_met {
+                "met by both pools"
+            } else {
+                "MISSED"
+            }
+        );
+    }
+    if let Some(g) = o.gate {
+        if !passed {
+            eprintln!(
+                "ADMISSION GATE FAILED: ratio {ratio:.2} (floor {g:.2}), p99 serial {} / \
+                 staged {} vs SLO {slo_cycles}",
+                serial.p99_service_cycles, staged.p99_service_cycles
+            );
+            std::process::exit(1);
+        }
+        eprintln!("admission gate passed: {ratio:.2}x >= {g:.2}x floor, both pools within SLO");
+    }
+}
+
 /// `otc bench`: the seeded pipeline-vs-serial sweep behind the CI perf
-/// gate. The same closed-loop fleet (identical seeds, benchmarks and
-/// rate policy) runs once per pipeline discipline; the comparison is
-/// over simulated cycles, so the result is bit-deterministic — the
-/// `--gate` floor exists to catch real regressions, not wall-clock
-/// noise.
+/// gate (or, with `--admission`, the capacity sweep above). The same
+/// closed-loop fleet (identical seeds, benchmarks and rate policy) runs
+/// once per pipeline discipline; the comparison is over simulated
+/// cycles, so the result is bit-deterministic — the `--gate` floor
+/// exists to catch real regressions, not wall-clock noise.
 fn cmd_bench(o: &Opts) {
     require_tenants(o);
+    if o.admission {
+        return cmd_bench_admission(o);
+    }
     let run = |kind: PipelineKind| -> HostReport {
         let mut opts = o.clone();
         opts.pipeline = kind;

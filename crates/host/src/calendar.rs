@@ -45,6 +45,25 @@
 
 use otc_dram::Cycle;
 
+/// Slots one scheduling round can sustainably serve: `n_shards`
+/// independent service ports, each initiating one access per `cadence`
+/// cycles, across a `quantum`-cycle round.
+///
+/// This is the scheduler-side face of the capacity model: admission
+/// keeps the fleet's worst-case due-slot demand per round below this
+/// figure (times the utilization cap), which is what lets
+/// `MultiTenantHost::step_round` serve *every* due slot each round
+/// without the backlog growing round over round. Priced at `OLAT` the
+/// figure under-states a staged pool (overlapped stages serve slots
+/// faster than one per `OLAT`); priced at the pipeline's effective
+/// cadence it matches the bandwidth the shards actually sustain.
+pub fn round_slot_capacity(quantum: Cycle, cadence: Cycle, n_shards: usize) -> f64 {
+    if cadence == 0 {
+        return 0.0;
+    }
+    quantum as f64 * n_shards as f64 / cadence as f64
+}
+
 /// One scheduled slot: the key is the host's dense tenant index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
@@ -214,6 +233,22 @@ mod tests {
             out.push(x);
         }
         out
+    }
+
+    #[test]
+    fn round_slot_capacity_scales_with_shards_and_cadence() {
+        // 2 shards serving one slot per 400 cycles across a 65536-cycle
+        // round sustain 327.68 slots/round.
+        let quantum = 1u64 << 16;
+        assert_eq!(round_slot_capacity(quantum, 400, 2), 327.68);
+        // Halving the cadence doubles the round capacity; so does
+        // doubling the shards. Zero cadence (degenerate) reports zero
+        // rather than dividing by it.
+        assert_eq!(
+            round_slot_capacity(quantum, 200, 2),
+            round_slot_capacity(quantum, 400, 4)
+        );
+        assert_eq!(round_slot_capacity(quantum, 0, 2), 0.0);
     }
 
     #[test]

@@ -63,7 +63,7 @@ use crate::traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
 use otc_core::{EpochSchedule, LeakageParams, RatePolicy, SessionError, SlotStream};
 use otc_crypto::SplitMix64;
 use otc_dram::{Cycle, DdrConfig};
-use otc_oram::OramConfig;
+use otc_oram::{CapacityKind, CapacityModel, OramConfig};
 use otc_sim::AccessKind;
 use otc_workloads::SpecBenchmark;
 use std::collections::VecDeque;
@@ -80,12 +80,20 @@ pub enum HostError {
     Session(SessionError),
     /// Admitting the tenant (or shrinking the shard pool) would
     /// oversubscribe the shards: worst-case fleet slot demand (in
-    /// shard-equivalents) against available capacity.
+    /// shard-equivalents) against available capacity. Carries the
+    /// capacity figure the denial was priced at so operators can see
+    /// *why* — an olat-priced staged pool saying "saturated" at half
+    /// its real bandwidth looks very different from a cadence-priced
+    /// one that is genuinely full.
     Saturated {
         /// Shard-equivalents the fleet would demand.
         demanded: f64,
         /// Shard-equivalents available under the utilization cap.
         available: f64,
+        /// Per-slot service figure each slot was priced at (cycles).
+        cadence: Cycle,
+        /// The pricing that produced `cadence`.
+        pricing: CapacityKind,
     },
     /// The tenant id is not registered with this host.
     UnknownTenant {
@@ -110,9 +118,13 @@ impl std::fmt::Display for HostError {
             HostError::Saturated {
                 demanded,
                 available,
+                cadence,
+                pricing,
             } => write!(
                 f,
-                "saturated: fleet demands {demanded:.2} shard-equivalents, {available:.2} available"
+                "saturated: fleet demands {demanded:.2} shard-equivalents, {available:.2} \
+                 available ({:.2} short; {pricing} pricing at {cadence} cycles/slot)",
+                demanded - available
             ),
             HostError::UnknownTenant { id } => write!(f, "unknown tenant id {id}"),
             HostError::AlreadyEvicted { id, at } => {
@@ -173,6 +185,14 @@ pub struct HostConfig {
     /// bit-exact pre-pipeline reference, `Staged` overlaps the stages of
     /// consecutive accesses and defers evictions to background drains.
     pub pipeline: PipelineConfig,
+    /// What admission prices one slot at (see [`CapacityKind`]): `Olat`
+    /// charges a full `OLAT` per slot — the pre-cadence reference, bit-
+    /// identical to historical admission decisions — while `Cadence`
+    /// charges the pipeline's steady-state initiation interval, letting
+    /// a staged pool admit up to the bandwidth it actually sustains.
+    /// Slot grids (and hence the timing channel) are identical under
+    /// both: only the admission ceiling moves.
+    pub capacity: CapacityKind,
     /// Calendar bucket width in cycles. The default (`quantum / 16`)
     /// bounds empty-bucket scans at 16 per round; see the `calendar`
     /// module docs for the width/rate-period trade-off.
@@ -196,6 +216,7 @@ impl Default for HostConfig {
             record_traces: false,
             scheduler: SchedulerKind::Calendar,
             pipeline: PipelineConfig::serial(),
+            capacity: CapacityKind::Olat,
             calendar_bucket_width: 1 << 12,
             calendar_buckets: 256,
         }
@@ -245,11 +266,18 @@ impl TenantSpec {
         }
     }
 
-    /// Worst-case fraction of one shard this tenant can demand: slots at
-    /// its fastest candidate rate, each occupying `OLAT` service cycles.
-    pub fn worst_case_utilization(&self, olat: Cycle) -> f64 {
-        let fastest = self.policy.fastest_rate();
-        olat as f64 / (fastest + olat) as f64
+    /// Worst-case fraction of one shard this tenant can demand: slots
+    /// at its fastest candidate rate (one per `rate + OLAT` cycles —
+    /// the grid period is observable stream state and never moves with
+    /// the pricing), each occupying the pool's
+    /// [`CapacityModel::effective_cadence`] service cycles. Under
+    /// [`CapacityKind::Olat`] that cadence is a full `OLAT` and this
+    /// reduces exactly to the historical formula; under
+    /// [`CapacityKind::Cadence`] a staged pool charges its steady-state
+    /// initiation interval instead, so the same tenant claims a smaller
+    /// share of a pipeline that really does serve it cheaper.
+    pub fn worst_case_utilization(&self, capacity: &CapacityModel) -> f64 {
+        capacity.slot_utilization(self.policy.fastest_rate())
     }
 }
 
@@ -396,8 +424,25 @@ pub struct HostReport {
     /// Mean per-access service time in cycles (0.0 when idle) — the
     /// headline number the pipeline exists to cut.
     pub mean_service_cycles: f64,
+    /// 99th-percentile per-access service time in cycles (0 when idle)
+    /// — the figure the admission SLO is stated against.
+    pub p99_service_cycles: Cycle,
     /// Deferred evictions completed by background drains (staged mode).
     pub background_eviction_drains: u64,
+    /// Pricing admission ran under (see [`CapacityKind`]).
+    pub capacity: CapacityKind,
+    /// Per-slot service figure admission priced against, in cycles:
+    /// `OLAT` under olat pricing, the pipeline's steady-state initiation
+    /// interval under cadence pricing.
+    pub effective_cadence: Cycle,
+    /// Worst-case shard-equivalents the *active* fleet demands at that
+    /// pricing (the ledger's capacity-share rows sum to this).
+    pub fleet_demand: f64,
+    /// Shard-equivalents available under the utilization cap.
+    pub fleet_capacity: f64,
+    /// Slots one scheduling round can sustainably serve at the effective
+    /// cadence (see [`crate::round_slot_capacity`]).
+    pub round_slot_capacity: f64,
     /// Sum of per-tenant budgets (bits), frozen tenants included.
     pub fleet_budget_bits: f64,
     /// Sum of per-tenant bits revealed (bits), frozen tenants included.
@@ -475,6 +520,15 @@ impl MultiTenantHost {
         })
     }
 
+    /// The capacity model in force: the pool's pipeline discipline
+    /// priced under [`HostConfig::capacity`]. Every layer that charges
+    /// for a slot — admission, eviction refunds, resize refusals, the
+    /// scheduler's per-round capacity, the ledger's utilization rows —
+    /// prices against this one model.
+    pub fn capacity_model(&self) -> CapacityModel {
+        self.sharded.capacity_model(self.cfg.capacity)
+    }
+
     /// Worst-case shard-equivalents the *active* fleet demands (evicted
     /// tenants return their share to the pool).
     pub fn fleet_demand(&self) -> f64 {
@@ -525,20 +579,23 @@ impl MultiTenantHost {
     /// processor's limit; [`HostError::Saturated`] when the shards cannot
     /// absorb the tenant's worst-case slot demand.
     pub fn admit(&mut self, spec: &TenantSpec, mode: LoopMode) -> Result<usize, HostError> {
-        let util = spec.worst_case_utilization(self.sharded.olat());
+        let model = self.capacity_model();
+        let util = spec.worst_case_utilization(&model);
         let demanded = self.fleet_demand() + util;
         let available = self.capacity();
         if demanded > available {
             return Err(HostError::Saturated {
                 demanded,
                 available,
+                cadence: model.effective_cadence(),
+                pricing: model.kind(),
             });
         }
         let params = spec.leakage_params();
         let id = self.directory.register(&spec.name, params)?;
         debug_assert_eq!(id, self.tenants.len(), "directory and runtime in lockstep");
         self.ledger
-            .add_tenant(id, params.rate_count, params.schedule);
+            .add_tenant(id, params.rate_count, params.schedule, util);
         let origin = self.clock;
         let mut stream = SlotStream::starting_at(self.sharded.olat(), spec.policy.clone(), origin);
         stream.set_trace_recording(self.cfg.record_traces);
@@ -647,9 +704,12 @@ impl MultiTenantHost {
         let available = n_shards as f64 * self.cfg.max_shard_utilization;
         let demanded = self.fleet_demand();
         if demanded > available {
+            let model = self.capacity_model();
             return Err(HostError::Saturated {
                 demanded,
                 available,
+                cadence: model.effective_cadence(),
+                pricing: model.kind(),
             });
         }
         self.sharded.resize(n_shards).map_err(HostError::Build)?;
@@ -961,6 +1021,7 @@ impl MultiTenantHost {
                 }
             })
             .collect();
+        let model = self.capacity_model();
         HostReport {
             horizon: self.clock,
             tenants,
@@ -971,7 +1032,17 @@ impl MultiTenantHost {
             pipeline: self.sharded.pipeline().kind,
             shard_service_cycles: self.sharded.service_cycles(),
             mean_service_cycles: self.sharded.mean_service_cycles(),
+            p99_service_cycles: self.sharded.p99_service_cycles(),
             background_eviction_drains: self.sharded.drained_evictions(),
+            capacity: model.kind(),
+            effective_cadence: model.effective_cadence(),
+            fleet_demand: self.fleet_demand(),
+            fleet_capacity: self.capacity(),
+            round_slot_capacity: crate::calendar::round_slot_capacity(
+                self.cfg.quantum,
+                model.effective_cadence(),
+                self.sharded.n_shards(),
+            ),
             fleet_budget_bits: self.ledger.fleet_budget_bits(),
             fleet_spent_bits: self.ledger.fleet_spent_bits(),
         }

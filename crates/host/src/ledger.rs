@@ -24,6 +24,15 @@ pub struct LedgerEntry {
     pub spent_bits: f64,
     /// Epoch transitions observed so far.
     pub transitions: u64,
+    /// Shard-equivalents this tenant's admission charged against the
+    /// pool: worst-case slots at its fastest candidate rate, each priced
+    /// at the pool's effective cadence (`OLAT` under olat pricing, the
+    /// pipeline's steady-state initiation interval under cadence
+    /// pricing). Unlike the leakage columns this is *occupancy*, not
+    /// spend: a frozen row's share is excluded from
+    /// [`LeakageLedger::fleet_capacity_share`] because eviction returns
+    /// its capacity to the pool.
+    pub capacity_share: f64,
     /// Whether the row is frozen (the tenant was evicted). A frozen row
     /// stays in every fleet sum — eviction never un-spends bits — but
     /// accepts no further spending.
@@ -56,13 +65,15 @@ impl LeakageLedger {
     }
 
     /// Adds a tenant authorized for `rate_count` candidate rates over
-    /// `schedule`; returns its row index (== tenant id when rows are added
-    /// in registration order).
+    /// `schedule`, occupying `capacity_share` shard-equivalents at the
+    /// pool's admission pricing; returns its row index (== tenant id
+    /// when rows are added in registration order).
     pub fn add_tenant(
         &mut self,
         tenant: usize,
         rate_count: usize,
         schedule: EpochSchedule,
+        capacity_share: f64,
     ) -> usize {
         let model = LeakageModel::new(rate_count, schedule);
         let budget_bits = model.oram_timing_bits();
@@ -72,6 +83,7 @@ impl LeakageLedger {
             budget_bits,
             spent_bits: 0.0,
             transitions: 0,
+            capacity_share,
             frozen: false,
         });
         self.entries.len() - 1
@@ -117,6 +129,19 @@ impl LeakageLedger {
         )
     }
 
+    /// Shard-equivalents the *active* fleet occupies at the admission
+    /// pricing each row was admitted under (frozen rows excluded —
+    /// eviction returns capacity to the pool, unlike leakage spend,
+    /// which is forever). Matches `MultiTenantHost::fleet_demand` when
+    /// rows were admitted under the pricing currently in force.
+    pub fn fleet_capacity_share(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| !e.frozen)
+            .map(|e| e.capacity_share)
+            .sum()
+    }
+
     /// Fleet-wide bits revealed so far.
     pub fn fleet_spent_bits(&self) -> f64 {
         combine_channels(
@@ -141,16 +166,16 @@ mod tests {
     #[test]
     fn fleet_budget_is_sum_of_tenant_bounds() {
         let mut l = LeakageLedger::new();
-        l.add_tenant(0, 4, EpochSchedule::scaled(4)); // 32 bits
-        l.add_tenant(1, 4, EpochSchedule::scaled(16)); // 16 bits
-        l.add_tenant(2, 1, EpochSchedule::scaled(4)); // static: 0 bits
+        l.add_tenant(0, 4, EpochSchedule::scaled(4), 0.5); // 32 bits
+        l.add_tenant(1, 4, EpochSchedule::scaled(16), 0.25); // 16 bits
+        l.add_tenant(2, 1, EpochSchedule::scaled(4), 0.25); // static: 0 bits
         assert_eq!(l.fleet_budget_bits(), 48.0);
     }
 
     #[test]
     fn spending_tracks_transitions() {
         let mut l = LeakageLedger::new();
-        l.add_tenant(0, 4, EpochSchedule::scaled(4));
+        l.add_tenant(0, 4, EpochSchedule::scaled(4), 0.4);
         assert_eq!(l.fleet_spent_bits(), 0.0);
         l.record_transitions(0, 5);
         assert_eq!(l.entry(0).spent_bits, 10.0); // 5 × lg 4
@@ -163,10 +188,23 @@ mod tests {
     }
 
     #[test]
+    fn capacity_shares_sum_over_active_rows_only() {
+        let mut l = LeakageLedger::new();
+        l.add_tenant(0, 4, EpochSchedule::scaled(4), 0.5);
+        l.add_tenant(1, 1, EpochSchedule::scaled(4), 0.25);
+        assert_eq!(l.fleet_capacity_share(), 0.75);
+        // Eviction returns capacity to the pool (unlike leakage spend,
+        // which the frozen row keeps contributing forever).
+        l.freeze(0);
+        assert_eq!(l.fleet_capacity_share(), 0.25);
+        assert_eq!(l.entry(0).capacity_share, 0.5, "row keeps its record");
+    }
+
+    #[test]
     fn frozen_rows_keep_contributing_but_stop_spending() {
         let mut l = LeakageLedger::new();
-        l.add_tenant(0, 4, EpochSchedule::scaled(4)); // 32-bit budget
-        l.add_tenant(1, 4, EpochSchedule::scaled(4));
+        l.add_tenant(0, 4, EpochSchedule::scaled(4), 0.3); // 32-bit budget
+        l.add_tenant(1, 4, EpochSchedule::scaled(4), 0.2);
         l.record_transitions(0, 3); // 6 bits
         let fleet_budget = l.fleet_budget_bits();
         let fleet_spent = l.fleet_spent_bits();

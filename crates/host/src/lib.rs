@@ -69,13 +69,13 @@ mod shard;
 mod tenant;
 mod traffic;
 
-pub use calendar::CalendarQueue;
+pub use calendar::{round_slot_capacity, CalendarQueue};
 pub use host::{
     HostConfig, HostError, HostReport, MultiTenantHost, SchedulerKind, ServedSlot, TenantReport,
     TenantSpec,
 };
 pub use ledger::{within_budget_bits, LeakageLedger, LedgerEntry};
-pub use report::{leakage_summary, render, shard_summary, tenant_table};
+pub use report::{capacity_summary, leakage_summary, render, shard_summary, tenant_table};
 pub use shard::{PipelineConfig, PipelineKind, ShardService, ShardedOram};
 pub use tenant::{TenantDirectory, TenantEntry};
 pub use traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
@@ -83,3 +83,7 @@ pub use traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
 // Re-exported so downstream code (CLI, benches) can name the stream type
 // without a direct otc-core dependency.
 pub use otc_core::{SlotRecord, SlotStream};
+
+// Re-exported so downstream code can name the capacity pricing without a
+// direct otc-oram dependency (the model itself lives beside AccessPlan).
+pub use otc_oram::{CapacityKind, CapacityModel};

@@ -82,15 +82,31 @@ pub fn shard_summary(report: &HostReport) -> String {
     };
     format!(
         "shards: {} ({:?} pipeline) | per-shard accesses {:?}{} | utilization [{}] | \
-         mean service {:.1} cycles | queueing {} cycles{}",
+         mean service {:.1} cycles | p99 service {} cycles | queueing {} cycles{}",
         report.shard_accesses.len(),
         report.pipeline,
         report.shard_accesses,
         retired,
         utils.join(" "),
         report.mean_service_cycles,
+        report.p99_service_cycles,
         report.shard_queueing_cycles,
         drains
+    )
+}
+
+/// Renders the capacity line: what admission priced one slot at, how
+/// much of the pool the active fleet's worst case claims, and the
+/// per-round slot budget that pricing implies for the scheduler.
+pub fn capacity_summary(report: &HostReport) -> String {
+    format!(
+        "capacity: {} pricing at {} cycles/slot | fleet demand {:.2} of {:.2} \
+         shard-equivalents | round capacity {:.1} slots",
+        report.capacity,
+        report.effective_cadence,
+        report.fleet_demand,
+        report.fleet_capacity,
+        report.round_slot_capacity
     )
 }
 
@@ -111,13 +127,14 @@ pub fn leakage_summary(report: &HostReport) -> String {
     )
 }
 
-/// Full report: tenant table + shard + leakage summaries.
+/// Full report: tenant table + shard + capacity + leakage summaries.
 pub fn render(report: &HostReport) -> String {
     format!(
-        "horizon: {} cycles\n{}\n{}\n{}\n",
+        "horizon: {} cycles\n{}\n{}\n{}\n{}\n",
         report.horizon,
         tenant_table(report),
         shard_summary(report),
+        capacity_summary(report),
         leakage_summary(report)
     )
 }
@@ -150,5 +167,8 @@ mod tests {
         assert!(text.contains("within budget"));
         assert!(text.contains("Serial pipeline"));
         assert!(text.contains("mean service"));
+        assert!(text.contains("p99 service"));
+        assert!(text.contains("capacity: olat pricing"));
+        assert!(text.contains("round capacity"));
     }
 }

@@ -47,7 +47,18 @@
 //! (`tests/pipeline_equivalence.rs`).
 
 use otc_dram::{Cycle, DdrConfig};
-use otc_oram::{AccessPlan, OramConfig, OramTiming, RecursivePathOram};
+use otc_oram::{
+    AccessPlan, CapacityKind, CapacityModel, OramConfig, OramTiming, RecursivePathOram,
+};
+
+/// Buckets of the per-access service-time histogram (each
+/// [`SERVICE_HIST_OLAT_FRACTION`]th of `OLAT` wide; the last bucket
+/// absorbs the overflow tail).
+const SERVICE_HIST_BUCKETS: usize = 1024;
+
+/// Service-histogram bucket width as a fraction of `OLAT` (width =
+/// `OLAT / 16`, so the histogram spans 64 `OLAT`s before saturating).
+const SERVICE_HIST_OLAT_FRACTION: u64 = 16;
 
 /// How a shard schedules the stages of consecutive accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +74,28 @@ pub enum PipelineKind {
     /// evictions are deferred into a bounded background queue drained
     /// during idle cycles (stash occupancy bounds enforced).
     Staged,
+}
+
+impl PipelineKind {
+    /// Steady-state initiation interval of one shard under this
+    /// discipline: the full stage sum (`OLAT`) when serial,
+    /// [`AccessPlan::staged_cadence`] when staged. This is the figure
+    /// cadence-based admission prices one slot at.
+    pub fn effective_cadence(&self, plan: &AccessPlan) -> Cycle {
+        match self {
+            PipelineKind::Serial => plan.total(),
+            PipelineKind::Staged => plan.staged_cadence(),
+        }
+    }
+
+    /// The [`CapacityModel`] pricing slots of a shard running this
+    /// discipline under `kind`.
+    pub fn capacity_model(&self, plan: &AccessPlan, kind: CapacityKind) -> CapacityModel {
+        match self {
+            PipelineKind::Serial => CapacityModel::serial(plan, kind),
+            PipelineKind::Staged => CapacityModel::staged(plan, kind),
+        }
+    }
 }
 
 /// Pipeline discipline of a [`ShardedOram`].
@@ -154,6 +187,11 @@ pub struct ShardedOram {
     /// Σ (completion − request time) over all accesses: the per-access
     /// service time the pipeline exists to cut.
     service_cycles: u64,
+    /// Per-access service-time histogram (bucket width `OLAT / 16`,
+    /// overflow in the last bucket) — the distribution behind the p99
+    /// the admission SLO is stated against. Pool-global: it survives
+    /// resizes, like the other retired-inclusive counters.
+    service_hist: Vec<u64>,
     /// Background eviction drains completed (staged mode).
     drained_evictions: u64,
 }
@@ -223,6 +261,7 @@ impl ShardedOram {
             retired_dummies: 0,
             queueing_cycles: 0,
             service_cycles: 0,
+            service_hist: vec![0; SERVICE_HIST_BUCKETS],
             drained_evictions: 0,
         })
     }
@@ -280,6 +319,19 @@ impl ShardedOram {
         self.olat
     }
 
+    /// Steady-state initiation interval of one shard under the pipeline
+    /// discipline in force: `OLAT` when serial, the staged cadence
+    /// ([`AccessPlan::staged_cadence`]) when staged. The figure
+    /// cadence-based admission prices one slot at.
+    pub fn effective_cadence(&self) -> Cycle {
+        self.pipeline.kind.effective_cadence(&self.plan)
+    }
+
+    /// The [`CapacityModel`] pricing this pool's slots under `kind`.
+    pub fn capacity_model(&self, kind: CapacityKind) -> CapacityModel {
+        self.pipeline.kind.capacity_model(&self.plan, kind)
+    }
+
     /// The shard owning global block address `addr` (line-interleaved).
     pub fn shard_of(&self, addr: u64) -> usize {
         (addr % self.shards.len() as u64) as usize
@@ -287,6 +339,16 @@ impl ShardedOram {
 
     fn local_addr(&self, addr: u64) -> u64 {
         (addr / self.shards.len() as u64) % self.per_shard_capacity
+    }
+
+    /// Buckets one access's service time (completion − request) into the
+    /// pool-global histogram. Pure accounting: no timing decision reads
+    /// it back, so recording cannot perturb the serial reference
+    /// arithmetic or the staged schedule.
+    fn record_service(&mut self, service: Cycle) {
+        let width = (self.olat / SERVICE_HIST_OLAT_FRACTION).max(1);
+        let bucket = ((service / width) as usize).min(SERVICE_HIST_BUCKETS - 1);
+        self.service_hist[bucket] += 1;
     }
 
     /// Serial charge: one opaque `OLAT`, strictly sequential per shard.
@@ -299,6 +361,7 @@ impl ShardedOram {
         self.busy_until[shard] = start + self.olat;
         self.accesses[shard] += 1;
         self.service_cycles += start + self.olat - at;
+        self.record_service(start + self.olat - at);
         ShardService {
             shard,
             start,
@@ -365,6 +428,7 @@ impl ShardedOram {
         let queued_cycles = (completion - at) - self.plan.critical_path();
         self.queueing_cycles += queued_cycles;
         self.service_cycles += completion - at;
+        self.record_service(completion - at);
         ShardService {
             shard,
             start,
@@ -551,6 +615,30 @@ impl ShardedOram {
         }
     }
 
+    /// 99th-percentile per-access service time (cycles) so far, as the
+    /// upper edge of the histogram bucket holding the 99th-percentile
+    /// access — a conservative (never under-reporting) figure with
+    /// `OLAT/16`-cycle resolution. 0 when idle. This is the number the
+    /// admission SLO in `otc bench --admission` is stated against.
+    pub fn p99_service_cycles(&self) -> Cycle {
+        let total: u64 = self.service_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let width = (self.olat / SERVICE_HIST_OLAT_FRACTION).max(1);
+        // Smallest bucket whose cumulative count covers 99% of accesses
+        // (ceiling, so p99 of few samples degrades toward the max).
+        let target = total - total / 100;
+        let mut seen = 0u64;
+        for (b, &count) in self.service_hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return (b as u64 + 1) * width;
+            }
+        }
+        SERVICE_HIST_BUCKETS as u64 * width
+    }
+
     /// Deferred evictions drained in the background so far.
     pub fn drained_evictions(&self) -> u64 {
         self.drained_evictions
@@ -695,6 +783,54 @@ mod tests {
         assert_eq!(u[0], olat as f64 / early as f64);
         // Zero horizon reports all-idle.
         assert_eq!(s.utilization(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn effective_cadence_tracks_the_discipline() {
+        let serial = small(1);
+        let staged = staged(1);
+        let plan = serial.plan().clone();
+        assert_eq!(serial.effective_cadence(), serial.olat());
+        assert_eq!(staged.effective_cadence(), plan.staged_cadence());
+        assert!(staged.effective_cadence() < serial.effective_cadence());
+        // Olat pricing charges a full OLAT whatever the discipline;
+        // cadence pricing follows the pipeline.
+        for s in [&serial, &staged] {
+            assert_eq!(
+                s.capacity_model(CapacityKind::Olat).effective_cadence(),
+                s.olat()
+            );
+            assert_eq!(
+                s.capacity_model(CapacityKind::Cadence).effective_cadence(),
+                s.effective_cadence()
+            );
+        }
+    }
+
+    #[test]
+    fn p99_service_time_reflects_the_queueing_tail() {
+        let mut s = small(1);
+        let olat = s.olat();
+        assert_eq!(s.p99_service_cycles(), 0, "idle pool reports 0");
+        // 100 spaced accesses (service exactly OLAT) and one colliding
+        // access (service 2·OLAT): p99 sits at the uncontended bucket,
+        // the max would not.
+        for i in 0..100u64 {
+            s.read(0, i * 4 * olat);
+        }
+        let p99_uncontended = s.p99_service_cycles();
+        assert!(p99_uncontended >= olat && p99_uncontended <= olat + olat / 16);
+        // One access landing mid-service (the i=99 read occupies the
+        // shard until 397·OLAT) queues for OLAT/2 — a genuine outlier
+        // bucket — yet 1 of 101 samples cannot move the 99th percentile.
+        let (_, outlier) = s.read(0, 396 * olat + olat / 2);
+        assert_eq!(outlier.queued_cycles, olat / 2, "outlier must queue");
+        assert_eq!(s.p99_service_cycles(), p99_uncontended);
+        // Make the tail 2% of accesses and p99 must move past OLAT.
+        for i in 0..30u64 {
+            s.read(0, 500 * olat + i); // back-to-back burst: deep queueing
+        }
+        assert!(s.p99_service_cycles() > 2 * olat);
     }
 
     #[test]

@@ -16,10 +16,18 @@
 //! 3. **Functional equivalence** — reads return identical payloads in
 //!    both modes throughout, and `check_invariants` holds with
 //!    evictions still pending (stash residency is always legal).
+//!
+//! A second family of properties covers the capacity model the staged
+//! cadence feeds (admission pricing): over randomized tree geometries,
+//! [`AccessPlan::bottleneck`] is exactly the max stage cost and the
+//! stage algebra orders as `bottleneck ≤ critical_path ≤ total` with
+//! the staged cadence inside `[bottleneck, total]`; and over directly
+//! constructed stage vectors, every cadence figure is monotone in every
+//! stage cost — growing any stage can never make a pool look cheaper.
 
 use otc_dram::{Cycle, DdrConfig};
 use otc_host::{PipelineConfig, ShardedOram};
-use otc_oram::OramConfig;
+use otc_oram::{AccessPlan, CapacityKind, CapacityModel, OramConfig, OramTiming, TreeGeometry};
 use proptest::prelude::*;
 
 /// One scripted step against both backends, advancing `at` by `gap`.
@@ -149,5 +157,99 @@ proptest! {
         ops in 40usize..160,
     ) {
         run_script(seed, ops, false);
+    }
+
+    /// Stage algebra across randomized geometries: the bottleneck is
+    /// exactly the max stage cost, the chain `bottleneck ≤
+    /// critical_path ≤ total` holds, the stage sum telescopes to OLAT,
+    /// and the staged cadence sits in `[bottleneck, total]`.
+    #[test]
+    fn plan_stage_algebra_over_random_geometries(
+        data_levels in 5u32..13,
+        posmap_levels in collection::vec(2u32..12, 1..4),
+    ) {
+        let cfg = OramConfig {
+            data: TreeGeometry::new(data_levels, 3, 64, 16),
+            // Largest-first, as OramConfig stores them; the level caps
+            // only shape costs — AccessPlan::derive is pure timing.
+            posmaps: {
+                let mut pm: Vec<TreeGeometry> = posmap_levels
+                    .iter()
+                    .map(|&l| TreeGeometry::new(l.min(data_levels), 3, 32, 16))
+                    .collect();
+                pm.sort_by_key(|g| std::cmp::Reverse(g.levels()));
+                pm
+            },
+            seed: 0x5EED,
+        };
+        let ddr = DdrConfig::default();
+        let plan = AccessPlan::derive(&cfg, &ddr);
+        let max_stage = plan
+            .posmap_levels
+            .iter()
+            .copied()
+            .chain([plan.data_read, plan.eviction])
+            .max()
+            .unwrap();
+        prop_assert_eq!(plan.bottleneck(), max_stage);
+        prop_assert!(plan.bottleneck() <= plan.critical_path());
+        prop_assert!(plan.critical_path() <= plan.total());
+        prop_assert_eq!(plan.total(), OramTiming::derive(&cfg, &ddr).latency);
+        let cadence = plan.staged_cadence();
+        prop_assert!(plan.bottleneck() <= cadence && cadence <= plan.total());
+        // The model prices serial pools at OLAT under either kind, and
+        // staged pools at OLAT/cadence per kind.
+        for kind in [CapacityKind::Olat, CapacityKind::Cadence] {
+            prop_assert_eq!(
+                CapacityModel::serial(&plan, kind).effective_cadence(),
+                plan.total()
+            );
+        }
+        prop_assert_eq!(
+            CapacityModel::staged(&plan, CapacityKind::Olat).effective_cadence(),
+            plan.total()
+        );
+        prop_assert_eq!(
+            CapacityModel::staged(&plan, CapacityKind::Cadence).effective_cadence(),
+            cadence
+        );
+    }
+
+    /// Cadence monotonicity over directly constructed stage vectors:
+    /// growing any single stage cost never lowers the staged cadence,
+    /// the OLAT total, or the per-slot utilization either pricing
+    /// charges — so a costlier access can never make a tenant look
+    /// cheaper to admission.
+    #[test]
+    fn capacity_cadence_monotone_in_every_stage_cost(
+        posmaps in collection::vec(1u64..2_000, 1..5),
+        data_read in 1u64..2_000,
+        eviction in 1u64..2_000,
+        bump_stage in 0usize..6,
+        delta in 1u64..1_000,
+        rate in 100u64..50_000,
+    ) {
+        let base = AccessPlan { posmap_levels: posmaps.clone(), data_read, eviction };
+        let mut grown = base.clone();
+        match bump_stage {
+            0 => grown.data_read += delta,
+            1 => grown.eviction += delta,
+            i => {
+                let j = (i - 2) % grown.posmap_levels.len();
+                grown.posmap_levels[j] += delta;
+            }
+        }
+        prop_assert!(grown.staged_cadence() >= base.staged_cadence());
+        prop_assert!(grown.total() >= base.total());
+        prop_assert!(grown.bottleneck() >= base.bottleneck());
+        for kind in [CapacityKind::Olat, CapacityKind::Cadence] {
+            let m_base = CapacityModel::staged(&base, kind);
+            let m_grown = CapacityModel::staged(&grown, kind);
+            prop_assert!(m_grown.effective_cadence() >= m_base.effective_cadence());
+        }
+        // Utilization: under one model, a faster grid (smaller rate)
+        // costs at least as much as a slower one.
+        let m = CapacityModel::staged(&base, CapacityKind::Cadence);
+        prop_assert!(m.slot_utilization(rate) >= m.slot_utilization(rate + delta));
     }
 }

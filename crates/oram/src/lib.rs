@@ -62,6 +62,6 @@ pub use posmap::SparseLeafMap;
 pub use recursive::RecursivePathOram;
 pub use stash::Stash;
 pub use stats::OramStats;
-pub use timing::{AccessPlan, OramTiming};
+pub use timing::{AccessPlan, CapacityKind, CapacityModel, OramTiming};
 pub use tree::{DefaultPayload, TreeOram, TreeStats};
 pub use types::{BlockId, Leaf, NodeIndex, OramOp};

@@ -183,6 +183,136 @@ impl AccessPlan {
             .max()
             .unwrap_or(0)
     }
+
+    /// Steady-state initiation interval of a staged shard pipeline: the
+    /// [`AccessPlan::bottleneck`] stage, surcharged by the eviction
+    /// drain the data port must eventually absorb for every access.
+    /// The background queue is *bounded*, so deferral shifts each drain
+    /// into a later idle window but never cancels it — in steady state
+    /// the data port pays `data_read + eviction` per access, and a
+    /// posmap unit can only set the cadence if a single posmap stage
+    /// exceeds even that combined port load.
+    ///
+    /// Always within `[bottleneck(), total()]`: the surcharge never
+    /// prices a pipelined shard better than its busiest stage or worse
+    /// than a serial one.
+    pub fn staged_cadence(&self) -> Cycle {
+        let port = self.data_read + self.eviction;
+        self.posmap_levels
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(port)
+    }
+}
+
+/// Which per-slot service figure admission control prices capacity at.
+///
+/// The observable slot grid is untouched by this choice — a slot's
+/// period is always `rate + OLAT` — only the *internal* service cost a
+/// slot is assumed to occupy changes, and with it how many tenants fit
+/// a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CapacityKind {
+    /// One full `OLAT` per slot, regardless of the pipeline discipline —
+    /// the pre-cadence reference pricing. Under-admits a staged pool
+    /// (stages of consecutive accesses overlap, so a slot does not
+    /// occupy a shard for a full `OLAT`), but reproduces the historical
+    /// admission decisions bit for bit.
+    #[default]
+    Olat,
+    /// The pipeline's steady-state initiation interval: `total()` (=
+    /// `OLAT`) for a serial shard, [`AccessPlan::staged_cadence`] for a
+    /// staged one. Prices admission at the bandwidth the pipeline
+    /// actually sustains.
+    Cadence,
+}
+
+impl std::fmt::Display for CapacityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapacityKind::Olat => write!(f, "olat"),
+            CapacityKind::Cadence => write!(f, "cadence"),
+        }
+    }
+}
+
+/// Unified capacity model: converts an [`AccessPlan`] plus a pipeline
+/// discipline into the per-slot service figure admission control,
+/// utilization accounting, and the scheduler's capacity math all price
+/// against.
+///
+/// Two figures coexist because they answer different questions: `OLAT`
+/// is what one access *costs end to end* (and what the observable slot
+/// grid is built from), while the pipeline cadence is how often a shard
+/// can *start* an access at steady state. A serial shard's cadence is
+/// exactly `OLAT`, so the two pricings coincide there; a staged shard's
+/// cadence is lower, which is precisely the admission headroom the
+/// pipeline buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityModel {
+    kind: CapacityKind,
+    olat: Cycle,
+    pipeline_cadence: Cycle,
+}
+
+impl CapacityModel {
+    /// Model for a serial shard: the pipeline cadence *is* `OLAT`
+    /// (accesses run strictly back to back), so both [`CapacityKind`]s
+    /// price identically.
+    pub fn serial(plan: &AccessPlan, kind: CapacityKind) -> Self {
+        Self {
+            kind,
+            olat: plan.total(),
+            pipeline_cadence: plan.total(),
+        }
+    }
+
+    /// Model for a staged shard: the pipeline cadence is
+    /// [`AccessPlan::staged_cadence`].
+    pub fn staged(plan: &AccessPlan, kind: CapacityKind) -> Self {
+        Self {
+            kind,
+            olat: plan.total(),
+            pipeline_cadence: plan.staged_cadence(),
+        }
+    }
+
+    /// The pricing in force.
+    pub fn kind(&self) -> CapacityKind {
+        self.kind
+    }
+
+    /// End-to-end cost of one access (`OLAT`) — the figure slot grids
+    /// are built from, whatever the pricing.
+    pub fn olat(&self) -> Cycle {
+        self.olat
+    }
+
+    /// The pipeline's steady-state initiation interval (== `OLAT` for a
+    /// serial shard), independent of the pricing in force.
+    pub fn pipeline_cadence(&self) -> Cycle {
+        self.pipeline_cadence
+    }
+
+    /// The per-slot service figure admission prices against under the
+    /// model's [`CapacityKind`].
+    pub fn effective_cadence(&self) -> Cycle {
+        match self.kind {
+            CapacityKind::Olat => self.olat,
+            CapacityKind::Cadence => self.pipeline_cadence,
+        }
+    }
+
+    /// Worst-case fraction of one shard a tenant slotting at `rate`
+    /// demands: one slot per `rate + OLAT` cycles (the grid period is a
+    /// property of the observable stream and never moves with the
+    /// pricing), each occupying [`CapacityModel::effective_cadence`]
+    /// service cycles.
+    pub fn slot_utilization(&self, rate: Cycle) -> f64 {
+        self.effective_cadence() as f64 / (rate + self.olat) as f64
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +379,61 @@ mod tests {
                 "levels={levels}"
             );
         }
+    }
+
+    #[test]
+    fn staged_cadence_sits_between_bottleneck_and_olat() {
+        for cfg in [OramConfig::paper(), OramConfig::small()] {
+            let plan = AccessPlan::derive(&cfg, &DdrConfig::default());
+            let cadence = plan.staged_cadence();
+            assert!(plan.bottleneck() <= cadence, "{cfg:?}");
+            assert!(cadence <= plan.total(), "{cfg:?}");
+            // At both stock geometries the data port (read + drain) is
+            // the cadence, and it beats serial by well over the 1.5×
+            // admission headroom the staged pools are sized for.
+            assert_eq!(cadence, plan.data_read + plan.eviction, "{cfg:?}");
+            assert!(plan.total() as f64 / cadence as f64 >= 1.5, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_model_pricing() {
+        let plan = AccessPlan::derive(&OramConfig::paper(), &DdrConfig::default());
+        let olat = plan.total();
+        // Serial: both pricings coincide at OLAT.
+        for kind in [CapacityKind::Olat, CapacityKind::Cadence] {
+            let m = CapacityModel::serial(&plan, kind);
+            assert_eq!(m.effective_cadence(), olat);
+            assert_eq!(m.pipeline_cadence(), olat);
+            assert_eq!(m.olat(), olat);
+        }
+        // Staged: olat pricing still charges OLAT; cadence pricing
+        // charges the steady-state initiation interval.
+        let m = CapacityModel::staged(&plan, CapacityKind::Olat);
+        assert_eq!(m.effective_cadence(), olat);
+        assert_eq!(m.pipeline_cadence(), plan.staged_cadence());
+        let m = CapacityModel::staged(&plan, CapacityKind::Cadence);
+        assert_eq!(m.effective_cadence(), plan.staged_cadence());
+        // The utilization formula keeps the grid period at rate + OLAT
+        // under both pricings.
+        let rate = 2_000u64;
+        let m_olat = CapacityModel::staged(&plan, CapacityKind::Olat);
+        assert_eq!(
+            m_olat.slot_utilization(rate),
+            olat as f64 / (rate + olat) as f64
+        );
+        assert_eq!(
+            m.slot_utilization(rate),
+            plan.staged_cadence() as f64 / (rate + olat) as f64
+        );
+        assert!(m.slot_utilization(rate) < m_olat.slot_utilization(rate));
+    }
+
+    #[test]
+    fn capacity_kind_display_is_the_cli_token() {
+        assert_eq!(CapacityKind::Olat.to_string(), "olat");
+        assert_eq!(CapacityKind::Cadence.to_string(), "cadence");
+        assert_eq!(CapacityKind::default(), CapacityKind::Olat);
     }
 
     #[test]
