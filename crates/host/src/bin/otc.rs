@@ -8,6 +8,10 @@
 //! otc bench   [opts]   seeded pipeline-vs-serial closed-loop sweep;
 //!                      --json emits the machine-readable record the CI
 //!                      perf gate checks, --gate PCT enforces the floor
+//! otc report  [opts]   render a recorded perf session: stage-occupancy
+//!                      and queue-depth timelines, shard utilization,
+//!                      per-tenant SLO attainment (--session FILE;
+//!                      --jsonl for the line-delimited export)
 //! otc leakage [opts]   leakage budget report (no simulation)
 //! ```
 //!
@@ -51,6 +55,15 @@
 //!                    diff — ignored with a warning elsewhere)
 //! --churn-script S   online churn events applied at round boundaries
 //!                    while the fleet serves (otc churn and otc tenants)
+//! --perf-session F   record a structured perf session (per-round
+//!                    samples + summary, framed binary format) to F
+//!                    (otc run/tenants/churn/bench; tenants keeps the
+//!                    largest fleet's session, bench the staged run's)
+//! --session F        otc report only: the session file to render
+//! --jsonl            otc report only: emit the JSONL export instead of
+//!                    the timeline report
+//! --width N          otc report only: timeline width in columns
+//!                    (default 64)
 //! ```
 //!
 //! # Churn scripts
@@ -74,10 +87,17 @@
 use otc_core::{DividerImpl, EpochSchedule, LeakageModel, RatePolicy, RateSet};
 use otc_host::{
     render, CapacityKind, HostConfig, HostError, HostReport, LoopMode, MultiTenantHost,
-    PipelineConfig, PipelineKind, TenantSpec,
+    PerfSession, PipelineConfig, PipelineKind, SessionFile, TenantSpec,
 };
 use otc_oram::{OramConfig, OramTiming};
 use otc_workloads::SpecBenchmark;
+
+/// The p99 service-time SLO shared by `otc bench --admission` and the
+/// `otc report` per-tenant attainment table, in OLATs: generous enough
+/// that a pool correctly admitted to ~90% of its *real* bandwidth meets
+/// it, so a miss means the pricing let in tenants the shards cannot
+/// carry.
+const SLO_OLATS: u64 = 8;
 
 fn usage() -> ! {
     eprint!(
@@ -88,12 +108,14 @@ fn usage() -> ! {
          \x20 otc tenants  K-tenant saturation sweep with per-tenant throughput/waste\n\
          \x20 otc churn    drive a fleet through an online churn script\n\
          \x20 otc bench    seeded pipeline-vs-serial sweep (--json / --gate PCT)\n\
+         \x20 otc report   render a recorded perf session (--session FILE [--jsonl])\n\
          \x20 otc leakage  leakage budget report\n\
          \n\
          options: --tenants N --accesses N --shards N --scheme S --oram small|paper\n\
          \x20        --instructions N --limit BITS --bench a,b,.. --seed N\n\
          \x20        --closed-loop --trace N --pipeline serial|staged\n\
          \x20        --capacity olat|cadence --admission --json --gate X\n\
+         \x20        --perf-session FILE --session FILE --jsonl --width N\n\
          \x20        --churn-script '@R admit <bench> <scheme> [closed]; @R evict <id>;\n\
          \x20                        @R shards <n>; ...'\n"
     );
@@ -119,6 +141,10 @@ struct Opts {
     admission: bool,
     json: bool,
     gate: Option<f64>,
+    perf_session: Option<String>,
+    session: Option<String>,
+    jsonl: bool,
+    width: usize,
 }
 
 impl Default for Opts {
@@ -141,6 +167,10 @@ impl Default for Opts {
             admission: false,
             json: false,
             gate: None,
+            perf_session: None,
+            session: None,
+            jsonl: false,
+            width: 64,
         }
     }
 }
@@ -195,6 +225,10 @@ fn parse_opts(args: &[String]) -> Opts {
             "--admission" => o.admission = true,
             "--json" => o.json = true,
             "--gate" => o.gate = Some(val("--gate").parse().unwrap_or_else(|_| usage())),
+            "--perf-session" => o.perf_session = Some(val("--perf-session")),
+            "--session" => o.session = Some(val("--session")),
+            "--jsonl" => o.jsonl = true,
+            "--width" => o.width = val("--width").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -480,7 +514,20 @@ fn cmd_churn(o: &Opts) {
         script.len()
     );
     let instructions = o.instructions.unwrap_or(o.accesses.saturating_mul(50));
+    if o.perf_session.is_some() {
+        host.record_perf_session(&format!(
+            "churn tenants={} scheme={} accesses={} events={}",
+            o.tenants,
+            o.scheme,
+            o.accesses,
+            script.len()
+        ));
+    }
     let report = run_with_script(&mut host, o.accesses, &script, instructions);
+    if let Some(path) = &o.perf_session {
+        let session = host.take_perf_session().expect("recording was enabled");
+        write_session(path, &session);
+    }
     print!("{}", render(&report));
 }
 
@@ -507,6 +554,21 @@ fn build_fleet(o: &Opts, k: usize) -> Result<MultiTenantHost, HostError> {
     Ok(host)
 }
 
+/// Writes a recorded perf session to `path` in the framed binary
+/// format (`otc report --session <path>` reads it back). The notice
+/// goes to stderr so stdout stays byte-stable for the CI determinism
+/// diffs.
+fn write_session(path: &str, session: &PerfSession) {
+    if let Err(e) = std::fs::write(path, session.to_bytes()) {
+        eprintln!("otc: failed to write perf session {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf session: {} round sample(s) written to {path}",
+        session.rounds.len()
+    );
+}
+
 fn require_tenants(o: &Opts) {
     if o.tenants == 0 {
         eprintln!("--tenants must be at least 1");
@@ -531,7 +593,17 @@ fn cmd_run(o: &Opts) {
         o.accesses,
         if o.closed_loop { "closed" } else { "open" }
     );
+    if o.perf_session.is_some() {
+        host.record_perf_session(&format!(
+            "run tenants={} scheme={} accesses={}",
+            o.tenants, o.scheme, o.accesses
+        ));
+    }
     let report = host.run_until_slots(o.accesses);
+    if let Some(path) = &o.perf_session {
+        let session = host.take_perf_session().expect("recording was enabled");
+        write_session(path, &session);
+    }
     print!("{}", render(&report));
     if o.trace > 0 {
         println!(
@@ -583,9 +655,16 @@ fn cmd_tenants(o: &Opts) {
         "fleet leak bits"
     );
     let mut last = None;
+    let mut last_session = None;
     for k in 1..=o.tenants {
         match build_fleet(o, k) {
             Ok(mut host) => {
+                if o.perf_session.is_some() {
+                    host.record_perf_session(&format!(
+                        "tenants k={k} scheme={} accesses={}",
+                        o.scheme, o.accesses
+                    ));
+                }
                 let report = if script.is_empty() {
                     host.run_until_slots(o.accesses)
                 } else {
@@ -593,6 +672,9 @@ fn cmd_tenants(o: &Opts) {
                     println!("-- K={k} churn log --");
                     run_with_script(&mut host, o.accesses, &script, instructions)
                 };
+                if o.perf_session.is_some() {
+                    last_session = host.take_perf_session();
+                }
                 // Fleet columns cover the *active* fleet: frozen eviction
                 // rows (possible under a churn script) would otherwise
                 // keep their lifetime rates in the sums forever.
@@ -651,6 +733,9 @@ fn cmd_tenants(o: &Opts) {
         println!("\nfinal fleet detail:");
         print!("{}", render(&report));
     }
+    if let (Some(path), Some(session)) = (&o.perf_session, &last_session) {
+        write_session(path, session);
+    }
 }
 
 /// `otc bench --admission`: the capacity-model sweep behind the CI
@@ -667,10 +752,6 @@ fn cmd_bench_admission(o: &Opts) {
     /// Runaway guard on the fill loop (a pricing bug could otherwise
     /// admit forever); generous — stock geometries saturate in dozens.
     const MAX_FILL: usize = 4_096;
-    /// The p99 service-time SLO, in OLATs: generous enough that a pool
-    /// correctly admitted to ~90% of its *real* bandwidth meets it, so
-    /// a miss means the pricing let in tenants the shards cannot carry.
-    const SLO_OLATS: u64 = 8;
     let policy = parse_policy(&o.scheme).unwrap_or_else(|| {
         eprintln!("bad --scheme (want dynamic_R<n>_E<g> or static_<rate>)");
         usage()
@@ -679,7 +760,9 @@ fn cmd_bench_admission(o: &Opts) {
     let benches = benchmarks(o);
     let base = host_config(o);
     let slo_cycles = SLO_OLATS * OramTiming::derive(&base.oram, &base.ddr).latency;
-    let fill = |pipeline: PipelineKind, capacity: CapacityKind| -> (usize, String, HostReport) {
+    let fill = |pipeline: PipelineKind,
+                capacity: CapacityKind|
+     -> (usize, String, HostReport, PerfSession) {
         let mut opts = o.clone();
         opts.pipeline = pipeline;
         opts.capacity = capacity;
@@ -711,25 +794,41 @@ fn cmd_bench_admission(o: &Opts) {
                 }
             }
         };
-        (admitted, denial, host.run_until_slots(o.accesses))
+        host.record_perf_session(&format!(
+            "bench admission {:?}/{:?} accesses={}",
+            pipeline, capacity, o.accesses
+        ));
+        let report = host.run_until_slots(o.accesses);
+        let session = host.take_perf_session().expect("recording was enabled");
+        (admitted, denial, report, session)
     };
-    let (serial_k, serial_denial, serial) = fill(PipelineKind::Serial, CapacityKind::Olat);
-    let (staged_k, staged_denial, staged) = fill(PipelineKind::Staged, CapacityKind::Cadence);
+    let (serial_k, serial_denial, serial, serial_session) =
+        fill(PipelineKind::Serial, CapacityKind::Olat);
+    let (staged_k, staged_denial, staged, staged_session) =
+        fill(PipelineKind::Staged, CapacityKind::Cadence);
+    if let Some(path) = &o.perf_session {
+        write_session(path, &staged_session);
+    }
     let ratio = staged_k as f64 / serial_k.max(1) as f64;
-    let slo_met =
-        serial.p99_service_cycles <= slo_cycles && staged.p99_service_cycles <= slo_cycles;
+    // The SLO check and the JSON percentiles come from the session
+    // distribution (the merged fleet histogram in the summary), the
+    // same source `otc report` renders.
+    let serial_p99 = serial_session.summary.service_hist.percentile(99);
+    let staged_p99 = staged_session.summary.service_hist.percentile(99);
+    let slo_met = serial_p99 <= slo_cycles && staged_p99 <= slo_cycles;
     let passed = slo_met && o.gate.is_none_or(|g| ratio >= g);
-    let mode_json = |k: usize, report: &HostReport| -> String {
+    let mode_json = |k: usize, report: &HostReport, session: &PerfSession| -> String {
         format!(
             "{{\"tenants_admitted\": {k}, \"capacity_pricing\": \"{}\", \
              \"effective_cadence\": {}, \"fleet_demand\": {:.4}, \"fleet_capacity\": {:.4}, \
-             \"p99_service_cycles\": {}, \"mean_service_cycles\": {:.3}, \
-             \"queueing_cycles\": {}}}",
+             \"p50_service_cycles\": {}, \"p99_service_cycles\": {}, \
+             \"mean_service_cycles\": {:.3}, \"queueing_cycles\": {}}}",
             report.capacity,
             report.effective_cadence,
             report.fleet_demand,
             report.fleet_capacity,
-            report.p99_service_cycles,
+            session.summary.service_hist.percentile(50),
+            session.summary.service_hist.percentile(99),
             report.mean_service_cycles,
             report.shard_queueing_cycles
         )
@@ -743,8 +842,14 @@ fn cmd_bench_admission(o: &Opts) {
              \"slo_cycles\": {slo_cycles}}},",
             o.seed, o.shards, o.oram, o.scheme, o.accesses
         );
-        println!("  \"serial_olat\": {},", mode_json(serial_k, &serial));
-        println!("  \"staged_cadence\": {},", mode_json(staged_k, &staged));
+        println!(
+            "  \"serial_olat\": {},",
+            mode_json(serial_k, &serial, &serial_session)
+        );
+        println!(
+            "  \"staged_cadence\": {},",
+            mode_json(staged_k, &staged, &staged_session)
+        );
         println!("  \"admission_ratio\": {ratio:.3},");
         println!("  \"slo_met\": {slo_met},");
         println!(
@@ -785,9 +890,8 @@ fn cmd_bench_admission(o: &Opts) {
     if let Some(g) = o.gate {
         if !passed {
             eprintln!(
-                "ADMISSION GATE FAILED: ratio {ratio:.2} (floor {g:.2}), p99 serial {} / \
-                 staged {} vs SLO {slo_cycles}",
-                serial.p99_service_cycles, staged.p99_service_cycles
+                "ADMISSION GATE FAILED: ratio {ratio:.2} (floor {g:.2}), p99 serial \
+                 {serial_p99} / staged {staged_p99} vs SLO {slo_cycles}"
             );
             std::process::exit(1);
         }
@@ -806,7 +910,7 @@ fn cmd_bench(o: &Opts) {
     if o.admission {
         return cmd_bench_admission(o);
     }
-    let run = |kind: PipelineKind| -> HostReport {
+    let run = |kind: PipelineKind| -> (HostReport, PerfSession) {
         let mut opts = o.clone();
         opts.pipeline = kind;
         opts.closed_loop = true; // the gate measures fed-back service time
@@ -817,17 +921,40 @@ fn cmd_bench(o: &Opts) {
                 std::process::exit(1);
             }
         };
-        host.run_until_slots(opts.accesses)
+        host.record_perf_session(&format!(
+            "bench pipeline {kind:?} tenants={} accesses={}",
+            opts.tenants, opts.accesses
+        ));
+        let report = host.run_until_slots(opts.accesses);
+        let session = host.take_perf_session().expect("recording was enabled");
+        (report, session)
     };
-    let serial = run(PipelineKind::Serial);
-    let staged = run(PipelineKind::Staged);
+    let (serial, serial_session) = run(PipelineKind::Serial);
+    let (staged, staged_session) = run(PipelineKind::Staged);
+    if let Some(path) = &o.perf_session {
+        write_session(path, &staged_session);
+    }
     let improvement = if serial.mean_service_cycles > 0.0 {
         (1.0 - staged.mean_service_cycles / serial.mean_service_cycles) * 100.0
     } else {
         0.0
     };
-    let passed = o.gate.is_none_or(|g| improvement >= g);
-    let mode_json = |report: &HostReport| -> String {
+    // The percentiles come from the sessions' merged fleet service-time
+    // histograms — the same distribution `otc report` renders. The gate
+    // holds the floor on the p99 tail as well as the mean, so a staged
+    // pipeline that wins on average but regresses its worst percentile
+    // still fails.
+    let serial_p99 = serial_session.summary.service_hist.percentile(99);
+    let staged_p99 = staged_session.summary.service_hist.percentile(99);
+    let p99_improvement = if serial_p99 > 0 {
+        (1.0 - staged_p99 as f64 / serial_p99 as f64) * 100.0
+    } else {
+        0.0
+    };
+    let passed = o
+        .gate
+        .is_none_or(|g| improvement >= g && p99_improvement >= g);
+    let mode_json = |report: &HostReport, session: &PerfSession| -> String {
         let tp: f64 = report
             .tenants
             .iter()
@@ -835,10 +962,13 @@ fn cmd_bench(o: &Opts) {
             .map(|t| t.throughput_per_mcycle)
             .sum();
         format!(
-            "{{\"mean_service_cycles\": {:.3}, \"queueing_cycles\": {}, \
+            "{{\"mean_service_cycles\": {:.3}, \"p50_service_cycles\": {}, \
+             \"p99_service_cycles\": {}, \"queueing_cycles\": {}, \
              \"service_cycles\": {}, \"fleet_throughput_per_mcycle\": {:.3}, \
              \"background_eviction_drains\": {}}}",
             report.mean_service_cycles,
+            session.summary.service_hist.percentile(50),
+            session.summary.service_hist.percentile(99),
             report.shard_queueing_cycles,
             report.shard_service_cycles,
             tp,
@@ -854,9 +984,10 @@ fn cmd_bench(o: &Opts) {
              \"closed_loop\": true}},",
             o.seed, o.tenants, o.shards, o.oram, o.scheme, o.accesses
         );
-        println!("  \"serial\": {},", mode_json(&serial));
-        println!("  \"staged\": {},", mode_json(&staged));
+        println!("  \"serial\": {},", mode_json(&serial, &serial_session));
+        println!("  \"staged\": {},", mode_json(&staged, &staged_session));
         println!("  \"improvement_pct\": {improvement:.3},");
+        println!("  \"p99_improvement_pct\": {p99_improvement:.3},");
         println!(
             "  \"gate_pct\": {},",
             o.gate.map_or("null".into(), |g| format!("{g:.1}"))
@@ -869,27 +1000,82 @@ fn cmd_bench(o: &Opts) {
              closed loop, seed {}",
             o.tenants, o.shards, o.scheme, o.accesses, o.seed
         );
-        for (label, report) in [("serial", &serial), ("staged", &staged)] {
+        for (label, report, session) in [
+            ("serial", &serial, &serial_session),
+            ("staged", &staged, &staged_session),
+        ] {
             println!(
-                "  {label:<7} mean service {:>8.1} cycles | queueing {:>12} | drains {:>8}",
+                "  {label:<7} mean service {:>8.1} cycles | p99 {:>8} | queueing {:>12} | \
+                 drains {:>8}",
                 report.mean_service_cycles,
+                session.summary.service_hist.percentile(99),
                 report.shard_queueing_cycles,
                 report.background_eviction_drains
             );
         }
-        println!("  staged mean service time is {improvement:.1}% below serial");
+        println!(
+            "  staged mean service time is {improvement:.1}% below serial \
+             (p99 {p99_improvement:.1}% below)"
+        );
     }
     if let Some(g) = o.gate {
         if !passed {
             eprintln!(
-                "PERF GATE FAILED: staged mean service {:.1} cycles is only {improvement:.1}% \
-                 below serial {:.1} (floor {g:.0}%)",
+                "PERF GATE FAILED: staged mean {:.1} cycles is {improvement:.1}% below serial \
+                 {:.1}, staged p99 {staged_p99} is {p99_improvement:.1}% below serial p99 \
+                 {serial_p99} (floor {g:.0}% on both)",
                 staged.mean_service_cycles, serial.mean_service_cycles
             );
             std::process::exit(1);
         }
-        eprintln!("perf gate passed: {improvement:.1}% >= {g:.0}% floor");
+        eprintln!(
+            "perf gate passed: mean {improvement:.1}% and p99 {p99_improvement:.1}% >= \
+             {g:.0}% floor"
+        );
     }
+}
+
+/// `otc report`: render a perf session recorded with `--perf-session`.
+/// The default view is the timeline report (stage occupancy, eviction
+/// queue depth, calendar entries, shard utilization, per-tenant SLO
+/// attainment); `--jsonl` emits the line-delimited export instead. Both
+/// read through [`SessionFile`], exercising the on-disk index the same
+/// way an external consumer would.
+fn cmd_report(o: &Opts) {
+    let Some(path) = &o.session else {
+        eprintln!("otc report needs --session FILE (record one with --perf-session)");
+        std::process::exit(2);
+    };
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("otc report: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let file = SessionFile::from_bytes(bytes).unwrap_or_else(|e| {
+        eprintln!("otc report: {path}: {e}");
+        std::process::exit(1);
+    });
+    if o.jsonl {
+        match file.export_jsonl() {
+            Ok(jsonl) => print!("{jsonl}"),
+            Err(e) => {
+                eprintln!("otc report: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let session = match file.into_session() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("otc report: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let slo_cycles = SLO_OLATS * session.meta.olat;
+    print!(
+        "{}",
+        otc_perf::report::render_session(&session, o.width, slo_cycles)
+    );
 }
 
 fn cmd_leakage(o: &Opts) {
@@ -944,11 +1130,18 @@ fn main() {
         eprintln!("--trace only applies to `otc run`; ignoring");
         opts.trace = 0;
     }
+    // Sessions are sampled round by round while a fleet serves; the
+    // non-simulating subcommands have no rounds to sample.
+    if opts.perf_session.is_some() && matches!(cmd.as_str(), "leakage" | "report") {
+        eprintln!("--perf-session does not apply to `otc {cmd}`; ignoring");
+        opts.perf_session = None;
+    }
     match cmd.as_str() {
         "run" => cmd_run(&opts),
         "tenants" => cmd_tenants(&opts),
         "churn" => cmd_churn(&opts),
         "bench" => cmd_bench(&opts),
+        "report" => cmd_report(&opts),
         "leakage" => cmd_leakage(&opts),
         _ => usage(),
     }

@@ -221,6 +221,29 @@ impl CalendarQueue {
             .iter()
             .flat_map(|b| b.iter().map(|e| (e.key, e.time)))
     }
+
+    /// Bucket-occupancy statistics: `(entries, occupied buckets, max
+    /// bucket length)`. A max bucket length creeping toward the entry
+    /// count means the hash degraded to the k-way merge this structure
+    /// replaces — the regression perf sessions watch for.
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        let occupied = self.buckets.iter().filter(|b| !b.is_empty()).count();
+        let max_len = self.buckets.iter().map(Vec::len).max().unwrap_or(0);
+        (self.len, occupied, max_len)
+    }
+}
+
+impl otc_perf::PerfSink for CalendarQueue {
+    /// Contributes the calendar bucket statistics (all zero when the
+    /// merge scheduler runs — it keeps no calendar entries).
+    fn sample_into(&self, sample: &mut otc_perf::RoundSample) {
+        let (entries, occupied, max_len) = self.occupancy();
+        sample.calendar = otc_perf::CalendarSample {
+            entries: entries as u32,
+            occupied_buckets: occupied as u32,
+            max_bucket_len: max_len as u32,
+        };
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +352,18 @@ mod tests {
         assert!(!q.remove(1, 100), "double remove must report false");
         assert!(!q.remove(0, 130), "time must match the insertion");
         assert_eq!(drain(&mut q, 1_000), vec![(0, 100), (2, 130)]);
+    }
+
+    #[test]
+    fn occupancy_reports_entries_buckets_and_max() {
+        let mut q = CalendarQueue::new(64, 8);
+        assert_eq!(q.occupancy(), (0, 0, 0));
+        q.insert(0, 10);
+        q.insert(1, 20); // same bucket as key 0
+        q.insert(2, 100); // its own bucket
+        assert_eq!(q.occupancy(), (3, 2, 2));
+        q.remove(1, 20);
+        assert_eq!(q.occupancy(), (2, 2, 1));
     }
 
     #[test]

@@ -64,6 +64,9 @@ use otc_core::{EpochSchedule, LeakageParams, RatePolicy, SessionError, SlotStrea
 use otc_crypto::SplitMix64;
 use otc_dram::{Cycle, DdrConfig};
 use otc_oram::{CapacityKind, CapacityModel, OramConfig};
+use otc_perf::{
+    PerfSession, PerfSink, RoundSample, SessionMeta, SessionRecorder, SessionSummary, TenantSample,
+};
 use otc_sim::AccessKind;
 use otc_workloads::SpecBenchmark;
 use std::collections::VecDeque;
@@ -316,6 +319,9 @@ struct TenantRuntime {
     /// dummy). In closed-loop mode these cycles are actually *felt* by
     /// the tenant's core; in open-loop they are accounting only.
     queueing_cycles: Cycle,
+    /// Denied operations attributed to this tenant (a rejected
+    /// re-admission of its name after eviction). Perf sessions sample it.
+    denied: u64,
 }
 
 impl TenantRuntime {
@@ -424,6 +430,9 @@ pub struct HostReport {
     /// Mean per-access service time in cycles (0.0 when idle) — the
     /// headline number the pipeline exists to cut.
     pub mean_service_cycles: f64,
+    /// Median per-access service time in cycles (0 when idle), from the
+    /// merged fleet-wide service histogram.
+    pub p50_service_cycles: Cycle,
     /// 99th-percentile per-access service time in cycles (0 when idle)
     /// — the figure the admission SLO is stated against.
     pub p99_service_cycles: Cycle,
@@ -474,6 +483,13 @@ pub struct MultiTenantHost {
     serve_log: Vec<ServedSlot>,
     clock: Cycle,
     rotation: usize,
+    /// Scheduling rounds stepped so far (perf-session round ordinals).
+    rounds: u64,
+    /// Cumulative denied admissions/resizes (perf sessions sample it).
+    admissions_denied: u64,
+    /// Active perf-session recorder. `None` — the common case — costs
+    /// one branch at the end of each round; nothing per served slot.
+    perf: Option<SessionRecorder>,
 }
 
 impl std::fmt::Debug for MultiTenantHost {
@@ -517,6 +533,9 @@ impl MultiTenantHost {
             serve_log: Vec::new(),
             clock: 0,
             rotation: 0,
+            rounds: 0,
+            admissions_denied: 0,
+            perf: None,
         })
     }
 
@@ -584,6 +603,7 @@ impl MultiTenantHost {
         let demanded = self.fleet_demand() + util;
         let available = self.capacity();
         if demanded > available {
+            self.note_denial(Some(&spec.name));
             return Err(HostError::Saturated {
                 demanded,
                 available,
@@ -592,7 +612,13 @@ impl MultiTenantHost {
             });
         }
         let params = spec.leakage_params();
-        let id = self.directory.register(&spec.name, params)?;
+        let id = match self.directory.register(&spec.name, params) {
+            Ok(id) => id,
+            Err(e) => {
+                self.note_denial(Some(&spec.name));
+                return Err(e.into());
+            }
+        };
         debug_assert_eq!(id, self.tenants.len(), "directory and runtime in lockstep");
         self.ledger
             .add_tenant(id, params.rate_count, params.schedule, util);
@@ -617,8 +643,27 @@ impl MultiTenantHost {
             rng,
             worst_case_util: util,
             queueing_cycles: 0,
+            denied: 0,
         });
         Ok(id)
+    }
+
+    /// Records a denied admission or resize: bumps the fleet counter
+    /// and, when the denial names a tenant already in the directory
+    /// (a re-admission attempt after eviction), that tenant's own
+    /// counter — so perf sessions can attribute repeated rejections.
+    fn note_denial(&mut self, name: Option<&str>) {
+        self.admissions_denied += 1;
+        if let Some(name) = name {
+            let directory = &self.directory;
+            if let Some(rt) = self
+                .tenants
+                .iter_mut()
+                .find(|t| directory.entry(t.id).name == name)
+            {
+                rt.denied += 1;
+            }
+        }
     }
 
     /// Evicts tenant `id` online. Any slots of its grid still due at the
@@ -704,6 +749,7 @@ impl MultiTenantHost {
         let available = n_shards as f64 * self.cfg.max_shard_utilization;
         let demanded = self.fleet_demand();
         if demanded > available {
+            self.note_denial(None);
             let model = self.capacity_model();
             return Err(HostError::Saturated {
                 demanded,
@@ -928,6 +974,78 @@ impl MultiTenantHost {
         }
         self.rotation = if n == 0 { 0 } else { (self.rotation + 1) % n };
         self.clock = frontier;
+        self.rounds += 1;
+        // Perf sampling happens at the round boundary only — never per
+        // served slot — and only when a recorder is attached, so the
+        // disabled path costs this one branch.
+        if self.perf.is_some() {
+            let mut sample = RoundSample::default();
+            self.sample_into(&mut sample);
+            if let Some(recorder) = self.perf.as_mut() {
+                recorder.push(sample);
+            }
+        }
+    }
+
+    /// Attaches a perf-session recorder: from now on every
+    /// [`MultiTenantHost::step_round`] appends one [`RoundSample`].
+    /// `label` is free-form context stored in the session meta.
+    /// Recording is deterministic — every sampled quantity derives from
+    /// the simulated clock and counters — so two seeded runs produce
+    /// byte-identical session files.
+    pub fn record_perf_session(&mut self, label: &str) {
+        let meta = SessionMeta {
+            label: label.to_string(),
+            seed: self.cfg.seed,
+            olat: self.sharded.olat(),
+            quantum: self.cfg.quantum,
+            initial_shards: self.sharded.n_shards() as u32,
+            stage_units: self.sharded.n_stage_units() as u32,
+            pipeline: match self.sharded.pipeline().kind {
+                PipelineKind::Serial => "serial".into(),
+                PipelineKind::Staged => "staged".into(),
+            },
+            capacity: match self.cfg.capacity {
+                CapacityKind::Olat => "olat".into(),
+                CapacityKind::Cadence => "cadence".into(),
+            },
+            scheduler: match self.cfg.scheduler {
+                SchedulerKind::Calendar => "calendar".into(),
+                SchedulerKind::Merge => "merge".into(),
+            },
+        };
+        self.perf = Some(SessionRecorder::new(meta));
+    }
+
+    /// Whether a perf-session recorder is attached.
+    pub fn perf_recording(&self) -> bool {
+        self.perf.is_some()
+    }
+
+    /// Detaches the recorder and closes it with the end-of-run summary
+    /// (fleet totals plus the merged service-time histogram). `None` if
+    /// [`MultiTenantHost::record_perf_session`] was never called.
+    pub fn take_perf_session(&mut self) -> Option<PerfSession> {
+        let recorder = self.perf.take()?;
+        Some(recorder.finish(SessionSummary {
+            rounds: self.rounds,
+            clock: self.clock,
+            accesses: self.sharded.accesses().iter().sum::<u64>() + self.sharded.retired_accesses(),
+            service_cycles: self.sharded.service_cycles(),
+            queueing_cycles: self.sharded.queueing_cycles(),
+            eviction_drains: self.sharded.drained_evictions(),
+            service_hist: self.sharded.service_histogram(),
+        }))
+    }
+
+    /// Scheduling rounds stepped so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Cumulative denied admissions/resizes.
+    pub fn admissions_denied(&self) -> u64 {
+        self.admissions_denied
     }
 
     /// Runs rounds until every *active* tenant has served at least
@@ -1032,6 +1150,7 @@ impl MultiTenantHost {
             pipeline: self.sharded.pipeline().kind,
             shard_service_cycles: self.sharded.service_cycles(),
             mean_service_cycles: self.sharded.mean_service_cycles(),
+            p50_service_cycles: self.sharded.p50_service_cycles(),
             p99_service_cycles: self.sharded.p99_service_cycles(),
             background_eviction_drains: self.sharded.drained_evictions(),
             capacity: model.kind(),
@@ -1046,6 +1165,33 @@ impl MultiTenantHost {
             fleet_budget_bits: self.ledger.fleet_budget_bits(),
             fleet_spent_bits: self.ledger.fleet_spent_bits(),
         }
+    }
+}
+
+impl PerfSink for MultiTenantHost {
+    /// Assembles one complete round sample: host-level fields (round
+    /// ordinal, clock, denials, ledger capacity share, per-tenant rows),
+    /// then delegates to the shard pool's and calendar queue's own
+    /// [`PerfSink`] impls for their portions.
+    fn sample_into(&self, sample: &mut RoundSample) {
+        sample.round = self.rounds;
+        sample.clock = self.clock;
+        sample.admissions_denied = self.admissions_denied;
+        sample.fleet_capacity_share = self.ledger.fleet_capacity_share();
+        self.sharded.sample_into(sample);
+        self.calendar.sample_into(sample);
+        sample.tenants = self
+            .tenants
+            .iter()
+            .map(|t| TenantSample {
+                id: t.id as u32,
+                active: t.is_active(),
+                slots: t.stream.slots_served(),
+                real: t.stream.real_served(),
+                queued_cycles: t.queueing_cycles,
+                denied: t.denied,
+            })
+            .collect();
     }
 }
 

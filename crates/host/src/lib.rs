@@ -87,3 +87,10 @@ pub use otc_core::{SlotRecord, SlotStream};
 // Re-exported so downstream code can name the capacity pricing without a
 // direct otc-oram dependency (the model itself lives beside AccessPlan).
 pub use otc_oram::{CapacityKind, CapacityModel};
+
+// Re-exported so downstream code (CLI, benches, tests) can record and
+// read perf sessions without a direct otc-perf dependency.
+pub use otc_perf::{
+    CodecError, Histogram, PerfSession, PerfSink, RoundSample, SessionFile, SessionMeta,
+    SessionSummary,
+};

@@ -82,13 +82,15 @@ pub fn shard_summary(report: &HostReport) -> String {
     };
     format!(
         "shards: {} ({:?} pipeline) | per-shard accesses {:?}{} | utilization [{}] | \
-         mean service {:.1} cycles | p99 service {} cycles | queueing {} cycles{}",
+         mean service {:.1} cycles | p50 service {} cycles | p99 service {} cycles | \
+         queueing {} cycles{}",
         report.shard_accesses.len(),
         report.pipeline,
         report.shard_accesses,
         retired,
         utils.join(" "),
         report.mean_service_cycles,
+        report.p50_service_cycles,
         report.p99_service_cycles,
         report.shard_queueing_cycles,
         drains
@@ -167,6 +169,7 @@ mod tests {
         assert!(text.contains("within budget"));
         assert!(text.contains("Serial pipeline"));
         assert!(text.contains("mean service"));
+        assert!(text.contains("p50 service"));
         assert!(text.contains("p99 service"));
         assert!(text.contains("capacity: olat pricing"));
         assert!(text.contains("round capacity"));

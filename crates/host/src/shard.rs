@@ -50,6 +50,7 @@ use otc_dram::{Cycle, DdrConfig};
 use otc_oram::{
     AccessPlan, CapacityKind, CapacityModel, OramConfig, OramTiming, RecursivePathOram,
 };
+use otc_perf::{Histogram, PerfSink, RoundSample, ShardSample};
 
 /// Buckets of the per-access service-time histogram (each
 /// [`SERVICE_HIST_OLAT_FRACTION`]th of `OLAT` wide; the last bucket
@@ -187,11 +188,15 @@ pub struct ShardedOram {
     /// Σ (completion − request time) over all accesses: the per-access
     /// service time the pipeline exists to cut.
     service_cycles: u64,
-    /// Per-access service-time histogram (bucket width `OLAT / 16`,
-    /// overflow in the last bucket) — the distribution behind the p99
-    /// the admission SLO is stated against. Pool-global: it survives
-    /// resizes, like the other retired-inclusive counters.
-    service_hist: Vec<u64>,
+    /// Per-shard service-time histograms (bucket width `OLAT / 16`,
+    /// overflow in the last bucket) — the distributions behind the
+    /// p50/p99 the admission SLO is stated against. Shrinks fold retired
+    /// shards' histograms into [`ShardedOram::retired_hist`], so the
+    /// merged fleet-wide distribution survives resizes like the other
+    /// retired-inclusive counters.
+    service_hists: Vec<Histogram>,
+    /// Merged histograms of shards since retired by a shrink.
+    retired_hist: Histogram,
     /// Background eviction drains completed (staged mode).
     drained_evictions: u64,
 }
@@ -244,6 +249,7 @@ impl ShardedOram {
         // transient occupancy.
         let path_blocks = base.data.levels() as usize * base.data.z();
         let stash_bound = (pipeline.max_deferred + 2) * path_blocks;
+        let hist_width = (timing.latency / SERVICE_HIST_OLAT_FRACTION).max(1);
         Ok(Self {
             base: base.clone(),
             shards,
@@ -261,7 +267,8 @@ impl ShardedOram {
             retired_dummies: 0,
             queueing_cycles: 0,
             service_cycles: 0,
-            service_hist: vec![0; SERVICE_HIST_BUCKETS],
+            service_hists: vec![Histogram::new(hist_width, SERVICE_HIST_BUCKETS); n_shards],
+            retired_hist: Histogram::new(hist_width, SERVICE_HIST_BUCKETS),
             drained_evictions: 0,
         })
     }
@@ -292,15 +299,18 @@ impl ShardedOram {
             for retired in n_shards..self.shards.len() {
                 self.retired_accesses += self.accesses[retired];
                 self.retired_dummies += self.dummies[retired];
+                self.retired_hist.merge(&self.service_hists[retired]);
             }
             self.shards.truncate(n_shards);
         }
         let units = self.plan.posmap_levels.len() + 1;
+        let fresh_hist = Histogram::new(self.hist_width(), SERVICE_HIST_BUCKETS);
         self.busy_until.resize(n_shards, 0);
         self.stage_free.resize(n_shards, vec![0; units]);
         self.stage_busy.resize(n_shards, vec![0; units]);
         self.accesses.resize(n_shards, 0);
         self.dummies.resize(n_shards, 0);
+        self.service_hists.resize(n_shards, fresh_hist);
         Ok(())
     }
 
@@ -341,14 +351,17 @@ impl ShardedOram {
         (addr / self.shards.len() as u64) % self.per_shard_capacity
     }
 
+    /// Width of the service-histogram buckets (`OLAT / 16`, min 1).
+    fn hist_width(&self) -> u64 {
+        (self.olat / SERVICE_HIST_OLAT_FRACTION).max(1)
+    }
+
     /// Buckets one access's service time (completion − request) into the
-    /// pool-global histogram. Pure accounting: no timing decision reads
-    /// it back, so recording cannot perturb the serial reference
+    /// serving shard's histogram. Pure accounting: no timing decision
+    /// reads it back, so recording cannot perturb the serial reference
     /// arithmetic or the staged schedule.
-    fn record_service(&mut self, service: Cycle) {
-        let width = (self.olat / SERVICE_HIST_OLAT_FRACTION).max(1);
-        let bucket = ((service / width) as usize).min(SERVICE_HIST_BUCKETS - 1);
-        self.service_hist[bucket] += 1;
+    fn record_service(&mut self, shard: usize, service: Cycle) {
+        self.service_hists[shard].record(service);
     }
 
     /// Serial charge: one opaque `OLAT`, strictly sequential per shard.
@@ -361,7 +374,7 @@ impl ShardedOram {
         self.busy_until[shard] = start + self.olat;
         self.accesses[shard] += 1;
         self.service_cycles += start + self.olat - at;
-        self.record_service(start + self.olat - at);
+        self.record_service(shard, start + self.olat - at);
         ShardService {
             shard,
             start,
@@ -428,7 +441,7 @@ impl ShardedOram {
         let queued_cycles = (completion - at) - self.plan.critical_path();
         self.queueing_cycles += queued_cycles;
         self.service_cycles += completion - at;
-        self.record_service(completion - at);
+        self.record_service(shard, completion - at);
         ShardService {
             shard,
             start,
@@ -615,28 +628,38 @@ impl ShardedOram {
         }
     }
 
+    /// The merged fleet-wide per-access service-time distribution:
+    /// every live shard's histogram plus the retired histogram, so the
+    /// result covers all accesses ever served (conservation:
+    /// `service_histogram().total() == Σ accesses + retired`). This is
+    /// the distribution `otc bench` gates p50/p99 on and perf-session
+    /// summaries store.
+    pub fn service_histogram(&self) -> Histogram {
+        let mut merged = self.retired_hist.clone();
+        for h in &self.service_hists {
+            merged.merge(h);
+        }
+        merged
+    }
+
+    /// One live shard's service-time histogram (instrumentation only).
+    pub fn shard_service_histogram(&self, shard: usize) -> &Histogram {
+        &self.service_hists[shard]
+    }
+
+    /// Median per-access service time (cycles) so far, as the upper edge
+    /// of the bucket holding the median access. 0 when idle.
+    pub fn p50_service_cycles(&self) -> Cycle {
+        self.service_histogram().percentile(50)
+    }
+
     /// 99th-percentile per-access service time (cycles) so far, as the
     /// upper edge of the histogram bucket holding the 99th-percentile
     /// access — a conservative (never under-reporting) figure with
     /// `OLAT/16`-cycle resolution. 0 when idle. This is the number the
     /// admission SLO in `otc bench --admission` is stated against.
     pub fn p99_service_cycles(&self) -> Cycle {
-        let total: u64 = self.service_hist.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let width = (self.olat / SERVICE_HIST_OLAT_FRACTION).max(1);
-        // Smallest bucket whose cumulative count covers 99% of accesses
-        // (ceiling, so p99 of few samples degrades toward the max).
-        let target = total - total / 100;
-        let mut seen = 0u64;
-        for (b, &count) in self.service_hist.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                return (b as u64 + 1) * width;
-            }
-        }
-        SERVICE_HIST_BUCKETS as u64 * width
+        self.service_histogram().percentile(99)
     }
 
     /// Deferred evictions drained in the background so far.
@@ -647,6 +670,53 @@ impl ShardedOram {
     /// Deferred evictions currently pending across all shards.
     pub fn pending_evictions(&self) -> usize {
         self.shards.iter().map(|s| s.pending_evictions()).sum()
+    }
+
+    /// Pipeline units per shard as perf sessions sample them: 1 in
+    /// serial mode (the whole shard is one unit), posmap trees plus the
+    /// data port in staged mode.
+    pub fn n_stage_units(&self) -> usize {
+        match self.pipeline.kind {
+            PipelineKind::Serial => 1,
+            PipelineKind::Staged => self.plan.posmap_levels.len() + 1,
+        }
+    }
+
+    /// Cumulative busy cycles per pipeline unit of one shard. Serial
+    /// shards report their single opaque unit (`accesses × OLAT`);
+    /// staged shards report each unit's accumulated stage time.
+    pub fn stage_busy_snapshot(&self, shard: usize) -> Vec<u64> {
+        match self.pipeline.kind {
+            PipelineKind::Serial => vec![self.accesses[shard] * self.olat],
+            PipelineKind::Staged => self.stage_busy[shard].clone(),
+        }
+    }
+
+    /// Background-eviction queue depth of one shard.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.shards[shard].pending_evictions()
+    }
+
+    /// Current stash occupancy of one shard (data + posmap trees).
+    pub fn stash_len(&self, shard: usize) -> usize {
+        self.shards[shard].total_stash_len()
+    }
+}
+
+impl PerfSink for ShardedOram {
+    /// Contributes the per-shard rows and the retired-access counter:
+    /// cumulative accesses, eviction-queue depth, stash occupancy, and
+    /// per-unit stage busy cycles for every live shard.
+    fn sample_into(&self, sample: &mut RoundSample) {
+        sample.retired_accesses = self.retired_accesses;
+        sample.shards = (0..self.shards.len())
+            .map(|s| ShardSample {
+                accesses: self.accesses[s],
+                queue_depth: self.queue_depth(s) as u32,
+                stash_len: self.stash_len(s) as u32,
+                stage_busy: self.stage_busy_snapshot(s),
+            })
+            .collect();
     }
 }
 

@@ -213,6 +213,14 @@ impl RecursivePathOram {
         self.data.stash_len()
     }
 
+    /// Current stash occupancy summed over every tree (data + posmaps) —
+    /// the controller-wide on-chip block count perf sessions sample each
+    /// round. The data tree dominates under deferred eviction; posmap
+    /// stashes drain inline and contribute only transient occupancy.
+    pub fn total_stash_len(&self) -> usize {
+        self.data.stash_len() + self.posmaps.iter().map(|p| p.stash_len()).sum::<usize>()
+    }
+
     /// The staged timing decomposition of one access of this ORAM over
     /// `ddr` (see [`AccessPlan`]): per-posmap-level costs in recursion
     /// order, data-path read, and the (deferrable) eviction stage.
@@ -386,6 +394,21 @@ mod tests {
         let mut o = small();
         o.write(42, &[7u8; 64]);
         assert_eq!(o.read(42), vec![7u8; 64]);
+    }
+
+    #[test]
+    fn total_stash_spans_data_and_posmap_trees() {
+        let mut o = small();
+        for i in 0..32u64 {
+            o.write(i, &[i as u8; 64]);
+        }
+        assert!(o.total_stash_len() >= o.data_stash_len());
+        // Deferred accesses grow the data stash; the total tracks it.
+        for i in 0..16u64 {
+            o.write_deferred(i, &[1u8; 64]);
+        }
+        assert!(o.total_stash_len() >= o.data_stash_len());
+        assert!(o.data_stash_len() > 0);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! `otc-perf` — structured perf sessions for the multi-tenant ORAM host.
+//!
+//! Single-number reports (mean service time, one p99) cannot explain
+//! *where* a regression lives once the fleet has pipelined shards,
+//! background eviction queues, a calendar scheduler, and tenants churning
+//! online. This crate records the host's per-round state as a structured
+//! **perf session**: one [`RoundSample`] per scheduling round, carrying
+//! the round clock, per-shard pipeline-stage occupancy, eviction-queue
+//! depth and stash occupancy, calendar-queue bucket statistics, per-tenant
+//! served/queued/denied counts, and the ledger's fleet capacity share.
+//!
+//! # Pieces
+//!
+//! - [`PerfSink`] — the cheap collection trait the host-side components
+//!   (`MultiTenantHost`, `ShardedOram`, the calendar queue) implement:
+//!   each contributes its fields to an in-flight [`RoundSample`]. The
+//!   [`NoopSink`] impl is empty and `#[inline]`, so a disabled session
+//!   compiles out of the hot path entirely.
+//! - [`SessionRecorder`] / [`PerfSession`] — the in-memory sampler and
+//!   the finished session (meta + rounds + summary).
+//! - The on-disk format ([`PerfSession::to_bytes`] /
+//!   [`SessionFile`]) — framed, length-prefixed binary records behind a
+//!   versioned header, with a footer index that makes the file a small
+//!   trace DB: seek by round range, shard id, or tenant id without
+//!   decoding the whole stream. [`codec`] documents the layout.
+//! - JSONL export ([`PerfSession::export_jsonl`]) — one line per record,
+//!   for diffing two sessions with plain `diff`.
+//! - [`report::render_session`] — stage-occupancy / queue-depth /
+//!   utilization timelines and a per-tenant SLO-attainment table.
+//!
+//! # Determinism
+//!
+//! Every sampled quantity derives from the host's simulated clock and
+//! counters — no wall-clock time, no iteration-order dependence — so two
+//! seeded runs produce **byte-identical** session files. CI diffs the
+//! JSONL export across a double run to pin this.
+//!
+//! ```
+//! use otc_perf::{RoundSample, SessionFile, SessionMeta, SessionRecorder, SessionSummary};
+//!
+//! let meta = SessionMeta { label: "doc".into(), seed: 7, ..SessionMeta::default() };
+//! let mut rec = SessionRecorder::new(meta);
+//! rec.push(RoundSample { round: 1, clock: 65_536, ..RoundSample::default() });
+//! let session = rec.finish(SessionSummary::default());
+//! let bytes = session.to_bytes();
+//! let db = SessionFile::from_bytes(bytes)?;
+//! assert_eq!(db.len(), 1);
+//! assert_eq!(db.round(0)?.clock, 65_536);
+//! # Ok::<(), otc_perf::CodecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod hist;
+pub mod report;
+mod schema;
+mod session;
+
+pub use codec::CodecError;
+pub use hist::Histogram;
+pub use schema::{
+    CalendarSample, PerfSink, RoundSample, SessionMeta, SessionSummary, ShardSample, TenantSample,
+};
+pub use session::{NoopSink, PerfSession, SessionFile, SessionRecorder};

@@ -1,0 +1,650 @@
+//! Session recording, the on-disk container, and the indexed reader.
+
+use crate::codec::{self, kind, CodecError, IndexEntry, SessionIndex, FILE_MAGIC, INDEX_MAGIC};
+use crate::schema::{
+    PerfSink, RoundSample, SessionMeta, SessionSummary, ShardSample, TenantSample,
+};
+
+/// A sink that records nothing. Its empty `#[inline]` impl monomorphizes
+/// to zero instructions, so code paths instrumented against [`PerfSink`]
+/// cost nothing when perf sessions are disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl PerfSink for NoopSink {
+    #[inline]
+    fn sample_into(&self, _sample: &mut RoundSample) {}
+}
+
+/// Accumulates [`RoundSample`]s during a run.
+#[derive(Debug, Clone)]
+pub struct SessionRecorder {
+    meta: SessionMeta,
+    rounds: Vec<RoundSample>,
+}
+
+impl SessionRecorder {
+    /// A recorder for a run described by `meta`.
+    pub fn new(meta: SessionMeta) -> Self {
+        Self {
+            meta,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Appends one round's sample.
+    pub fn push(&mut self, sample: RoundSample) {
+        self.rounds.push(sample);
+    }
+
+    /// Rounds recorded so far.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Closes the recorder with the end-of-run aggregate.
+    pub fn finish(self, summary: SessionSummary) -> PerfSession {
+        PerfSession {
+            meta: self.meta,
+            rounds: self.rounds,
+            summary,
+        }
+    }
+}
+
+/// A complete recorded session: meta, per-round samples, and summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSession {
+    /// Session-wide context.
+    pub meta: SessionMeta,
+    /// One sample per scheduling round, in round order.
+    pub rounds: Vec<RoundSample>,
+    /// End-of-run aggregate.
+    pub summary: SessionSummary,
+}
+
+impl PerfSession {
+    /// Serializes the session into the framed on-disk format (see
+    /// [`crate::codec`]). Deterministic: equal sessions yield equal
+    /// bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(FILE_MAGIC);
+        codec::put_u32(&mut buf, codec::FORMAT_VERSION);
+        let meta_offset = codec::put_frame(&mut buf, kind::META, &codec::encode_meta(&self.meta));
+        let mut entries = Vec::with_capacity(self.rounds.len());
+        for r in &self.rounds {
+            let payload = codec::encode_round(r);
+            let offset = codec::put_frame(&mut buf, kind::ROUND, &payload);
+            entries.push(IndexEntry {
+                round: r.round,
+                offset,
+                len: payload.len() as u32,
+            });
+        }
+        let summary_offset = codec::put_frame(
+            &mut buf,
+            kind::SUMMARY,
+            &codec::encode_summary(&self.summary),
+        );
+        let index = SessionIndex {
+            meta_offset,
+            summary_offset,
+            rounds: entries,
+        };
+        let index_offset = codec::put_frame(&mut buf, kind::INDEX, &codec::encode_index(&index));
+        codec::put_u64(&mut buf, index_offset);
+        buf.extend_from_slice(INDEX_MAGIC);
+        buf
+    }
+
+    /// Decodes a session by walking every frame in order, verifying the
+    /// footer index agrees with the frames it points at.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`]: bad magic/version, truncation, an index that
+    /// disagrees with the frame stream, or malformed frames.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let body = check_envelope(bytes)?;
+        let mut r = codec::Reader::new(body);
+        let (k, payload) = r.frame()?;
+        if k != kind::META {
+            return Err(CodecError::BadKind(k));
+        }
+        let meta = codec::decode_meta(payload)?;
+        let mut rounds = Vec::new();
+        let mut offsets = Vec::new();
+        let summary = loop {
+            let offset = (HEADER_LEN + r.pos()) as u64;
+            let (k, payload) = r.frame()?;
+            match k {
+                kind::ROUND => {
+                    offsets.push((offset, payload.len() as u32));
+                    rounds.push(codec::decode_round(payload)?);
+                }
+                kind::SUMMARY => break codec::decode_summary(payload)?,
+                other => return Err(CodecError::BadKind(other)),
+            }
+        };
+        let (k, payload) = r.frame()?;
+        if k != kind::INDEX {
+            return Err(CodecError::BadKind(k));
+        }
+        let index = codec::decode_index(payload)?;
+        if !r.is_done() {
+            return Err(CodecError::TrailingBytes);
+        }
+        if index.rounds.len() != rounds.len() {
+            return Err(CodecError::BadIndex("entry count mismatch"));
+        }
+        for ((entry, round), (offset, len)) in index.rounds.iter().zip(&rounds).zip(&offsets) {
+            if entry.round != round.round || entry.offset != *offset || entry.len != *len {
+                return Err(CodecError::BadIndex("entry disagrees with frame"));
+            }
+        }
+        Ok(Self {
+            meta,
+            rounds,
+            summary,
+        })
+    }
+
+    /// Renders the session as JSONL: one `meta` line, one line per
+    /// round, one `summary` line. Stable field order; byte-identical for
+    /// equal sessions, so two exports diff cleanly.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        jsonl_meta(&mut out, &self.meta);
+        for r in &self.rounds {
+            jsonl_round(&mut out, r);
+        }
+        jsonl_summary(&mut out, &self.summary);
+        out
+    }
+}
+
+const HEADER_LEN: usize = FILE_MAGIC.len() + 4;
+const TRAILER_LEN: usize = 8 + INDEX_MAGIC.len();
+
+/// Validates magic/version/trailer and returns the frame region.
+fn check_envelope(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    if &bytes[..FILE_MAGIC.len()] != FILE_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u32::from_le_bytes(
+        bytes[FILE_MAGIC.len()..HEADER_LEN]
+            .try_into()
+            .expect("len 4"),
+    );
+    if version != codec::FORMAT_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    if &bytes[bytes.len() - INDEX_MAGIC.len()..] != INDEX_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    Ok(&bytes[HEADER_LEN..bytes.len() - TRAILER_LEN])
+}
+
+/// An on-disk session opened as a small trace DB: the footer index is
+/// decoded eagerly, round frames lazily — [`SessionFile::rounds_in`],
+/// [`SessionFile::shard_series`], and [`SessionFile::tenant_series`]
+/// decode only the frames a query touches.
+#[derive(Debug, Clone)]
+pub struct SessionFile {
+    bytes: Vec<u8>,
+    index: SessionIndex,
+    meta: SessionMeta,
+    summary: SessionSummary,
+}
+
+impl SessionFile {
+    /// Opens a serialized session, decoding only the envelope, the
+    /// footer index, and the meta/summary frames.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] in the envelope, trailer, index, meta, or
+    /// summary.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, CodecError> {
+        check_envelope(&bytes)?;
+        let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+        let index_offset = u64::from_le_bytes(trailer[..8].try_into().expect("len 8")) as usize;
+        let frames_end = bytes.len() - TRAILER_LEN;
+        if index_offset < HEADER_LEN || index_offset >= frames_end {
+            return Err(CodecError::BadIndex("index offset out of bounds"));
+        }
+        let (k, payload) = codec::Reader::new(&bytes[index_offset..frames_end]).frame()?;
+        if k != kind::INDEX {
+            return Err(CodecError::BadKind(k));
+        }
+        let index = codec::decode_index(payload)?;
+        let meta = codec::decode_meta(Self::frame_at(
+            &bytes,
+            index.meta_offset,
+            kind::META,
+            frames_end,
+        )?)?;
+        let summary = codec::decode_summary(Self::frame_at(
+            &bytes,
+            index.summary_offset,
+            kind::SUMMARY,
+            frames_end,
+        )?)?;
+        Ok(Self {
+            bytes,
+            index,
+            meta,
+            summary,
+        })
+    }
+
+    fn frame_at(
+        bytes: &[u8],
+        offset: u64,
+        expect: u8,
+        frames_end: usize,
+    ) -> Result<&[u8], CodecError> {
+        let offset = offset as usize;
+        if offset < HEADER_LEN || offset >= frames_end {
+            return Err(CodecError::BadIndex("frame offset out of bounds"));
+        }
+        let (k, payload) = codec::Reader::new(&bytes[offset..frames_end]).frame()?;
+        if k != expect {
+            return Err(CodecError::BadKind(k));
+        }
+        Ok(payload)
+    }
+
+    /// Session-wide context.
+    pub fn meta(&self) -> &SessionMeta {
+        &self.meta
+    }
+
+    /// End-of-run aggregate.
+    pub fn summary(&self) -> &SessionSummary {
+        &self.summary
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.index.rounds.len()
+    }
+
+    /// Whether the session recorded no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.index.rounds.is_empty()
+    }
+
+    /// Decodes the `i`-th round frame (0-based position, not round
+    /// ordinal).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadIndex`] if `i` is out of range; decode errors if
+    /// the frame is corrupt.
+    pub fn round(&self, i: usize) -> Result<RoundSample, CodecError> {
+        let entry = self
+            .index
+            .rounds
+            .get(i)
+            .ok_or(CodecError::BadIndex("round position out of range"))?;
+        self.round_at(entry)
+    }
+
+    fn round_at(&self, entry: &IndexEntry) -> Result<RoundSample, CodecError> {
+        let frames_end = self.bytes.len() - TRAILER_LEN;
+        let payload = Self::frame_at(&self.bytes, entry.offset, kind::ROUND, frames_end)?;
+        if payload.len() != entry.len as usize {
+            return Err(CodecError::BadIndex("entry length disagrees with frame"));
+        }
+        codec::decode_round(payload)
+    }
+
+    /// Seeks by round range: decodes exactly the frames whose round
+    /// ordinal lies in `[lo, hi]` (binary search over the index).
+    ///
+    /// # Errors
+    ///
+    /// Decode errors if a selected frame is corrupt.
+    pub fn rounds_in(&self, lo: u64, hi: u64) -> Result<Vec<RoundSample>, CodecError> {
+        let start = self.index.rounds.partition_point(|e| e.round < lo);
+        let end = self.index.rounds.partition_point(|e| e.round <= hi);
+        self.index.rounds[start..end]
+            .iter()
+            .map(|e| self.round_at(e))
+            .collect()
+    }
+
+    /// Seeks by shard id: `(round, sample)` for every round where shard
+    /// `shard` existed (a round misses it only across a shrink).
+    ///
+    /// # Errors
+    ///
+    /// Decode errors if any frame is corrupt.
+    pub fn shard_series(&self, shard: usize) -> Result<Vec<(u64, ShardSample)>, CodecError> {
+        let mut out = Vec::new();
+        for e in &self.index.rounds {
+            let mut r = self.round_at(e)?;
+            if shard < r.shards.len() {
+                out.push((r.round, r.shards.swap_remove(shard)));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Seeks by tenant id: `(round, sample)` for every round where the
+    /// tenant had a row.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors if any frame is corrupt.
+    pub fn tenant_series(&self, tenant: u32) -> Result<Vec<(u64, TenantSample)>, CodecError> {
+        let mut out = Vec::new();
+        for e in &self.index.rounds {
+            let r = self.round_at(e)?;
+            if let Some(t) = r.tenants.into_iter().find(|t| t.id == tenant) {
+                out.push((r.round, t));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes every frame back into an in-memory [`PerfSession`].
+    ///
+    /// # Errors
+    ///
+    /// Decode errors if any frame is corrupt.
+    pub fn into_session(self) -> Result<PerfSession, CodecError> {
+        let rounds = self
+            .index
+            .rounds
+            .iter()
+            .map(|e| self.round_at(e))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PerfSession {
+            meta: self.meta,
+            rounds,
+            summary: self.summary,
+        })
+    }
+
+    /// JSONL export via the index — byte-identical to
+    /// [`PerfSession::export_jsonl`] on the same session.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors if any frame is corrupt.
+    pub fn export_jsonl(&self) -> Result<String, CodecError> {
+        let mut out = String::new();
+        jsonl_meta(&mut out, &self.meta);
+        for e in &self.index.rounds {
+            jsonl_round(&mut out, &self.round_at(e)?);
+        }
+        jsonl_summary(&mut out, &self.summary);
+        Ok(out)
+    }
+}
+
+// ------------------------------------------------------------------ jsonl
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn jsonl_meta(out: &mut String, m: &SessionMeta) {
+    out.push_str("{\"type\":\"meta\",\"label\":\"");
+    json_escape(out, &m.label);
+    out.push_str(&format!(
+        "\",\"seed\":{},\"olat\":{},\"quantum\":{},\"initial_shards\":{},\"stage_units\":{},\"pipeline\":\"{}\",\"capacity\":\"{}\",\"scheduler\":\"{}\"}}\n",
+        m.seed, m.olat, m.quantum, m.initial_shards, m.stage_units, m.pipeline, m.capacity, m.scheduler
+    ));
+}
+
+fn jsonl_round(out: &mut String, r: &RoundSample) {
+    out.push_str(&format!(
+        "{{\"type\":\"round\",\"round\":{},\"clock\":{},\"denied\":{},\"retired_accesses\":{},\"capacity_share\":{:.6},\"calendar\":{{\"entries\":{},\"occupied\":{},\"max_bucket\":{}}},\"shards\":[",
+        r.round,
+        r.clock,
+        r.admissions_denied,
+        r.retired_accesses,
+        r.fleet_capacity_share,
+        r.calendar.entries,
+        r.calendar.occupied_buckets,
+        r.calendar.max_bucket_len
+    ));
+    for (i, s) in r.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"accesses\":{},\"queue\":{},\"stash\":{},\"stage_busy\":[",
+            s.accesses, s.queue_depth, s.stash_len
+        ));
+        for (j, b) in s.stage_busy.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"tenants\":[");
+    for (i, t) in r.tenants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"active\":{},\"slots\":{},\"real\":{},\"queued_cycles\":{},\"denied\":{}}}",
+            t.id, t.active, t.slots, t.real, t.queued_cycles, t.denied
+        ));
+    }
+    out.push_str("]}\n");
+}
+
+fn jsonl_summary(out: &mut String, s: &SessionSummary) {
+    out.push_str(&format!(
+        "{{\"type\":\"summary\",\"rounds\":{},\"clock\":{},\"accesses\":{},\"service_cycles\":{},\"queueing_cycles\":{},\"eviction_drains\":{},\"p50\":{},\"p99\":{},\"hist\":{{\"width\":{},\"buckets\":{},\"nonzero\":[",
+        s.rounds,
+        s.clock,
+        s.accesses,
+        s.service_cycles,
+        s.queueing_cycles,
+        s.eviction_drains,
+        s.service_hist.percentile(50),
+        s.service_hist.percentile(99),
+        s.service_hist.width(),
+        s.service_hist.counts().len()
+    ));
+    let mut first = true;
+    for (b, &c) in s.service_hist.counts().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("[{b},{c}]"));
+    }
+    out.push_str("]}}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::schema::{CalendarSample, ShardSample, TenantSample};
+
+    fn session(rounds: usize) -> PerfSession {
+        let meta = SessionMeta {
+            label: "test \"quoted\" label".into(),
+            seed: 7,
+            olat: 1248,
+            quantum: 65_536,
+            initial_shards: 2,
+            stage_units: 3,
+            pipeline: "staged".into(),
+            capacity: "cadence".into(),
+            scheduler: "calendar".into(),
+        };
+        let mut rec = SessionRecorder::new(meta);
+        for i in 0..rounds as u64 {
+            rec.push(RoundSample {
+                round: i + 1,
+                clock: (i + 1) * 65_536,
+                admissions_denied: i / 3,
+                retired_accesses: 0,
+                fleet_capacity_share: 0.25 * (i % 4) as f64,
+                calendar: CalendarSample {
+                    entries: (i % 5) as u32,
+                    occupied_buckets: (i % 3) as u32,
+                    max_bucket_len: (i % 2 + 1) as u32,
+                },
+                shards: (0..2)
+                    .map(|s| ShardSample {
+                        accesses: i * 10 + s,
+                        queue_depth: (s % 2) as u32,
+                        stash_len: (i % 7) as u32,
+                        stage_busy: vec![i * 100, i * 90, i * 80],
+                    })
+                    .collect(),
+                tenants: (0..3)
+                    .map(|t| TenantSample {
+                        id: t,
+                        active: t != 2 || i < 4,
+                        slots: i * 5 + u64::from(t),
+                        real: i * 3,
+                        queued_cycles: i * 40,
+                        denied: u64::from(t == 2 && i >= 4),
+                    })
+                    .collect(),
+            });
+        }
+        let mut hist = Histogram::new(78, 32);
+        for v in [100u64, 200, 1500, 2400] {
+            hist.record(v);
+        }
+        rec.finish(SessionSummary {
+            rounds: rounds as u64,
+            clock: rounds as u64 * 65_536,
+            accesses: 4,
+            service_cycles: 4200,
+            queueing_cycles: 120,
+            eviction_drains: 2,
+            service_hist: hist,
+        })
+    }
+
+    #[test]
+    fn full_round_trip_preserves_every_record() {
+        let s = session(9);
+        let bytes = s.to_bytes();
+        assert_eq!(PerfSession::from_bytes(&bytes).expect("decodes"), s);
+        let db = SessionFile::from_bytes(bytes).expect("opens");
+        assert_eq!(db.len(), 9);
+        assert_eq!(db.meta(), &s.meta);
+        assert_eq!(db.summary(), &s.summary);
+        assert_eq!(db.clone().into_session().expect("decodes"), s);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(session(6).to_bytes(), session(6).to_bytes());
+    }
+
+    #[test]
+    fn jsonl_exports_agree_between_memory_and_file_paths() {
+        let s = session(5);
+        let direct = s.export_jsonl();
+        let via_file = SessionFile::from_bytes(s.to_bytes())
+            .expect("opens")
+            .export_jsonl()
+            .expect("exports");
+        assert_eq!(direct, via_file);
+        assert_eq!(direct.lines().count(), 1 + 5 + 1);
+        assert!(direct.starts_with("{\"type\":\"meta\""));
+        assert!(direct.contains("\\\"quoted\\\""));
+        assert!(direct.ends_with("]}}\n"));
+    }
+
+    #[test]
+    fn rounds_in_seeks_exactly_the_requested_range() {
+        let s = session(10);
+        let db = SessionFile::from_bytes(s.to_bytes()).expect("opens");
+        let mid = db.rounds_in(4, 7).expect("seeks");
+        assert_eq!(
+            mid.iter().map(|r| r.round).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7]
+        );
+        assert_eq!(mid, s.rounds[3..7].to_vec());
+        assert!(db.rounds_in(11, 20).expect("seeks").is_empty());
+        assert_eq!(db.rounds_in(1, 100).expect("seeks"), s.rounds);
+    }
+
+    #[test]
+    fn shard_and_tenant_series_filter_correctly() {
+        let s = session(6);
+        let db = SessionFile::from_bytes(s.to_bytes()).expect("opens");
+        let shard1 = db.shard_series(1).expect("seeks");
+        assert_eq!(shard1.len(), 6);
+        assert!(shard1
+            .iter()
+            .zip(&s.rounds)
+            .all(|((round, sample), r)| *round == r.round && *sample == r.shards[1]));
+        assert!(db.shard_series(5).expect("seeks").is_empty());
+        let t2 = db.tenant_series(2).expect("seeks");
+        assert_eq!(t2.len(), 6);
+        assert!(t2.iter().all(|(_, t)| t.id == 2));
+        assert!(db.tenant_series(9).expect("seeks").is_empty());
+    }
+
+    #[test]
+    fn corrupt_envelopes_are_rejected() {
+        let bytes = session(2).to_bytes();
+        assert_eq!(
+            PerfSession::from_bytes(&bytes[..10]),
+            Err(CodecError::Truncated)
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            PerfSession::from_bytes(&bad_magic),
+            Err(CodecError::BadMagic)
+        );
+        let mut bad_version = bytes.clone();
+        bad_version[8] = 99;
+        assert_eq!(
+            PerfSession::from_bytes(&bad_version),
+            Err(CodecError::BadVersion(99))
+        );
+        let mut bad_trailer = bytes.clone();
+        let n = bad_trailer.len();
+        bad_trailer[n - 1] = 0;
+        assert!(SessionFile::from_bytes(bad_trailer).is_err());
+    }
+
+    #[test]
+    fn noop_sink_records_nothing() {
+        let mut sample = RoundSample::default();
+        NoopSink.sample_into(&mut sample);
+        assert_eq!(sample, RoundSample::default());
+    }
+}

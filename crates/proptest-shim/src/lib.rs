@@ -10,9 +10,12 @@
 //! * [`any`] for the primitive types and byte arrays the tests sample,
 //! * integer range strategies (`0u64..32`, `1u64..`, `2usize..20`, …),
 //! * [`collection::vec`],
-//! * [`Strategy::prop_map`], tuple strategies (2- and 3-tuples), and
+//! * [`Strategy::prop_map`], tuple strategies (2- through 5-tuples), and
 //!   [`sample::select`] (added for the stepped-simulator property tests,
-//!   which build random instruction scripts from primitive draws).
+//!   which build random instruction scripts from primitive draws),
+//! * [`Just`] and [`Strategy::prop_flat_map`] (added for the perf-session
+//!   codec property tests, which derive dependent draws — e.g. a shard
+//!   count, then per-shard samples of that width).
 //!
 //! Semantics differ from real proptest in one deliberate way: there is no
 //! shrinking. A failing case panics with the generated inputs' case index
@@ -101,6 +104,50 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derives a dependent strategy from each generated value
+    /// (`proptest`'s `prop_flat_map`): draw from `self`, feed the draw
+    /// to `f`, then draw from the strategy it returns.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// `proptest::strategy::Just` — a strategy that always yields a clone
+/// of its value. The unit that makes `prop_flat_map` pipelines close
+/// over already-drawn inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
 }
 
 /// Strategy produced by [`Strategy::prop_map`].
@@ -135,6 +182,31 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
             self.0.generate(rng),
             self.1.generate(rng),
             self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+            self.4.generate(rng),
         )
     }
 }
@@ -352,7 +424,7 @@ pub mod collection {
 /// One-stop imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
         ProptestConfig, Strategy,
     };
     pub use crate::{collection, sample};
@@ -534,6 +606,21 @@ mod tests {
         #[test]
         fn select_draws_members(v in sample::select(vec![2u64, 3, 5, 7])) {
             prop_assert!([2u64, 3, 5, 7].contains(&v));
+        }
+
+        #[test]
+        fn just_always_yields_its_value(v in Just(42u64)) {
+            prop_assert_eq!(v, 42);
+        }
+
+        #[test]
+        fn flat_map_derives_dependent_draws(
+            (n, v) in (1usize..5).prop_flat_map(|n| {
+                (Just(n), collection::vec(0u64..10, n..n + 1))
+            })
+        ) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < 10));
         }
     }
 }

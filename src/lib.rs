@@ -19,6 +19,7 @@
 //! | [`core`](otc_core) | **The contribution**: epoch schedules, candidate rate sets, the Equation-1 rate learner with the Algorithm-1 shift divider, the slot-periodic rate enforcer with dummy accesses, information-theoretic leakage accounting, and the §5/§8 session protocol |
 //! | [`oram`](otc_oram) | Path ORAM: tree + stash + recursive position maps, probabilistic bucket encryption, access timing |
 //! | [`host`](otc_host) | **Beyond the paper**: the multi-tenant serving layer — sharded ORAM backends, batched slot scheduling over per-tenant `SlotStream`s, a tenant directory with session-authorized leakage budgets, and the fleet-wide `LeakageLedger` (drive it with the `otc` CLI) |
+//! | [`perf`](otc_perf) | Structured perf sessions: per-round sample schema, framed + footer-indexed binary trace format, exact-percentile histograms, and the `otc report` timeline renderer |
 //! | [`sim`](otc_sim) | Cycle-level in-order processor (Table 1): caches, write buffer, pluggable memory backends |
 //! | [`dram`](otc_dram) | DRAM timing: flat-latency baseline + calibrated DDR3-like channel model |
 //! | [`workloads`](otc_workloads) | Synthetic SPEC-int stand-ins with per-input variants |
@@ -59,6 +60,7 @@ pub use otc_crypto as crypto;
 pub use otc_dram as dram;
 pub use otc_host as host;
 pub use otc_oram as oram;
+pub use otc_perf as perf;
 pub use otc_power as power;
 pub use otc_sim as sim;
 pub use otc_workloads as workloads;
