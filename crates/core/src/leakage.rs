@@ -110,9 +110,13 @@ impl LeakageModel {
 }
 
 /// Combines leakage from `N` independent channels (§10, "Supporting
-/// additional leakage channels"): `Σ lg |T_i|` bits.
+/// additional leakage channels"): `Σ lg |T_i|` bits. The `+ 0.0`
+/// normalizes the `-0.0` an empty f64 sum yields (zero channels — e.g.
+/// a host with no tenants) to a plain `0.0` for reports; IEEE 754
+/// guarantees `-0.0 + +0.0 == +0.0`, unlike `max`, whose sign on equal
+/// zeros is platform-defined.
 pub fn combine_channels(bits_per_channel: &[f64]) -> f64 {
-    bits_per_channel.iter().sum()
+    bits_per_channel.iter().sum::<f64>() + 0.0
 }
 
 /// Exact number of observable timing traces of an **unprotected** ORAM

@@ -7,7 +7,10 @@
 //!                      resize online) and report the outcome
 //! otc bench   [opts]   seeded pipeline-vs-serial closed-loop sweep;
 //!                      --json emits the machine-readable record the CI
-//!                      perf gate checks, --gate PCT enforces the floor
+//!                      perf gate checks, --gate PCT enforces the floor;
+//!                      --wallclock instead times the same seeded fleet
+//!                      serial vs threaded (real elapsed ms) and gates
+//!                      on the speedup
 //! otc report  [opts]   render a recorded perf session: stage-occupancy
 //!                      and queue-depth timelines, shard utilization,
 //!                      per-tenant SLO attainment (--session FILE;
@@ -50,6 +53,14 @@
 //! --json             otc bench only: emit the JSON record
 //!                    (BENCH_pipeline.json / BENCH_admission.json in
 //!                    CI) instead of a table
+//! --threads N        execute shard work on N worker threads
+//!                    (ParallelKind::Threads); 0 or omitted = the serial
+//!                    reference. Deterministic: any thread count
+//!                    produces byte-identical output to serial
+//! --wallclock        otc bench only: the wall-clock K-sweep — the same
+//!                    seeded fleet serial vs --threads N, timed in real
+//!                    elapsed ms, digests cross-checked; --gate X holds
+//!                    the speedup floor at the largest K
 //! --trace N          print the first N observable slot records per
 //!                    tenant (otc run only; used by the CI determinism
 //!                    diff — ignored with a warning elsewhere)
@@ -87,7 +98,7 @@
 use otc_core::{DividerImpl, EpochSchedule, LeakageModel, RatePolicy, RateSet};
 use otc_host::{
     render, CapacityKind, HostConfig, HostError, HostReport, LoopMode, MultiTenantHost,
-    PerfSession, PipelineConfig, PipelineKind, SessionFile, TenantSpec,
+    ParallelKind, PerfSession, PipelineConfig, PipelineKind, SessionFile, TenantSpec,
 };
 use otc_oram::{OramConfig, OramTiming};
 use otc_workloads::SpecBenchmark;
@@ -113,8 +124,8 @@ fn usage() -> ! {
          \n\
          options: --tenants N --accesses N --shards N --scheme S --oram small|paper\n\
          \x20        --instructions N --limit BITS --bench a,b,.. --seed N\n\
-         \x20        --closed-loop --trace N --pipeline serial|staged\n\
-         \x20        --capacity olat|cadence --admission --json --gate X\n\
+         \x20        --closed-loop --trace N --pipeline serial|staged --threads N\n\
+         \x20        --capacity olat|cadence --admission --wallclock --json --gate X\n\
          \x20        --perf-session FILE --session FILE --jsonl --width N\n\
          \x20        --churn-script '@R admit <bench> <scheme> [closed]; @R evict <id>;\n\
          \x20                        @R shards <n>; ...'\n"
@@ -139,6 +150,8 @@ struct Opts {
     pipeline: PipelineKind,
     capacity: CapacityKind,
     admission: bool,
+    threads: Option<usize>,
+    wallclock: bool,
     json: bool,
     gate: Option<f64>,
     perf_session: Option<String>,
@@ -165,6 +178,8 @@ impl Default for Opts {
             pipeline: PipelineKind::Serial,
             capacity: CapacityKind::Olat,
             admission: false,
+            threads: None,
+            wallclock: false,
             json: false,
             gate: None,
             perf_session: None,
@@ -223,6 +238,8 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--admission" => o.admission = true,
+            "--threads" => o.threads = Some(val("--threads").parse().unwrap_or_else(|_| usage())),
+            "--wallclock" => o.wallclock = true,
             "--json" => o.json = true,
             "--gate" => o.gate = Some(val("--gate").parse().unwrap_or_else(|_| usage())),
             "--perf-session" => o.perf_session = Some(val("--perf-session")),
@@ -304,6 +321,10 @@ fn host_config(o: &Opts) -> HostConfig {
             PipelineKind::Staged => PipelineConfig::staged(),
         },
         capacity: o.capacity,
+        parallel: match o.threads {
+            None | Some(0) => ParallelKind::Serial,
+            Some(n) => ParallelKind::Threads(n),
+        },
         ..HostConfig::default()
     }
 }
@@ -680,14 +701,13 @@ fn cmd_tenants(o: &Opts) {
                 // keep their lifetime rates in the sums forever.
                 let active = || report.tenants.iter().filter(|t| t.is_active());
                 let n_active = report.active_tenants().max(1) as f64;
-                // `.max(0.0)` normalizes the -0.0 an empty sum yields
-                // (a fully evicted fleet) so the table prints 0.0.
-                let fleet_tp: f64 = active()
-                    .map(|t| t.throughput_per_mcycle)
-                    .sum::<f64>()
-                    .max(0.0);
+                // `+ 0.0` normalizes the -0.0 an empty sum yields (a
+                // fully evicted fleet) so the table prints 0.0 — IEEE
+                // 754 fixes the sign of `-0.0 + +0.0`, unlike `max`,
+                // whose sign on equal zeros is platform-defined.
+                let fleet_tp: f64 = active().map(|t| t.throughput_per_mcycle).sum::<f64>() + 0.0;
                 let mean_waste: f64 =
-                    (active().map(|t| t.waste_per_real).sum::<f64>() / n_active).max(0.0);
+                    active().map(|t| t.waste_per_real).sum::<f64>() / n_active + 0.0;
                 let max_util = report
                     .shard_utilization
                     .iter()
@@ -899,6 +919,195 @@ fn cmd_bench_admission(o: &Opts) {
     }
 }
 
+/// One run's deterministic outcome in the wall-clock sweep: the serial
+/// and threaded executions must agree on every field here or the sweep
+/// aborts — a speedup bought by divergence is not a speedup.
+#[derive(Debug, PartialEq, Eq)]
+struct WallclockDigest {
+    slots: u64,
+    real: u64,
+    clock: u64,
+    queueing_cycles: u64,
+    p99_service_cycles: u64,
+    spent_bits_milli: u64,
+}
+
+/// `otc bench --wallclock`: the seeded K-sweep behind the CI wall-clock
+/// gate. Each fleet size runs twice — `ParallelKind::Serial` against
+/// `ParallelKind::Threads(--threads, default 4)` — with identical
+/// seeds, and the *real elapsed time* of the serve loop is measured
+/// (host construction excluded). Simulated results are cross-checked
+/// field by field ([`WallclockDigest`]); `--gate X` holds a speedup
+/// floor at the largest K. Unlike every other bench, the timing fields
+/// here are genuinely nondeterministic — the CI diff filters the
+/// `elapsed_ms`/`speedup`/`host_parallelism`/`applied_gate`/
+/// `gate_passed` lines and pins the rest.
+///
+/// The gate is parallelism-aware: a wall-clock speedup requires the
+/// host to actually run threads concurrently, so on a single-core
+/// machine (`available_parallelism() == 1`) the `--gate` floor degrades
+/// to [`SINGLE_CORE_FLOOR`] — a no-regression check that the threaded
+/// path's synchronization overhead stays bounded. The JSON records
+/// which floor applied, so a single-core run can never masquerade as a
+/// multi-core speedup measurement.
+fn cmd_bench_wallclock(o: &Opts) {
+    /// Floor applied instead of `--gate` when only one CPU is visible:
+    /// threaded must finish within 2x of serial (speedup >= 0.5).
+    const SINGLE_CORE_FLOOR: f64 = 0.5;
+    require_tenants(o);
+    let threads = match o.threads {
+        None | Some(0) => 4,
+        Some(n) => n,
+    };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut ks = vec![(o.tenants / 4).max(1), o.tenants];
+    ks.dedup();
+    let run = |k: usize, threads: Option<usize>| -> (WallclockDigest, f64) {
+        let mut opts = o.clone();
+        opts.threads = threads;
+        let mut host = match build_fleet(&opts, k) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("otc bench: K={k}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let start = std::time::Instant::now();
+        let report = host.run_until_slots(opts.accesses);
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let digest = WallclockDigest {
+            slots: report.tenants.iter().map(|t| t.slots_served).sum(),
+            real: report.tenants.iter().map(|t| t.real_served).sum(),
+            clock: report.horizon,
+            queueing_cycles: report.shard_queueing_cycles,
+            p99_service_cycles: report.p99_service_cycles,
+            spent_bits_milli: (report.fleet_spent_bits * 1000.0).round() as u64,
+        };
+        (digest, elapsed_ms)
+    };
+    let sweep: Vec<(usize, WallclockDigest, f64, f64)> = ks
+        .iter()
+        .map(|&k| {
+            let (digest, serial_ms) = run(k, None);
+            let (threaded_digest, threaded_ms) = run(k, Some(threads));
+            if digest != threaded_digest {
+                eprintln!(
+                    "WALLCLOCK BENCH ABORTED: Threads({threads}) diverged from Serial at \
+                     K={k}:\n  serial   {digest:?}\n  threaded {threaded_digest:?}"
+                );
+                std::process::exit(1);
+            }
+            (k, digest, serial_ms, threaded_ms)
+        })
+        .collect();
+    let speedup_at = |serial_ms: f64, threaded_ms: f64| -> f64 {
+        if threaded_ms > 0.0 {
+            serial_ms / threaded_ms
+        } else {
+            0.0
+        }
+    };
+    let (_, _, gate_serial, gate_threaded) = sweep.last().expect("sweep is nonempty");
+    let gate_speedup = speedup_at(*gate_serial, *gate_threaded);
+    let applied_gate = o.gate.map(|g| {
+        if host_parallelism >= 2 {
+            g
+        } else {
+            g.min(SINGLE_CORE_FLOOR)
+        }
+    });
+    let passed = applied_gate.is_none_or(|g| gate_speedup >= g);
+    if o.json {
+        println!("{{");
+        println!("  \"bench\": \"wallclock_sweep\",");
+        println!(
+            "  \"config\": {{\"seed\": {}, \"shards\": {}, \"oram\": \"{}\", \
+             \"scheme\": \"{}\", \"slots_per_tenant\": {}, \"threads\": {threads}, \
+             \"closed_loop\": {}}},",
+            o.seed, o.shards, o.oram, o.scheme, o.accesses, o.closed_loop
+        );
+        println!("  \"sweep\": [");
+        for (i, (k, digest, serial_ms, threaded_ms)) in sweep.iter().enumerate() {
+            println!("    {{");
+            println!("      \"tenants\": {k},");
+            println!(
+                "      \"digest\": {{\"slots\": {}, \"real\": {}, \"clock\": {}, \
+                 \"queueing_cycles\": {}, \"p99_service_cycles\": {}, \
+                 \"spent_bits_milli\": {}}},",
+                digest.slots,
+                digest.real,
+                digest.clock,
+                digest.queueing_cycles,
+                digest.p99_service_cycles,
+                digest.spent_bits_milli
+            );
+            println!("      \"elapsed_ms_serial\": {serial_ms:.1},");
+            println!("      \"elapsed_ms_threads\": {threaded_ms:.1},");
+            println!(
+                "      \"speedup\": {:.2}",
+                speedup_at(*serial_ms, *threaded_ms)
+            );
+            println!("    }}{}", if i + 1 < sweep.len() { "," } else { "" });
+        }
+        println!("  ],");
+        println!("  \"host_parallelism\": {host_parallelism},");
+        println!(
+            "  \"gate_speedup\": {},",
+            o.gate.map_or("null".into(), |g| format!("{g:.2}"))
+        );
+        println!(
+            "  \"applied_gate\": {},",
+            applied_gate.map_or("null".into(), |g| format!("{g:.2}"))
+        );
+        println!("  \"gate_passed\": {passed}");
+        println!("}}");
+    } else {
+        println!(
+            "otc bench: wall-clock sweep | {} shards, oram {}, scheme {}, {} slots/tenant, \
+             {} loop, seed {} | serial vs {threads} worker thread(s) on {host_parallelism} \
+             host core(s)",
+            o.shards,
+            o.oram,
+            o.scheme,
+            o.accesses,
+            if o.closed_loop { "closed" } else { "open" },
+            o.seed
+        );
+        println!(
+            "{:<8}{:>14}{:>16}{:>10}{:>14}{:>12}",
+            "K", "serial ms", "threads ms", "speedup", "slots", "clock"
+        );
+        for (k, digest, serial_ms, threaded_ms) in &sweep {
+            println!(
+                "{k:<8}{serial_ms:>14.1}{threaded_ms:>16.1}{:>10.2}{:>14}{:>12}",
+                speedup_at(*serial_ms, *threaded_ms),
+                digest.slots,
+                digest.clock
+            );
+        }
+    }
+    if let Some(g) = applied_gate {
+        let requested = o.gate.expect("applied_gate implies --gate");
+        let floor = if (g - requested).abs() > f64::EPSILON {
+            format!("{g:.2}x single-core no-regression floor (requested {requested:.2}x)")
+        } else {
+            format!("{g:.2}x floor")
+        };
+        if !passed {
+            eprintln!(
+                "WALLCLOCK GATE FAILED: Threads({threads}) speedup {gate_speedup:.2}x at \
+                 K={} is under the {floor}",
+                ks.last().expect("nonempty")
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wallclock gate passed: {gate_speedup:.2}x >= {floor} at K={}",
+            ks.last().expect("nonempty")
+        );
+    }
+}
+
 /// `otc bench`: the seeded pipeline-vs-serial sweep behind the CI perf
 /// gate (or, with `--admission`, the capacity sweep above). The same
 /// closed-loop fleet (identical seeds, benchmarks and rate policy) runs
@@ -907,6 +1116,9 @@ fn cmd_bench_admission(o: &Opts) {
 /// exists to catch real regressions, not wall-clock noise.
 fn cmd_bench(o: &Opts) {
     require_tenants(o);
+    if o.wallclock {
+        return cmd_bench_wallclock(o);
+    }
     if o.admission {
         return cmd_bench_admission(o);
     }

@@ -208,6 +208,12 @@ impl CalendarQueue {
                         // this same bucket: nothing else can be earlier.
                         return None;
                     }
+                    // Cannot overflow: this branch only runs while
+                    // cursor·width < frontier ≤ u64::MAX, so cursor is
+                    // strictly below u64::MAX / width here and the loop
+                    // terminates at the frontier check above — even for
+                    // frontier == u64::MAX with width 1 (the wrap
+                    // regression tests pin this).
                     self.cursor += 1;
                 }
             }
@@ -364,6 +370,68 @@ mod tests {
         assert_eq!(q.occupancy(), (3, 2, 2));
         q.remove(1, 20);
         assert_eq!(q.occupancy(), (2, 2, 1));
+    }
+
+    #[test]
+    fn single_bucket_ring_orders_across_passes() {
+        // n_buckets == 1 is the degenerate ring: every entry hashes to
+        // bucket 0 and only the pass check (time / width == cursor)
+        // separates spans. Entries one and many passes apart must still
+        // pop in time order, and ties within the lone bucket by rank.
+        let mut q = CalendarQueue::new(10, 1);
+        q.insert(0, 5);
+        q.insert(1, 1_005);
+        q.insert(2, 105);
+        q.insert(3, 5); // ties with key 0 in the same pass
+        assert_eq!(
+            drain(&mut q, 2_000),
+            vec![(0, 5), (3, 5), (2, 105), (1, 1_005)]
+        );
+        assert!(q.is_empty());
+        // Reinsert behind the advanced cursor; still found.
+        q.insert(4, 7);
+        assert_eq!(drain(&mut q, 2_000), vec![(4, 7)]);
+    }
+
+    #[test]
+    fn cursor_survives_entries_at_the_u64_boundary() {
+        // width == 1 puts the cursor at the entry time itself; entries
+        // next to u64::MAX drive cursor·width to the numeric edge. The
+        // saturating frontier check must pop the due entry, hold the
+        // at-frontier entry, and terminate rather than wrap.
+        let mut q = CalendarQueue::new(1, 4);
+        q.insert(0, u64::MAX - 1);
+        q.insert(1, u64::MAX);
+        assert_eq!(q.pop_due(u64::MAX, |k| k), Some((0, u64::MAX - 1)));
+        // Key 1 sits exactly at the (exclusive) frontier: never due.
+        assert_eq!(q.pop_due(u64::MAX, |k| k), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![(1, u64::MAX)]);
+    }
+
+    #[test]
+    fn huge_width_saturates_instead_of_overflowing() {
+        // width == u64::MAX makes cursor·width overflow after a single
+        // increment; saturating_mul must clamp it to u64::MAX, which
+        // terminates every pop (even at the maximal frontier) once
+        // bucket 0 is drained.
+        let mut q = CalendarQueue::new(u64::MAX, 4);
+        q.insert(0, 123);
+        q.insert(1, u64::MAX - 1);
+        assert_eq!(drain(&mut q, u64::MAX), vec![(0, 123), (1, u64::MAX - 1)]);
+        assert_eq!(q.pop_due(u64::MAX, |k| k), None);
+    }
+
+    #[test]
+    fn maximal_frontier_terminates_on_empty_and_sparse_rings() {
+        // frontier == u64::MAX with an empty queue, then with one entry
+        // far from the cursor: the scan must stop at the entry (or the
+        // is_empty fast path), not walk the ring to the numeric horizon.
+        let mut q = CalendarQueue::new(4_096, 256);
+        assert_eq!(q.pop_due(u64::MAX, |k| k), None);
+        q.insert(0, 1 << 40);
+        assert_eq!(q.pop_due(u64::MAX, |k| k), Some((0, 1 << 40)));
+        assert_eq!(q.pop_due(u64::MAX, |k| k), None);
     }
 
     #[test]

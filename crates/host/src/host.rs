@@ -57,8 +57,10 @@
 
 use crate::calendar::CalendarQueue;
 use crate::ledger::LeakageLedger;
-use crate::shard::{PipelineConfig, PipelineKind, ShardedOram};
+use crate::parallel::{LaneRequest, RoundWork, WorkerChannel, WorkerPool};
+use crate::shard::{Lane, LaneOp, PipelineConfig, PipelineKind, ShardedOram};
 use crate::tenant::TenantDirectory;
+use crate::timeq::TimeQ;
 use crate::traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
 use otc_core::{EpochSchedule, LeakageParams, RatePolicy, SessionError, SlotStream};
 use otc_crypto::SplitMix64;
@@ -161,6 +163,29 @@ pub enum SchedulerKind {
     Merge,
 }
 
+/// How the host executes the shard work of one scheduling round.
+///
+/// The scheduling spine — calendar pops, tenant PRNG draws, slot-grid
+/// serves, the leakage ledger — is always serial (its order *is* the
+/// determinism guarantee). What parallelizes is the heavy per-shard
+/// work: ORAM path reads, stash updates, eviction drains, histogram
+/// records. Each shard is pinned to one worker, workers execute their
+/// shards' requests strictly FIFO, and completions are merged back in
+/// deterministic `(slot time, shard, posting order)` order before any
+/// cross-shard bookkeeping — so seeded runs produce byte-identical
+/// serve logs, ledgers, and `.otcp` perf sessions at any thread count
+/// (`tests/threaded_equivalence.rs` pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelKind {
+    /// Everything on the caller's thread — the bit-exact reference.
+    #[default]
+    Serial,
+    /// Shard work on `n` scoped worker threads (clamped to the shard
+    /// count; `Threads(0)` and `Threads(1)` degenerate to one worker,
+    /// still exercising the post/merge machinery).
+    Threads(usize),
+}
+
 /// Host configuration.
 #[derive(Debug, Clone)]
 pub struct HostConfig {
@@ -204,6 +229,12 @@ pub struct HostConfig {
     /// cycles) exceeds every slot period the paper's rate sets produce,
     /// so entries almost never alias onto a later pass of the ring.
     pub calendar_buckets: usize,
+    /// Round execution mode (see [`ParallelKind`]): `Serial` is the
+    /// bit-exact reference; `Threads(n)` runs shard work on `n` worker
+    /// threads with a deterministic completion merge, producing the
+    /// same observable state (serve logs, ledgers, perf sessions) at
+    /// any thread count.
+    pub parallel: ParallelKind,
 }
 
 impl Default for HostConfig {
@@ -222,6 +253,7 @@ impl Default for HostConfig {
             capacity: CapacityKind::Olat,
             calendar_bucket_width: 1 << 12,
             calendar_buckets: 256,
+            parallel: ParallelKind::Serial,
         }
     }
 }
@@ -490,6 +522,11 @@ pub struct MultiTenantHost {
     /// Active perf-session recorder. `None` — the common case — costs
     /// one branch at the end of each round; nothing per served slot.
     perf: Option<SessionRecorder>,
+    /// Persistent worker threads for [`ParallelKind::Threads`], spawned
+    /// lazily on the first parallel round and reused for every round
+    /// after (per-round thread spawns would dominate the shard work).
+    /// Always `None` under [`ParallelKind::Serial`].
+    pool: Option<WorkerPool>,
 }
 
 impl std::fmt::Debug for MultiTenantHost {
@@ -536,6 +573,7 @@ impl MultiTenantHost {
             rounds: 0,
             admissions_denied: 0,
             perf: None,
+            pool: None,
         })
     }
 
@@ -551,11 +589,15 @@ impl MultiTenantHost {
     /// Worst-case shard-equivalents the *active* fleet demands (evicted
     /// tenants return their share to the pool).
     pub fn fleet_demand(&self) -> f64 {
+        // `+ 0.0` normalizes the -0.0 an empty f64 sum yields (no
+        // active tenants) so reports and JSON never print "-0.00" —
+        // IEEE 754 fixes the sign of `-0.0 + +0.0`, unlike `max`.
         self.tenants
             .iter()
             .filter(|t| t.is_active())
             .map(|t| t.worst_case_util)
-            .sum()
+            .sum::<f64>()
+            + 0.0
     }
 
     /// Shard-equivalents available under the admission cap.
@@ -873,15 +915,21 @@ impl MultiTenantHost {
     /// earliest `next_slot < frontier` over all active tenants, rotation
     /// breaking ties so no tenant systematically goes first. O(K) per
     /// call — this is exactly the cost the calendar queue removes.
-    fn pick_merge(&self, frontier: Cycle) -> Option<(usize, Cycle)> {
-        let n = self.tenants.len();
+    /// An associated fn (not a method) so the parallel round loop can
+    /// call it while holding disjoint field borrows of the host.
+    fn pick_merge_in(
+        tenants: &[TenantRuntime],
+        rotation: usize,
+        frontier: Cycle,
+    ) -> Option<(usize, Cycle)> {
+        let n = tenants.len();
         let mut pick: Option<(usize, Cycle)> = None;
         for k in 0..n {
-            let idx = (self.rotation + k) % n;
-            if !self.tenants[idx].is_active() {
+            let idx = (rotation + k) % n;
+            if !tenants[idx].is_active() {
                 continue;
             }
-            let s = self.tenants[idx].stream.next_slot();
+            let s = tenants[idx].stream.next_slot();
             if s < frontier && pick.is_none_or(|(_, best)| s < best) {
                 pick = Some((idx, s));
             }
@@ -894,7 +942,19 @@ impl MultiTenantHost {
     /// tenant's arrivals lazily as its slots come due. Time-ordered
     /// service keeps the shards' queueing accounting honest and matches
     /// what the appliance hardware would do.
+    ///
+    /// Under [`ParallelKind::Threads`] the shard work executes on
+    /// worker threads with a deterministic completion merge; the
+    /// observable outcome is bit-identical to [`ParallelKind::Serial`].
     pub fn step_round(&mut self) {
+        match self.cfg.parallel {
+            ParallelKind::Serial => self.step_round_serial(),
+            ParallelKind::Threads(n) => self.step_round_parallel(n.max(1)),
+        }
+    }
+
+    /// The serial reference round loop ([`ParallelKind::Serial`]).
+    fn step_round_serial(&mut self) {
         let frontier = self.clock + self.cfg.quantum;
         let n = self.tenants.len();
         let rotation = self.rotation;
@@ -903,7 +963,7 @@ impl MultiTenantHost {
                 SchedulerKind::Calendar => self
                     .calendar
                     .pop_due(frontier, |key| (key + n - rotation) % n),
-                SchedulerKind::Merge => self.pick_merge(frontier),
+                SchedulerKind::Merge => Self::pick_merge_in(&self.tenants, rotation, frontier),
             };
             let Some((idx, slot)) = pick else { break };
             debug_assert_eq!(self.tenants[idx].stream.next_slot(), slot);
@@ -957,6 +1017,221 @@ impl MultiTenantHost {
             self.ledger
                 .record_transitions(rt.id, rt.stream.transitions().len() as u64);
         }
+        self.finish_round(frontier);
+    }
+
+    /// The parallel round loop ([`ParallelKind::Threads`]).
+    ///
+    /// The spine below is the serial loop verbatim — same calendar
+    /// pops, same stream serves, same PRNG draws, same serve-log
+    /// entries — except the shard execution (`ShardedOram::read` /
+    /// `write` / `dummy_access`) is replaced by posting a [`LaneRequest`]
+    /// to the worker owning that shard. Equivalence rests on three
+    /// facts:
+    ///
+    /// 1. **Per-lane FIFO = serial order.** Each shard maps to exactly
+    ///    one worker, and workers drain their channels FIFO, so every
+    ///    shard sees its requests in exactly the spine's (= serial)
+    ///    posting order; the per-lane arithmetic is bit-identical.
+    /// 2. **Deferred closed-loop feedback is invisible.** A suspended
+    ///    closed-loop core is only re-polled at the tenant's next due
+    ///    slot, so completing it just before that pull (or at the round
+    ///    boundary) reproduces the serial traffic state exactly.
+    /// 3. **Cross-lane bookkeeping is commutative or merged.** Per-
+    ///    tenant queueing sums are applied from a [`TimeQ`] ordered by
+    ///    `(slot time, shard, posting order)`; everything else the
+    ///    round touches (ledger, calendar, streams) lives on the spine.
+    fn step_round_parallel(&mut self, threads: usize) {
+        let frontier = self.clock + self.cfg.quantum;
+        let n = self.tenants.len();
+        let rotation = self.rotation;
+        let record = self.cfg.record_traces;
+        let scheduler = self.cfg.scheduler;
+        let router = self.sharded.router();
+        let n_shards = router.n_shards();
+        let workers = threads.min(n_shards).max(1);
+        // Spawn the persistent pool on the first parallel round; rounds
+        // after this reuse the same threads (idle workers past the
+        // active `workers` count just stay parked on their receivers).
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(threads.max(1)));
+        }
+        // Disjoint field borrows so the spine can mutate tenants/
+        // calendar/ledger/serve log while the pool holds the lanes.
+        let pool = self.pool.as_ref().expect("created above");
+        let tenants = &mut self.tenants;
+        let calendar = &mut self.calendar;
+        let serve_log = &mut self.serve_log;
+        let ledger = &mut self.ledger;
+        let (params, lanes) = self.sharded.take_lanes();
+        let channels: Vec<std::sync::Arc<WorkerChannel>> = (0..workers)
+            .map(|_| std::sync::Arc::new(WorkerChannel::new()))
+            .collect();
+        /// One posted slot's bookkeeping: who was served, when, where,
+        /// and which channel completion carries its [`ShardService`].
+        struct PostedSlot {
+            tenant: usize,
+            slot: Cycle,
+            shard: usize,
+            worker: usize,
+            windex: usize,
+        }
+        let mut posted: Vec<PostedSlot> = Vec::new();
+        // Closed-loop feedback owed from a tenant's last real read this
+        // round, resolved lazily (see equivalence fact 2 above).
+        let mut pending_fb: Vec<Option<(usize, usize)>> = vec![None; n];
+        // Deal lane i to worker i % workers; within a worker, lane i
+        // sits at position i / workers (the RoundWork stride layout).
+        {
+            let mut groups: Vec<Vec<Lane>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, lane) in lanes.into_iter().enumerate() {
+                groups[i % workers].push(lane);
+            }
+            for (w, group) in groups.into_iter().enumerate() {
+                pool.dispatch(
+                    w,
+                    RoundWork {
+                        lanes: group,
+                        params: params.clone(),
+                        channel: channels[w].clone(),
+                        stride: workers,
+                    },
+                );
+            }
+            loop {
+                let pick = match scheduler {
+                    SchedulerKind::Calendar => {
+                        calendar.pop_due(frontier, |key| (key + n - rotation) % n)
+                    }
+                    SchedulerKind::Merge => Self::pick_merge_in(tenants, rotation, frontier),
+                };
+                let Some((idx, slot)) = pick else { break };
+                debug_assert_eq!(tenants[idx].stream.next_slot(), slot);
+                // Resolve feedback owed from this tenant's previous real
+                // read before its core is re-polled: blocks only until
+                // the owning worker reaches that (already posted)
+                // request, never circularly.
+                if let Some((w, i)) = pending_fb[idx].take() {
+                    let service = channels[w].wait_completion(i);
+                    let rt = &mut tenants[idx];
+                    rt.traffic.complete(service.completion - rt.origin);
+                }
+                let rt = &mut tenants[idx];
+                Self::pull_arrivals(rt, slot);
+                let eligible = matches!(rt.pending.front(), Some(p) if p.at <= slot);
+                if eligible {
+                    let req = rt.pending.pop_front().expect("front exists");
+                    let outcome = rt.stream.serve(Some(req.at));
+                    let shard = router.shard_of(req.line_addr);
+                    let op = match req.kind {
+                        AccessKind::Read => LaneOp::Read {
+                            local: router.local_addr(req.line_addr),
+                        },
+                        AccessKind::Write => LaneOp::Write {
+                            local: router.local_addr(req.line_addr),
+                        },
+                    };
+                    let worker = shard % workers;
+                    let windex = channels[worker].post(LaneRequest {
+                        lane: shard,
+                        at: outcome.start,
+                        op,
+                    });
+                    posted.push(PostedSlot {
+                        tenant: idx,
+                        slot,
+                        shard,
+                        worker,
+                        windex,
+                    });
+                    if rt.traffic.is_closed_loop() && req.kind == AccessKind::Read {
+                        pending_fb[idx] = Some((worker, windex));
+                    }
+                    if record && serve_log.len() < SERVE_LOG_CAP {
+                        serve_log.push(ServedSlot {
+                            tenant: rt.id,
+                            start: slot,
+                            real: true,
+                        });
+                    }
+                } else {
+                    let shard = rt.rng.next_below(n_shards as u64) as usize;
+                    let outcome = rt.stream.serve(None);
+                    let worker = shard % workers;
+                    let windex = channels[worker].post(LaneRequest {
+                        lane: shard,
+                        at: outcome.start,
+                        op: LaneOp::Dummy,
+                    });
+                    posted.push(PostedSlot {
+                        tenant: idx,
+                        slot,
+                        shard,
+                        worker,
+                        windex,
+                    });
+                    if record && serve_log.len() < SERVE_LOG_CAP {
+                        serve_log.push(ServedSlot {
+                            tenant: rt.id,
+                            start: outcome.start,
+                            real: false,
+                        });
+                    }
+                }
+                if scheduler == SchedulerKind::Calendar {
+                    calendar.insert(idx, tenants[idx].stream.next_slot());
+                }
+                ledger.record_transitions(
+                    tenants[idx].id,
+                    tenants[idx].stream.transitions().len() as u64,
+                );
+            }
+            for channel in &channels {
+                channel.close();
+            }
+        }
+        // Collect the lanes back (blocking until each worker drains its
+        // closed channel) and restore pool index order: worker w holds
+        // lanes w, w + workers, w + 2·workers, … in sequence.
+        let mut returned: Vec<std::vec::IntoIter<Lane>> = (0..workers)
+            .map(|w| pool.collect_lanes(w).into_iter())
+            .collect();
+        let restored: Vec<Lane> = (0..n_shards)
+            .map(|i| returned[i % workers].next().expect("lane count conserved"))
+            .collect();
+        debug_assert!(returned.iter_mut().all(|it| it.next().is_none()));
+        self.sharded.put_lanes(restored);
+        // Workers are parked again; every posted request has its completion.
+        let completions: Vec<Vec<_>> = channels.iter().map(|c| c.take_completions()).collect();
+        // Deterministic merge: apply per-tenant queueing in (slot time,
+        // shard, posting order) — a fixed order at any thread count.
+        // (The sums are commutative; the merge is what makes the commit
+        // order — and anything ever added to it — thread-count-blind.)
+        let mut merge = TimeQ::new();
+        for (seq, p) in posted.iter().enumerate() {
+            let service = completions[p.worker][p.windex];
+            merge.push(p.slot, (p.shard as u64, seq as u64), (p.tenant, service));
+        }
+        while let Some(event) = merge.pop() {
+            let (tenant, service) = event.payload;
+            self.tenants[tenant].queueing_cycles += service.queued_cycles;
+        }
+        // Feedback still owed to tenants with no later due slot this
+        // round: complete at the boundary, exactly the state a serial
+        // round ends with (the core was not re-polled in between).
+        for (idx, fb) in pending_fb.iter_mut().enumerate() {
+            if let Some((w, i)) = fb.take() {
+                let service = completions[w][i];
+                let rt = &mut self.tenants[idx];
+                rt.traffic.complete(service.completion - rt.origin);
+            }
+        }
+        self.finish_round(frontier);
+    }
+
+    /// Round epilogue shared by the serial and parallel loops: lag
+    /// check, rotation advance, clock commit, perf sample.
+    fn finish_round(&mut self, frontier: Cycle) {
         // Churn-safe lag check (debug builds only): every *active*
         // stream must have been served up to the frontier. Evicted
         // streams legitimately freeze behind the clock, and the lag is
@@ -972,6 +1247,7 @@ impl MultiTenantHost {
                 frontier.saturating_sub(rt.stream.next_slot())
             );
         }
+        let n = self.tenants.len();
         self.rotation = if n == 0 { 0 } else { (self.rotation + 1) % n };
         self.clock = frontier;
         self.rounds += 1;
@@ -1143,7 +1419,7 @@ impl MultiTenantHost {
         HostReport {
             horizon: self.clock,
             tenants,
-            shard_accesses: self.sharded.accesses().to_vec(),
+            shard_accesses: self.sharded.accesses(),
             retired_shard_accesses: self.sharded.retired_accesses(),
             shard_utilization: self.sharded.utilization(self.clock),
             shard_queueing_cycles: self.sharded.queueing_cycles(),

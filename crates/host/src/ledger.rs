@@ -135,11 +135,15 @@ impl LeakageLedger {
     /// which is forever). Matches `MultiTenantHost::fleet_demand` when
     /// rows were admitted under the pricing currently in force.
     pub fn fleet_capacity_share(&self) -> f64 {
+        // `+ 0.0` normalizes the -0.0 an empty f64 sum yields (a fully
+        // frozen fleet) so samples never record "-0.0" — IEEE 754 fixes
+        // the sign of `-0.0 + +0.0`, unlike `max`.
         self.entries
             .iter()
             .filter(|e| !e.frozen)
             .map(|e| e.capacity_share)
-            .sum()
+            .sum::<f64>()
+            + 0.0
     }
 
     /// Fleet-wide bits revealed so far.

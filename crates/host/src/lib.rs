@@ -64,20 +64,23 @@
 mod calendar;
 mod host;
 mod ledger;
+mod parallel;
 mod report;
 mod shard;
 mod tenant;
+mod timeq;
 mod traffic;
 
 pub use calendar::{round_slot_capacity, CalendarQueue};
 pub use host::{
-    HostConfig, HostError, HostReport, MultiTenantHost, SchedulerKind, ServedSlot, TenantReport,
-    TenantSpec,
+    HostConfig, HostError, HostReport, MultiTenantHost, ParallelKind, SchedulerKind, ServedSlot,
+    TenantReport, TenantSpec,
 };
 pub use ledger::{within_budget_bits, LeakageLedger, LedgerEntry};
 pub use report::{capacity_summary, leakage_summary, render, shard_summary, tenant_table};
 pub use shard::{PipelineConfig, PipelineKind, ShardService, ShardedOram};
 pub use tenant::{TenantDirectory, TenantEntry};
+pub use timeq::{TimeQ, TimedEvent};
 pub use traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
 
 // Re-exported so downstream code (CLI, benches) can name the stream type

@@ -1,0 +1,224 @@
+//! Worker-thread plumbing for the parallel round loop.
+//!
+//! The host's scheduling spine stays serial (calendar pops, tenant
+//! PRNGs, slot-grid serves, the leakage ledger); only the heavy shard
+//! work — ORAM path reads, stash updates, eviction drains, histogram
+//! records — moves onto worker threads. Each worker owns a disjoint set
+//! of [`Lane`]s and a [`WorkerChannel`]; the spine posts
+//! [`LaneRequest`]s in its (deterministic) scheduling order and each
+//! worker executes its queue strictly FIFO.
+//!
+//! Because every lane is assigned to exactly one worker, FIFO per
+//! channel implies FIFO per lane — each shard sees its requests in the
+//! exact order the serial host would have issued them, so the per-lane
+//! arithmetic (busy clocks, stage pipelines, stash contents, RNG-free
+//! histograms) is bit-identical to serial execution. The i-th request
+//! posted to a channel produces the i-th completion on that channel,
+//! which is how the spine correlates completions back to slots without
+//! any timestamps or thread identity leaking into results.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use otc_dram::Cycle;
+
+use crate::shard::{Lane, LaneOp, LaneParams, ShardService};
+
+/// One unit of shard work: which lane, at what slot time, doing what.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneRequest {
+    /// Global lane (shard) index.
+    pub(crate) lane: usize,
+    /// Slot time the access is charged at.
+    pub(crate) at: Cycle,
+    /// The routed operation.
+    pub(crate) op: LaneOp,
+}
+
+struct ChannelState {
+    queue: VecDeque<LaneRequest>,
+    completions: Vec<ShardService>,
+    posted: usize,
+    closed: bool,
+}
+
+/// A single-producer single-consumer work queue between the spine and
+/// one worker thread, with completion indexing: the i-th posted request
+/// yields `completions[i]`.
+pub(crate) struct WorkerChannel {
+    state: Mutex<ChannelState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+impl WorkerChannel {
+    /// An empty open channel.
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                completions: Vec::new(),
+                posted: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Posts one request; returns its completion index on this channel.
+    pub(crate) fn post(&self, req: LaneRequest) -> usize {
+        let mut s = self.state.lock().expect("channel poisoned");
+        let index = s.posted;
+        s.posted += 1;
+        s.queue.push_back(req);
+        drop(s);
+        self.work.notify_one();
+        index
+    }
+
+    /// Marks the channel closed: workers drain the remaining queue and
+    /// exit.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("channel poisoned").closed = true;
+        self.work.notify_all();
+    }
+
+    /// Worker side: blocks for the next request; `None` once the
+    /// channel is closed and drained.
+    fn next_request(&self) -> Option<LaneRequest> {
+        let mut s = self.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(req) = s.queue.pop_front() {
+                return Some(req);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.work.wait(s).expect("channel poisoned");
+        }
+    }
+
+    /// Worker side: records one completion (strictly in request order).
+    fn complete(&self, svc: ShardService) {
+        self.state
+            .lock()
+            .expect("channel poisoned")
+            .completions
+            .push(svc);
+        self.done.notify_all();
+    }
+
+    /// Spine side: blocks until completion `index` exists and returns it.
+    pub(crate) fn wait_completion(&self, index: usize) -> ShardService {
+        let mut s = self.state.lock().expect("channel poisoned");
+        while s.completions.len() <= index {
+            s = self.done.wait(s).expect("channel poisoned");
+        }
+        s.completions[index]
+    }
+
+    /// Spine side, after the worker exited: every completion in request
+    /// order.
+    pub(crate) fn take_completions(&self) -> Vec<ShardService> {
+        std::mem::take(&mut self.state.lock().expect("channel poisoned").completions)
+    }
+}
+
+/// One round's worth of work handed to a pool worker: the lanes it owns
+/// for the round, a copy of the shared timing parameters, and the
+/// channel the spine posts requests on. `stride` is the active worker
+/// count — lane `i` lives at position `i / stride` in `lanes` (the
+/// spine deals lane `i` to worker `i % stride`).
+pub(crate) struct RoundWork {
+    /// This worker's lanes for the round (returned when it ends).
+    pub(crate) lanes: Vec<Lane>,
+    /// Shared pool timing parameters.
+    pub(crate) params: LaneParams,
+    /// The spine→worker request channel for the round.
+    pub(crate) channel: Arc<WorkerChannel>,
+    /// Active worker count (lane-index stride).
+    pub(crate) stride: usize,
+}
+
+/// A persistent pool of worker threads, spawned once per host and
+/// reused every parallel round — per-round `thread::spawn` overhead
+/// would otherwise dwarf the shard work it parallelizes. Each round the
+/// spine *moves* lane ownership to the workers ([`RoundWork`]), the
+/// workers drain their channels FIFO, and the lanes come back when the
+/// channel closes. Between rounds workers block on an empty mpsc
+/// receiver; dropping the pool disconnects it and joins every thread.
+pub(crate) struct WorkerPool {
+    workers: Vec<PoolWorker>,
+}
+
+struct PoolWorker {
+    /// `Some` until drop: dropping the sender is the shutdown signal.
+    work: Option<mpsc::Sender<RoundWork>>,
+    lanes_back: mpsc::Receiver<Vec<Lane>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers, each parked until its first round.
+    pub(crate) fn new(threads: usize) -> Self {
+        let workers = (0..threads)
+            .map(|_| {
+                let (work_tx, work_rx) = mpsc::channel::<RoundWork>();
+                let (lanes_tx, lanes_rx) = mpsc::channel::<Vec<Lane>>();
+                let handle = std::thread::spawn(move || {
+                    while let Ok(mut round) = work_rx.recv() {
+                        while let Some(req) = round.channel.next_request() {
+                            let svc = round.lanes[req.lane / round.stride].execute(
+                                &round.params,
+                                req.op,
+                                req.at,
+                            );
+                            round.channel.complete(svc);
+                        }
+                        if lanes_tx.send(round.lanes).is_err() {
+                            break;
+                        }
+                    }
+                });
+                PoolWorker {
+                    work: Some(work_tx),
+                    lanes_back: lanes_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// Hands worker `w` its round; it starts draining the channel.
+    pub(crate) fn dispatch(&self, w: usize, work: RoundWork) {
+        self.workers[w]
+            .work
+            .as_ref()
+            .expect("pool not shut down")
+            .send(work)
+            .expect("worker thread alive");
+    }
+
+    /// Blocks until worker `w` finishes its (closed) channel and
+    /// returns its lanes.
+    pub(crate) fn collect_lanes(&self, w: usize) -> Vec<Lane> {
+        self.workers[w]
+            .lanes_back
+            .recv()
+            .expect("worker thread alive")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            worker.work = None; // disconnects the receiver; worker exits
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}

@@ -174,4 +174,35 @@ mod tests {
         assert!(text.contains("capacity: olat pricing"));
         assert!(text.contains("round capacity"));
     }
+
+    #[test]
+    fn render_handles_a_zero_round_fleet() {
+        // A fleet reported before any round ran: clock 0, zero slots
+        // served, zero real accesses. Every derived rate (dummy%,
+        // acc/Mcyc, waste/real, utilization, mean/p50/p99 service) must
+        // come out 0 through its guard, not NaN or a panic.
+        let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        host.add_tenant(&TenantSpec {
+            name: "idle".into(),
+            benchmark: SpecBenchmark::Mcf,
+            policy: RatePolicy::Static { rate: 1_000 },
+            instructions: 20_000,
+        })
+        .expect("admit");
+        let report = host.report();
+        let text = render(&report);
+        assert!(text.starts_with("horizon: 0 cycles"));
+        assert!(text.contains("idle"));
+        assert!(text.contains("mean service 0.0 cycles"));
+        assert!(!text.contains("NaN"), "unguarded division leaked: {text}");
+        // The empty fleet degenerates the same way — including the
+        // empty f64 sums behind fleet demand and the leakage totals,
+        // which yield -0.0 unless normalized.
+        let empty = MultiTenantHost::new(HostConfig::small()).expect("builds");
+        let text = render(&empty.report());
+        assert!(text.contains("fleet leakage: 0.0 bits revealed of 0.0 budgeted"));
+        assert!(text.contains("fleet demand 0.00"));
+        assert!(!text.contains("NaN"), "unguarded division leaked: {text}");
+        assert!(!text.contains("-0.0"), "negative zero leaked: {text}");
+    }
 }

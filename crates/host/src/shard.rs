@@ -45,6 +45,18 @@
 //! the same access sequence. `PipelineKind::Serial` preserves the exact
 //! pre-pipeline arithmetic and is the equivalence reference
 //! (`tests/pipeline_equivalence.rs`).
+//!
+//! # Lanes (parallel execution substrate)
+//!
+//! Each shard's complete mutable state — its ORAM, busy/stage clocks,
+//! and counters — lives in one [`Lane`] struct, so a parallel host can
+//! hand disjoint `&mut Lane` borrows to scoped worker threads while the
+//! shared timing parameters ([`LaneParams`]) stay behind an immutable
+//! borrow. Shards are mutually independent by construction (disjoint
+//! trees, disjoint counters), so per-lane FIFO execution on any worker
+//! reproduces the serial per-shard arithmetic bit-for-bit; the host's
+//! deterministic merge (see `host::ParallelKind`) puts the cross-lane
+//! bookkeeping back in serial order.
 
 use otc_dram::{Cycle, DdrConfig};
 use otc_oram::{
@@ -153,60 +165,295 @@ pub struct ShardService {
     pub queued_cycles: Cycle,
 }
 
+/// Pool-wide timing parameters every lane charges against. Immutable
+/// during a round, so worker threads share one clone while each owns
+/// its set of [`Lane`]s.
+#[derive(Clone)]
+pub(crate) struct LaneParams {
+    /// Per-access latency (`OLAT`, the full stage sum).
+    pub(crate) olat: Cycle,
+    /// Staged decomposition of one access (stage costs sum to `olat`
+    /// exactly; see [`AccessPlan`]).
+    pub(crate) plan: AccessPlan,
+    /// Pipeline discipline in force.
+    pub(crate) pipeline: PipelineConfig,
+    /// Staged mode: forced-drain threshold on the data tree's stash,
+    /// derived from the geometry and the eviction-queue bound.
+    pub(crate) stash_bound: usize,
+    /// Blocks on one data-tree path (levels × Z) — the stash headroom a
+    /// deferred eviction can add.
+    pub(crate) path_blocks: usize,
+}
+
+/// The ORAM operation a lane performs alongside its timing charge.
+///
+/// The parallel host routes addresses on the spine thread (the PRNG and
+/// tag arithmetic must stay in serial order) and posts lane-local ops;
+/// read payloads are discarded — the host's serving loop never inspects
+/// them, and the timing result [`ShardService`] is the completion truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaneOp {
+    /// Read the block at a shard-local address.
+    Read {
+        /// Shard-local block address.
+        local: u64,
+    },
+    /// Write a zero-fill block at a shard-local address (the serving
+    /// host stores opaque zero payloads; timing is the product).
+    Write {
+        /// Shard-local block address.
+        local: u64,
+    },
+    /// An indistinguishable dummy access.
+    Dummy,
+}
+
+/// One shard's complete service state: its ORAM plus every clock,
+/// counter, and histogram the pool keeps per shard. Lanes are mutually
+/// disjoint, so a parallel host can execute different lanes on
+/// different threads and reproduce the serial arithmetic exactly.
+pub(crate) struct Lane {
+    /// This lane's shard index (reported in [`ShardService::shard`]).
+    index: usize,
+    /// The shard's ORAM instance.
+    oram: RecursivePathOram,
+    /// Serial mode: when the shard frees up.
+    busy_until: Cycle,
+    /// Staged mode: when each pipeline unit frees up. Units are the
+    /// posmap trees in recursion order, then the data-tree port (which
+    /// the read stage and eviction drains share).
+    stage_free: Vec<Cycle>,
+    /// Staged mode: accumulated busy cycles per pipeline unit (the
+    /// occupancy [`ShardedOram::utilization`] reports).
+    stage_busy: Vec<u64>,
+    /// Accesses (real + dummy) served.
+    accesses: u64,
+    /// Dummy accesses served.
+    dummies: u64,
+    /// Cycles accesses waited behind this busy shard.
+    queueing_cycles: u64,
+    /// Σ (completion − request time) over this shard's accesses.
+    service_cycles: u64,
+    /// Background eviction drains completed (staged mode).
+    drained_evictions: u64,
+    /// Per-access service-time distribution (bucket width `OLAT / 16`,
+    /// overflow in the last bucket).
+    hist: Histogram,
+}
+
+impl Lane {
+    fn new(index: usize, oram: RecursivePathOram, units: usize, hist_width: u64) -> Self {
+        Self {
+            index,
+            oram,
+            busy_until: 0,
+            stage_free: vec![0; units],
+            stage_busy: vec![0; units],
+            accesses: 0,
+            dummies: 0,
+            queueing_cycles: 0,
+            service_cycles: 0,
+            drained_evictions: 0,
+            hist: Histogram::new(hist_width, SERVICE_HIST_BUCKETS),
+        }
+    }
+
+    /// Serial charge: one opaque `OLAT`, strictly sequential per shard.
+    /// This arithmetic is the pre-pipeline reference and must stay
+    /// bit-identical (`tests/pipeline_equivalence.rs` pins it).
+    fn charge(&mut self, p: &LaneParams, at: Cycle) -> ShardService {
+        let start = at.max(self.busy_until);
+        let queued_cycles = start - at;
+        self.queueing_cycles += queued_cycles;
+        self.busy_until = start + p.olat;
+        self.accesses += 1;
+        self.service_cycles += start + p.olat - at;
+        self.hist.record(start + p.olat - at);
+        ShardService {
+            shard: self.index,
+            start,
+            completion: start + p.olat,
+            queued_cycles,
+        }
+    }
+
+    /// Staged charge: walk the access through the shard's pipeline
+    /// units. Posmap lookups of this access overlap whatever earlier
+    /// accesses still occupy the data port; the eviction is deferred
+    /// (the caller performs the matching `*_deferred` ORAM op and this
+    /// method completes the pending functional drains it schedules).
+    fn charge_staged(&mut self, p: &LaneParams, at: Cycle) -> ShardService {
+        let data_unit = p.plan.posmap_levels.len();
+        // Stage 1..=P: the posmap recursion, one unit per tree.
+        let mut t = at;
+        let mut start = at;
+        for j in 0..data_unit {
+            let cost = p.plan.posmap_levels[j];
+            let begin = t.max(self.stage_free[j]);
+            if j == 0 {
+                start = begin;
+            }
+            t = begin + cost;
+            self.stage_free[j] = t;
+            self.stage_busy[j] += cost;
+        }
+        // Background evictions on the data port, ahead of this access's
+        // read: free drains fit inside the port's idle window before the
+        // read could start anyway; forced drains (queue at its bound, or
+        // stash past its bound) run even if they delay the read. A drain
+        // costs the path *write* only — the gather inside `evict_path`
+        // is functional bookkeeping for buckets the controller's
+        // tree-top buffer holds on-chip (see `TreeOram::evict_path`).
+        let evict = p.plan.eviction;
+        loop {
+            let pending = self.oram.pending_evictions();
+            if pending == 0 {
+                break;
+            }
+            let forced = pending >= p.pipeline.max_deferred.max(1)
+                || self.oram.data_stash_len() + p.path_blocks > p.stash_bound;
+            let free = self.stage_free[data_unit] + evict <= t;
+            if !forced && !free {
+                break;
+            }
+            self.oram.drain_eviction();
+            self.stage_free[data_unit] += evict;
+            self.stage_busy[data_unit] += evict;
+            self.drained_evictions += 1;
+        }
+        // Data-path read: completion hands the block to the tenant; the
+        // write-back joins the background queue instead of the critical
+        // path.
+        let read_begin = t.max(self.stage_free[data_unit]);
+        let completion = read_begin + p.plan.data_read;
+        self.stage_free[data_unit] = completion;
+        self.stage_busy[data_unit] += p.plan.data_read;
+        self.accesses += 1;
+        // Queueing = service time beyond the uncontended critical path —
+        // the same definition the serial mode's `start − at` reduces to.
+        let queued_cycles = (completion - at) - p.plan.critical_path();
+        self.queueing_cycles += queued_cycles;
+        self.service_cycles += completion - at;
+        self.hist.record(completion - at);
+        ShardService {
+            shard: self.index,
+            start,
+            completion,
+            queued_cycles,
+        }
+    }
+
+    /// Performs one routed operation: the timing charge plus the
+    /// matching ORAM op under the pipeline discipline in force. This is
+    /// the unit of work a parallel worker executes; per-lane FIFO order
+    /// makes it bit-identical to the serial host calling
+    /// [`ShardedOram::read`]/`write`/`dummy_access` in the same order.
+    pub(crate) fn execute(&mut self, p: &LaneParams, op: LaneOp, at: Cycle) -> ShardService {
+        match op {
+            LaneOp::Read { local } => match p.pipeline.kind {
+                PipelineKind::Serial => {
+                    let service = self.charge(p, at);
+                    let _ = self.oram.read(local);
+                    service
+                }
+                PipelineKind::Staged => {
+                    let service = self.charge_staged(p, at);
+                    let _ = self.oram.read_deferred(local);
+                    service
+                }
+            },
+            LaneOp::Write { local } => {
+                let zeros = [0u8; 64];
+                match p.pipeline.kind {
+                    PipelineKind::Serial => {
+                        let service = self.charge(p, at);
+                        self.oram.write(local, &zeros);
+                        service
+                    }
+                    PipelineKind::Staged => {
+                        let service = self.charge_staged(p, at);
+                        self.oram.write_deferred(local, &zeros);
+                        service
+                    }
+                }
+            }
+            LaneOp::Dummy => {
+                self.dummies += 1;
+                match p.pipeline.kind {
+                    PipelineKind::Serial => {
+                        let service = self.charge(p, at);
+                        self.oram.dummy_access();
+                        service
+                    }
+                    PipelineKind::Staged => {
+                        let service = self.charge_staged(p, at);
+                        self.oram.dummy_access_deferred();
+                        service
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pure address-routing view of a [`ShardedOram`]: enough to map a
+/// global line address to (shard, local address) without borrowing the
+/// pool. The parallel host routes on the spine thread while worker
+/// threads hold the lanes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardRouter {
+    n_shards: u64,
+    per_shard_capacity: u64,
+}
+
+impl ShardRouter {
+    /// The shard owning global block address `addr` (line-interleaved).
+    pub(crate) fn shard_of(&self, addr: u64) -> usize {
+        (addr % self.n_shards) as usize
+    }
+
+    /// The shard-local address of global block address `addr`.
+    pub(crate) fn local_addr(&self, addr: u64) -> u64 {
+        (addr / self.n_shards) % self.per_shard_capacity
+    }
+
+    /// Number of shards routed across.
+    pub(crate) fn n_shards(&self) -> usize {
+        self.n_shards as usize
+    }
+}
+
 /// `N` independent Path ORAM shards behind one flat block address space.
 pub struct ShardedOram {
     /// Base geometry every shard is derived from (kept for online
     /// resizing: a grown pool mints new shards from the same base).
     base: OramConfig,
-    shards: Vec<RecursivePathOram>,
     per_shard_capacity: u64,
-    olat: Cycle,
-    /// Staged decomposition of one access (stage costs sum to `olat`
-    /// exactly; see [`AccessPlan`]).
-    plan: AccessPlan,
-    pipeline: PipelineConfig,
-    /// Staged mode: forced-drain threshold on the data tree's stash,
-    /// derived from the geometry and the eviction-queue bound.
-    stash_bound: usize,
-    // Service-time accounting (internal appliance metric; the observable
-    // timeline is each tenant's slot grid, not these).
-    busy_until: Vec<Cycle>,
-    /// Staged mode: per shard, when each pipeline unit frees up. Units
-    /// are the posmap trees in recursion order, then the data-tree port
-    /// (which the read stage and eviction drains share).
-    stage_free: Vec<Vec<Cycle>>,
-    /// Staged mode: accumulated busy cycles per pipeline unit (the
-    /// occupancy [`ShardedOram::utilization`] reports).
-    stage_busy: Vec<Vec<u64>>,
-    accesses: Vec<u64>,
-    dummies: Vec<u64>,
+    /// Shared timing parameters (immutable during service).
+    params: LaneParams,
+    /// Per-shard service state, disjoint by construction.
+    lanes: Vec<Lane>,
     /// Accesses/dummies served by shards that a shrink later retired
     /// (so fleet-wide conservation checks survive resizes).
     retired_accesses: u64,
     retired_dummies: u64,
-    queueing_cycles: u64,
-    /// Σ (completion − request time) over all accesses: the per-access
-    /// service time the pipeline exists to cut.
-    service_cycles: u64,
-    /// Per-shard service-time histograms (bucket width `OLAT / 16`,
-    /// overflow in the last bucket) — the distributions behind the
-    /// p50/p99 the admission SLO is stated against. Shrinks fold retired
-    /// shards' histograms into [`ShardedOram::retired_hist`], so the
-    /// merged fleet-wide distribution survives resizes like the other
-    /// retired-inclusive counters.
-    service_hists: Vec<Histogram>,
+    /// Queueing/service/drain counters of retired shards. These were
+    /// pool-global before the lane refactor; folding them here on
+    /// shrink keeps every pool-wide getter's value identical across
+    /// resizes.
+    retired_queueing: u64,
+    retired_service: u64,
+    retired_drained: u64,
     /// Merged histograms of shards since retired by a shrink.
     retired_hist: Histogram,
-    /// Background eviction drains completed (staged mode).
-    drained_evictions: u64,
 }
 
 impl std::fmt::Debug for ShardedOram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedOram")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.lanes.len())
             .field("per_shard_capacity", &self.per_shard_capacity)
-            .field("accesses", &self.accesses)
+            .field("accesses", &self.accesses())
             .finish()
     }
 }
@@ -240,9 +487,6 @@ impl ShardedOram {
         let plan = AccessPlan::derive(base, ddr);
         debug_assert_eq!(plan.total(), timing.latency, "plan must telescope to OLAT");
         let per_shard_capacity = base.data_block_capacity();
-        let shards = (0..n_shards)
-            .map(|i| RecursivePathOram::new(base.shard(i as u64)))
-            .collect::<Result<Vec<_>, String>>()?;
         let units = plan.posmap_levels.len() + 1;
         // Deferral keeps at most `max_deferred` undrained paths' blocks in
         // the stash; two extra paths of slack cover the serial baseline's
@@ -250,26 +494,29 @@ impl ShardedOram {
         let path_blocks = base.data.levels() as usize * base.data.z();
         let stash_bound = (pipeline.max_deferred + 2) * path_blocks;
         let hist_width = (timing.latency / SERVICE_HIST_OLAT_FRACTION).max(1);
+        let lanes = (0..n_shards)
+            .map(|i| {
+                RecursivePathOram::new(base.shard(i as u64))
+                    .map(|oram| Lane::new(i, oram, units, hist_width))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
         Ok(Self {
             base: base.clone(),
-            shards,
             per_shard_capacity,
-            olat: timing.latency,
-            plan,
-            pipeline,
-            stash_bound,
-            busy_until: vec![0; n_shards],
-            stage_free: vec![vec![0; units]; n_shards],
-            stage_busy: vec![vec![0; units]; n_shards],
-            accesses: vec![0; n_shards],
-            dummies: vec![0; n_shards],
+            params: LaneParams {
+                olat: timing.latency,
+                plan,
+                pipeline,
+                stash_bound,
+                path_blocks,
+            },
+            lanes,
             retired_accesses: 0,
             retired_dummies: 0,
-            queueing_cycles: 0,
-            service_cycles: 0,
-            service_hists: vec![Histogram::new(hist_width, SERVICE_HIST_BUCKETS); n_shards],
+            retired_queueing: 0,
+            retired_service: 0,
+            retired_drained: 0,
             retired_hist: Histogram::new(hist_width, SERVICE_HIST_BUCKETS),
-            drained_evictions: 0,
         })
     }
 
@@ -290,43 +537,43 @@ impl ShardedOram {
         if n_shards == 0 {
             return Err("a sharded ORAM needs at least one shard".into());
         }
-        if n_shards > self.shards.len() {
-            let grown = (self.shards.len()..n_shards)
-                .map(|i| RecursivePathOram::new(self.base.shard(i as u64)))
+        if n_shards > self.lanes.len() {
+            let units = self.params.plan.posmap_levels.len() + 1;
+            let hist_width = self.hist_width();
+            let grown = (self.lanes.len()..n_shards)
+                .map(|i| {
+                    RecursivePathOram::new(self.base.shard(i as u64))
+                        .map(|oram| Lane::new(i, oram, units, hist_width))
+                })
                 .collect::<Result<Vec<_>, String>>()?;
-            self.shards.extend(grown);
+            self.lanes.extend(grown);
         } else {
-            for retired in n_shards..self.shards.len() {
-                self.retired_accesses += self.accesses[retired];
-                self.retired_dummies += self.dummies[retired];
-                self.retired_hist.merge(&self.service_hists[retired]);
+            for lane in &self.lanes[n_shards..] {
+                self.retired_accesses += lane.accesses;
+                self.retired_dummies += lane.dummies;
+                self.retired_queueing += lane.queueing_cycles;
+                self.retired_service += lane.service_cycles;
+                self.retired_drained += lane.drained_evictions;
+                self.retired_hist.merge(&lane.hist);
             }
-            self.shards.truncate(n_shards);
+            self.lanes.truncate(n_shards);
         }
-        let units = self.plan.posmap_levels.len() + 1;
-        let fresh_hist = Histogram::new(self.hist_width(), SERVICE_HIST_BUCKETS);
-        self.busy_until.resize(n_shards, 0);
-        self.stage_free.resize(n_shards, vec![0; units]);
-        self.stage_busy.resize(n_shards, vec![0; units]);
-        self.accesses.resize(n_shards, 0);
-        self.dummies.resize(n_shards, 0);
-        self.service_hists.resize(n_shards, fresh_hist);
         Ok(())
     }
 
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.lanes.len()
     }
 
     /// Total addressable blocks across all shards.
     pub fn capacity(&self) -> u64 {
-        self.per_shard_capacity * self.shards.len() as u64
+        self.per_shard_capacity * self.lanes.len() as u64
     }
 
     /// Per-access latency of each shard (`OLAT`).
     pub fn olat(&self) -> Cycle {
-        self.olat
+        self.params.olat
     }
 
     /// Steady-state initiation interval of one shard under the pipeline
@@ -334,134 +581,71 @@ impl ShardedOram {
     /// ([`AccessPlan::staged_cadence`]) when staged. The figure
     /// cadence-based admission prices one slot at.
     pub fn effective_cadence(&self) -> Cycle {
-        self.pipeline.kind.effective_cadence(&self.plan)
+        self.params
+            .pipeline
+            .kind
+            .effective_cadence(&self.params.plan)
     }
 
     /// The [`CapacityModel`] pricing this pool's slots under `kind`.
     pub fn capacity_model(&self, kind: CapacityKind) -> CapacityModel {
-        self.pipeline.kind.capacity_model(&self.plan, kind)
+        self.params
+            .pipeline
+            .kind
+            .capacity_model(&self.params.plan, kind)
     }
 
     /// The shard owning global block address `addr` (line-interleaved).
     pub fn shard_of(&self, addr: u64) -> usize {
-        (addr % self.shards.len() as u64) as usize
+        (addr % self.lanes.len() as u64) as usize
     }
 
     fn local_addr(&self, addr: u64) -> u64 {
-        (addr / self.shards.len() as u64) % self.per_shard_capacity
+        (addr / self.lanes.len() as u64) % self.per_shard_capacity
+    }
+
+    /// A copyable routing view (shard/local address arithmetic only),
+    /// valid until the next [`ShardedOram::resize`].
+    pub(crate) fn router(&self) -> ShardRouter {
+        ShardRouter {
+            n_shards: self.lanes.len() as u64,
+            per_shard_capacity: self.per_shard_capacity,
+        }
+    }
+
+    /// Moves the per-shard lanes out of the pool (with a copy of the
+    /// shared timing parameters) so a parallel host can deal them to
+    /// persistent worker threads for one round. The pool is unusable
+    /// until [`ShardedOram::put_lanes`] returns them.
+    pub(crate) fn take_lanes(&mut self) -> (LaneParams, Vec<Lane>) {
+        (self.params.clone(), std::mem::take(&mut self.lanes))
+    }
+
+    /// Restores the lanes taken by [`ShardedOram::take_lanes`], in the
+    /// original index order.
+    pub(crate) fn put_lanes(&mut self, lanes: Vec<Lane>) {
+        debug_assert!(self.lanes.is_empty(), "put_lanes without take_lanes");
+        self.lanes = lanes;
     }
 
     /// Width of the service-histogram buckets (`OLAT / 16`, min 1).
     fn hist_width(&self) -> u64 {
-        (self.olat / SERVICE_HIST_OLAT_FRACTION).max(1)
-    }
-
-    /// Buckets one access's service time (completion − request) into the
-    /// serving shard's histogram. Pure accounting: no timing decision
-    /// reads it back, so recording cannot perturb the serial reference
-    /// arithmetic or the staged schedule.
-    fn record_service(&mut self, shard: usize, service: Cycle) {
-        self.service_hists[shard].record(service);
-    }
-
-    /// Serial charge: one opaque `OLAT`, strictly sequential per shard.
-    /// This arithmetic is the pre-pipeline reference and must stay
-    /// bit-identical (`tests/pipeline_equivalence.rs` pins it).
-    fn charge(&mut self, shard: usize, at: Cycle) -> ShardService {
-        let start = at.max(self.busy_until[shard]);
-        let queued_cycles = start - at;
-        self.queueing_cycles += queued_cycles;
-        self.busy_until[shard] = start + self.olat;
-        self.accesses[shard] += 1;
-        self.service_cycles += start + self.olat - at;
-        self.record_service(shard, start + self.olat - at);
-        ShardService {
-            shard,
-            start,
-            completion: start + self.olat,
-            queued_cycles,
-        }
-    }
-
-    /// Staged charge: walk the access through the shard's pipeline
-    /// units. Posmap lookups of this access overlap whatever earlier
-    /// accesses still occupy the data port; the eviction is deferred
-    /// (the caller performs the matching `*_deferred` ORAM op and this
-    /// method completes the pending functional drains it schedules).
-    fn charge_staged(&mut self, shard: usize, at: Cycle) -> ShardService {
-        let data_unit = self.plan.posmap_levels.len();
-        // Stage 1..=P: the posmap recursion, one unit per tree.
-        let mut t = at;
-        let mut start = at;
-        for j in 0..data_unit {
-            let cost = self.plan.posmap_levels[j];
-            let begin = t.max(self.stage_free[shard][j]);
-            if j == 0 {
-                start = begin;
-            }
-            t = begin + cost;
-            self.stage_free[shard][j] = t;
-            self.stage_busy[shard][j] += cost;
-        }
-        // Background evictions on the data port, ahead of this access's
-        // read: free drains fit inside the port's idle window before the
-        // read could start anyway; forced drains (queue at its bound, or
-        // stash past its bound) run even if they delay the read. A drain
-        // costs the path *write* only — the gather inside `evict_path`
-        // is functional bookkeeping for buckets the controller's
-        // tree-top buffer holds on-chip (see `TreeOram::evict_path`).
-        let evict = self.plan.eviction;
-        let path_blocks = self.base.data.levels() as usize * self.base.data.z();
-        loop {
-            let pending = self.shards[shard].pending_evictions();
-            if pending == 0 {
-                break;
-            }
-            let forced = pending >= self.pipeline.max_deferred.max(1)
-                || self.shards[shard].data_stash_len() + path_blocks > self.stash_bound;
-            let free = self.stage_free[shard][data_unit] + evict <= t;
-            if !forced && !free {
-                break;
-            }
-            self.shards[shard].drain_eviction();
-            self.stage_free[shard][data_unit] += evict;
-            self.stage_busy[shard][data_unit] += evict;
-            self.drained_evictions += 1;
-        }
-        // Data-path read: completion hands the block to the tenant; the
-        // write-back joins the background queue instead of the critical
-        // path.
-        let read_begin = t.max(self.stage_free[shard][data_unit]);
-        let completion = read_begin + self.plan.data_read;
-        self.stage_free[shard][data_unit] = completion;
-        self.stage_busy[shard][data_unit] += self.plan.data_read;
-        self.accesses[shard] += 1;
-        // Queueing = service time beyond the uncontended critical path —
-        // the same definition the serial mode's `start − at` reduces to.
-        let queued_cycles = (completion - at) - self.plan.critical_path();
-        self.queueing_cycles += queued_cycles;
-        self.service_cycles += completion - at;
-        self.record_service(shard, completion - at);
-        ShardService {
-            shard,
-            start,
-            completion,
-            queued_cycles,
-        }
+        (self.params.olat / SERVICE_HIST_OLAT_FRACTION).max(1)
     }
 
     /// Reads the block at global address `addr` at slot time `at`.
     pub fn read(&mut self, addr: u64, at: Cycle) -> (Vec<u8>, ShardService) {
         let s = self.shard_of(addr);
         let local = self.local_addr(addr);
-        match self.pipeline.kind {
+        let lane = &mut self.lanes[s];
+        match self.params.pipeline.kind {
             PipelineKind::Serial => {
-                let service = self.charge(s, at);
-                (self.shards[s].read(local), service)
+                let service = lane.charge(&self.params, at);
+                (lane.oram.read(local), service)
             }
             PipelineKind::Staged => {
-                let service = self.charge_staged(s, at);
-                (self.shards[s].read_deferred(local), service)
+                let service = lane.charge_staged(&self.params, at);
+                (lane.oram.read_deferred(local), service)
             }
         }
     }
@@ -470,15 +654,16 @@ impl ShardedOram {
     pub fn write(&mut self, addr: u64, data: &[u8], at: Cycle) -> ShardService {
         let s = self.shard_of(addr);
         let local = self.local_addr(addr);
-        match self.pipeline.kind {
+        let lane = &mut self.lanes[s];
+        match self.params.pipeline.kind {
             PipelineKind::Serial => {
-                let service = self.charge(s, at);
-                self.shards[s].write(local, data);
+                let service = lane.charge(&self.params, at);
+                lane.oram.write(local, data);
                 service
             }
             PipelineKind::Staged => {
-                let service = self.charge_staged(s, at);
-                self.shards[s].write_deferred(local, data);
+                let service = lane.charge_staged(&self.params, at);
+                lane.oram.write_deferred(local, data);
                 service
             }
         }
@@ -489,19 +674,7 @@ impl ShardedOram {
     /// per-tenant PRNG in the host — so dummies carry no global pattern a
     /// shard-granular observer could use to tell them from real accesses.
     pub fn dummy_access(&mut self, shard: usize, at: Cycle) -> ShardService {
-        self.dummies[shard] += 1;
-        match self.pipeline.kind {
-            PipelineKind::Serial => {
-                let service = self.charge(shard, at);
-                self.shards[shard].dummy_access();
-                service
-            }
-            PipelineKind::Staged => {
-                let service = self.charge_staged(shard, at);
-                self.shards[shard].dummy_access_deferred();
-                service
-            }
-        }
+        self.lanes[shard].execute(&self.params, LaneOp::Dummy, at)
     }
 
     /// Flushes every shard's background eviction queue (staged mode;
@@ -509,25 +682,25 @@ impl ShardedOram {
     /// data ports as if they ran back to back from each port's current
     /// free point — the end-of-run analogue of the idle-cycle drains.
     pub fn drain_evictions(&mut self) {
-        let data_unit = self.plan.posmap_levels.len();
-        let evict = self.plan.eviction;
-        for s in 0..self.shards.len() {
-            while self.shards[s].drain_eviction() {
-                self.stage_free[s][data_unit] += evict;
-                self.stage_busy[s][data_unit] += evict;
-                self.drained_evictions += 1;
+        let data_unit = self.params.plan.posmap_levels.len();
+        let evict = self.params.plan.eviction;
+        for lane in &mut self.lanes {
+            while lane.oram.drain_eviction() {
+                lane.stage_free[data_unit] += evict;
+                lane.stage_busy[data_unit] += evict;
+                lane.drained_evictions += 1;
             }
         }
     }
 
     /// Total accesses (real + dummy) per shard.
-    pub fn accesses(&self) -> &[u64] {
-        &self.accesses
+    pub fn accesses(&self) -> Vec<u64> {
+        self.lanes.iter().map(|l| l.accesses).collect()
     }
 
     /// Dummy accesses per shard.
-    pub fn dummies(&self) -> &[u64] {
-        &self.dummies
+    pub fn dummies(&self) -> Vec<u64> {
+        self.lanes.iter().map(|l| l.dummies).collect()
     }
 
     /// Accesses (real + dummy) served by shards since retired by a
@@ -543,9 +716,10 @@ impl ShardedOram {
 
     /// Cycles slots spent queued behind a busy shard (an internal service
     /// metric — nonzero means the fleet briefly exceeded a shard's
-    /// bandwidth; the observable slot grids are unaffected).
+    /// bandwidth; the observable slot grids are unaffected). Includes
+    /// shards since retired by a shrink.
     pub fn queueing_cycles(&self) -> u64 {
-        self.queueing_cycles
+        self.lanes.iter().map(|l| l.queueing_cycles).sum::<u64>() + self.retired_queueing
     }
 
     /// Per-shard busy fraction over `horizon` cycles, reported as
@@ -563,25 +737,25 @@ impl ShardedOram {
     /// actually needs to keep below 1.0.
     pub fn utilization(&self, horizon: Cycle) -> Vec<f64> {
         if horizon == 0 {
-            return vec![0.0; self.shards.len()];
+            return vec![0.0; self.lanes.len()];
         }
-        match self.pipeline.kind {
+        match self.params.pipeline.kind {
             PipelineKind::Serial => self
-                .accesses
+                .lanes
                 .iter()
-                .zip(&self.busy_until)
-                .map(|(&a, &busy_until)| {
-                    let busy = (a * self.olat).saturating_sub(busy_until.saturating_sub(horizon));
+                .map(|l| {
+                    let busy = (l.accesses * self.params.olat)
+                        .saturating_sub(l.busy_until.saturating_sub(horizon));
                     busy as f64 / horizon as f64
                 })
                 .collect(),
             PipelineKind::Staged => self
-                .stage_busy
+                .lanes
                 .iter()
-                .zip(&self.stage_free)
-                .map(|(busy, free)| {
-                    busy.iter()
-                        .zip(free)
+                .map(|l| {
+                    l.stage_busy
+                        .iter()
+                        .zip(&l.stage_free)
                         .map(|(&b, &f)| {
                             b.saturating_sub(f.saturating_sub(horizon)) as f64 / horizon as f64
                         })
@@ -593,38 +767,40 @@ impl ShardedOram {
 
     /// Read access to one shard (instrumentation only).
     pub fn shard(&self, index: usize) -> &RecursivePathOram {
-        &self.shards[index]
+        &self.lanes[index].oram
     }
 
     /// The pipeline discipline in force.
     pub fn pipeline(&self) -> PipelineConfig {
-        self.pipeline
+        self.params.pipeline
     }
 
     /// The staged decomposition of one access (stage costs sum to
     /// [`ShardedOram::olat`] exactly).
     pub fn plan(&self) -> &AccessPlan {
-        &self.plan
+        &self.params.plan
     }
 
     /// Staged mode's forced-drain threshold on a shard's data-tree
     /// stash, in blocks.
     pub fn stash_bound(&self) -> usize {
-        self.stash_bound
+        self.params.stash_bound
     }
 
-    /// Σ (completion − request time) over all accesses on live shards.
+    /// Σ (completion − request time) over all accesses, including
+    /// shards since retired by a shrink.
     pub fn service_cycles(&self) -> u64 {
-        self.service_cycles
+        self.lanes.iter().map(|l| l.service_cycles).sum::<u64>() + self.retired_service
     }
 
     /// Mean per-access service time (cycles) so far; 0.0 when idle.
     pub fn mean_service_cycles(&self) -> f64 {
-        let served: u64 = self.accesses.iter().sum::<u64>() + self.retired_accesses;
+        let served: u64 =
+            self.lanes.iter().map(|l| l.accesses).sum::<u64>() + self.retired_accesses;
         if served == 0 {
             0.0
         } else {
-            self.service_cycles as f64 / served as f64
+            self.service_cycles() as f64 / served as f64
         }
     }
 
@@ -636,15 +812,15 @@ impl ShardedOram {
     /// summaries store.
     pub fn service_histogram(&self) -> Histogram {
         let mut merged = self.retired_hist.clone();
-        for h in &self.service_hists {
-            merged.merge(h);
+        for lane in &self.lanes {
+            merged.merge(&lane.hist);
         }
         merged
     }
 
     /// One live shard's service-time histogram (instrumentation only).
     pub fn shard_service_histogram(&self, shard: usize) -> &Histogram {
-        &self.service_hists[shard]
+        &self.lanes[shard].hist
     }
 
     /// Median per-access service time (cycles) so far, as the upper edge
@@ -662,23 +838,24 @@ impl ShardedOram {
         self.service_histogram().percentile(99)
     }
 
-    /// Deferred evictions drained in the background so far.
+    /// Deferred evictions drained in the background so far, including
+    /// shards since retired by a shrink.
     pub fn drained_evictions(&self) -> u64 {
-        self.drained_evictions
+        self.lanes.iter().map(|l| l.drained_evictions).sum::<u64>() + self.retired_drained
     }
 
     /// Deferred evictions currently pending across all shards.
     pub fn pending_evictions(&self) -> usize {
-        self.shards.iter().map(|s| s.pending_evictions()).sum()
+        self.lanes.iter().map(|l| l.oram.pending_evictions()).sum()
     }
 
     /// Pipeline units per shard as perf sessions sample them: 1 in
     /// serial mode (the whole shard is one unit), posmap trees plus the
     /// data port in staged mode.
     pub fn n_stage_units(&self) -> usize {
-        match self.pipeline.kind {
+        match self.params.pipeline.kind {
             PipelineKind::Serial => 1,
-            PipelineKind::Staged => self.plan.posmap_levels.len() + 1,
+            PipelineKind::Staged => self.params.plan.posmap_levels.len() + 1,
         }
     }
 
@@ -686,20 +863,20 @@ impl ShardedOram {
     /// shards report their single opaque unit (`accesses × OLAT`);
     /// staged shards report each unit's accumulated stage time.
     pub fn stage_busy_snapshot(&self, shard: usize) -> Vec<u64> {
-        match self.pipeline.kind {
-            PipelineKind::Serial => vec![self.accesses[shard] * self.olat],
-            PipelineKind::Staged => self.stage_busy[shard].clone(),
+        match self.params.pipeline.kind {
+            PipelineKind::Serial => vec![self.lanes[shard].accesses * self.params.olat],
+            PipelineKind::Staged => self.lanes[shard].stage_busy.clone(),
         }
     }
 
     /// Background-eviction queue depth of one shard.
     pub fn queue_depth(&self, shard: usize) -> usize {
-        self.shards[shard].pending_evictions()
+        self.lanes[shard].oram.pending_evictions()
     }
 
     /// Current stash occupancy of one shard (data + posmap trees).
     pub fn stash_len(&self, shard: usize) -> usize {
-        self.shards[shard].total_stash_len()
+        self.lanes[shard].oram.total_stash_len()
     }
 }
 
@@ -709,9 +886,9 @@ impl PerfSink for ShardedOram {
     /// per-unit stage busy cycles for every live shard.
     fn sample_into(&self, sample: &mut RoundSample) {
         sample.retired_accesses = self.retired_accesses;
-        sample.shards = (0..self.shards.len())
+        sample.shards = (0..self.lanes.len())
             .map(|s| ShardSample {
-                accesses: self.accesses[s],
+                accesses: self.lanes[s].accesses,
                 queue_depth: self.queue_depth(s) as u32,
                 stash_len: self.stash_len(s) as u32,
                 stage_busy: self.stage_busy_snapshot(s),
@@ -739,9 +916,13 @@ mod tests {
     #[test]
     fn addresses_route_by_interleave() {
         let s = small(4);
+        let r = s.router();
         for addr in 0..32u64 {
             assert_eq!(s.shard_of(addr), (addr % 4) as usize);
+            assert_eq!(r.shard_of(addr), s.shard_of(addr));
+            assert_eq!(r.local_addr(addr), s.local_addr(addr));
         }
+        assert_eq!(r.n_shards(), 4);
     }
 
     #[test]
@@ -822,6 +1003,25 @@ mod tests {
         // Zero shards is refused and leaves the pool intact.
         assert!(s.resize(0).is_err());
         assert_eq!(s.n_shards(), 1);
+    }
+
+    #[test]
+    fn shrink_preserves_pool_wide_service_counters() {
+        // queueing/service/drain totals were pool-global before the lane
+        // refactor; retiring a shard must not lose its contribution.
+        let mut s = small(2);
+        let olat = s.olat();
+        s.read(1, 1_000); // shard 1
+        s.read(3, 1_000); // shard 1 again: queues a full OLAT
+        let queueing = s.queueing_cycles();
+        let service = s.service_cycles();
+        let hist_total = s.service_histogram().total();
+        assert_eq!(queueing, olat);
+        s.resize(1).expect("shrink away shard 1");
+        assert_eq!(s.queueing_cycles(), queueing);
+        assert_eq!(s.service_cycles(), service);
+        assert_eq!(s.service_histogram().total(), hist_total);
+        assert_eq!(s.mean_service_cycles(), service as f64 / 2.0);
     }
 
     fn staged(n: usize) -> ShardedOram {
@@ -978,6 +1178,47 @@ mod tests {
                 b.shard(shard).root_fingerprint(),
                 "shard {shard}"
             );
+        }
+    }
+
+    #[test]
+    fn lane_execute_matches_the_pool_entry_points() {
+        // The parallel host posts LaneOps; they must charge exactly like
+        // the pool's public read/write/dummy paths.
+        for make in [small as fn(usize) -> ShardedOram, staged] {
+            let mut via_pool = make(2);
+            let mut via_lane = make(2);
+            let zeros = [0u8; 64];
+            for i in 0..20u64 {
+                let at = i * 700;
+                let addr = i * 3 % 16;
+                let (s, local) = (via_pool.shard_of(addr), via_pool.local_addr(addr));
+                let expect = match i % 3 {
+                    0 => via_pool.read(addr, at).1,
+                    1 => via_pool.write(addr, &zeros, at),
+                    _ => via_pool.dummy_access(s, at),
+                };
+                let op = match i % 3 {
+                    0 => LaneOp::Read { local },
+                    1 => LaneOp::Write { local },
+                    _ => LaneOp::Dummy,
+                };
+                let (params, mut lanes) = via_lane.take_lanes();
+                let got = lanes[s].execute(&params, op, at);
+                via_lane.put_lanes(lanes);
+                assert_eq!(got, expect, "op {i}");
+            }
+            assert_eq!(via_pool.accesses(), via_lane.accesses());
+            assert_eq!(via_pool.dummies(), via_lane.dummies());
+            assert_eq!(via_pool.queueing_cycles(), via_lane.queueing_cycles());
+            assert_eq!(via_pool.service_cycles(), via_lane.service_cycles());
+            for shard in 0..2 {
+                assert_eq!(
+                    via_pool.shard(shard).root_fingerprint(),
+                    via_lane.shard(shard).root_fingerprint(),
+                    "shard {shard}"
+                );
+            }
         }
     }
 

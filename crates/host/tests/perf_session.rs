@@ -6,7 +6,8 @@
 
 use otc_core::RatePolicy;
 use otc_host::{
-    HostConfig, LoopMode, MultiTenantHost, PerfSession, PipelineConfig, SessionFile, TenantSpec,
+    HostConfig, LoopMode, MultiTenantHost, ParallelKind, PerfSession, PipelineConfig, SessionFile,
+    TenantSpec,
 };
 use otc_workloads::SpecBenchmark;
 
@@ -66,6 +67,51 @@ fn double_record_is_byte_identical() {
             "seeded re-record must produce identical session bytes"
         );
     }
+}
+
+#[test]
+fn threaded_churn_sessions_are_byte_identical_to_serial() {
+    // The determinism guarantee the parallel host ships with: the same
+    // churn script recorded under Threads(n) produces cmp-equal .otcp
+    // bytes for n ∈ {2, 4} — sessions carry no parallelism label, no
+    // wall-clock, no thread identity. Serial and staged pipelines both.
+    for base in [HostConfig::small(), staged_config()] {
+        let (_, reference) = churn_run(base.clone());
+        for threads in [2usize, 4] {
+            let cfg = HostConfig {
+                parallel: ParallelKind::Threads(threads),
+                ..base.clone()
+            };
+            let (_, threaded) = churn_run(cfg);
+            assert_eq!(
+                threaded.to_bytes(),
+                reference.to_bytes(),
+                "Threads({threads}) session bytes diverged from Serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_round_session_renders_and_exports_safely() {
+    // Recording switched on and taken before a single round ran: the
+    // session has meta + summary but zero round samples. Every consumer
+    // — the framed file, the timeline renderer, the JSONL export — must
+    // degrade to the header-only form instead of dividing by the empty
+    // round count (`otc report --session` on such a file hits exactly
+    // this path).
+    let mut host = MultiTenantHost::new(HostConfig::small()).expect("builds");
+    host.add_tenant(&spec("a", 2_400)).expect("admit a");
+    host.record_perf_session("zero rounds");
+    let session = host.take_perf_session().expect("recording was on");
+    assert!(session.rounds.is_empty());
+    assert_eq!(session.summary.rounds, 0);
+    let file = SessionFile::from_bytes(session.to_bytes()).expect("opens");
+    assert_eq!(file.len(), 0);
+    let text = otc_perf::report::render_session(&session, 64, 8 * session.meta.olat);
+    assert!(text.contains("(no rounds recorded)"));
+    assert_eq!(file.export_jsonl().expect("jsonl"), session.export_jsonl());
+    assert_eq!(file.into_session().expect("rebuild"), session);
 }
 
 #[test]

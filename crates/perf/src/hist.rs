@@ -94,6 +94,14 @@ impl Histogram {
         let rank = self.total
             - self.total / 100 * u64::from(100 - p)
             - self.total % 100 * u64::from(100 - p) / 100;
+        // ⌈p/100·total⌉ with 1 ≤ p ≤ 100 and total ≥ 1 always lands in
+        // 1..=total, so the scan below cannot fall through to the
+        // overflow edge for an in-range rank.
+        debug_assert!(
+            (1..=self.total).contains(&rank),
+            "rank {rank} out of bounds for total {}",
+            self.total
+        );
         let mut seen = 0u64;
         for (b, &count) in self.counts.iter().enumerate() {
             seen += count;
@@ -186,6 +194,45 @@ mod tests {
                 }
             }
             assert_eq!(h.percentile(99), expect, "total={total}");
+        }
+    }
+
+    #[test]
+    fn boundary_totals_match_naive_nearest_rank() {
+        // The edge-case audit from the parallel-host PR: totals straddling
+        // the %100 boundary (0, 1, 99, 100, 101) across the percentile
+        // extremes, pinned against the raw-sample nearest-rank reference.
+        // total == 0 is the empty histogram: every percentile reports 0.
+        let empty = Histogram::new(1, 256);
+        for p in [1u64, 50, 99, 100] {
+            assert_eq!(empty.percentile(p as u32), 0, "empty, p{p}");
+        }
+        for total in [1u64, 99, 100, 101] {
+            let mut samples: Vec<u64> = (0..total).map(|i| (i * 13) % 200).collect();
+            let mut h = Histogram::new(1, 256);
+            for &s in &samples {
+                h.record(s);
+            }
+            for p in [1u64, 50, 99, 100] {
+                // width == 1: bucket upper edge == exact value + 1.
+                assert_eq!(
+                    h.percentile(p as u32),
+                    naive_percentile(&mut samples, p) + 1,
+                    "total={total}, p{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        // total == 1: rank must collapse to 1 for every p, not 0 — a
+        // rank-0 bug would return the first bucket regardless of where
+        // the one sample lives.
+        let mut h = Histogram::new(10, 16);
+        h.record(57);
+        for p in [1, 50, 99, 100] {
+            assert_eq!(h.percentile(p), 60, "p{p} of a single sample at 57");
         }
     }
 
