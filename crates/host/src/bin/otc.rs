@@ -10,7 +10,10 @@
 //!                      perf gate checks, --gate PCT enforces the floor;
 //!                      --wallclock instead times the same seeded fleet
 //!                      serial vs threaded (real elapsed ms) and gates
-//!                      on the speedup
+//!                      on the speedup; --fairness instead fills a
+//!                      (typically heterogeneous) pool to saturation
+//!                      with unequal-rate tenants and gates on the WDRR
+//!                      arbiter's worst served-vs-weight share deviation
 //! otc report  [opts]   render a recorded perf session: stage-occupancy
 //!                      and queue-depth timelines, shard utilization,
 //!                      per-tenant SLO attainment (--session FILE;
@@ -24,6 +27,11 @@
 //! --tenants N        fleet size (default 4)
 //! --accesses N       slots to serve per tenant (default 20000)
 //! --shards N         ORAM shards (default 4)
+//! --shard-mix M      heterogeneous pool: comma list of
+//!                    <small|paper>:<serial|staged> shard classes;
+//!                    shard i takes class i mod len (e.g.
+//!                    small:serial,small:staged). Omitted = every
+//!                    shard uses --oram/--pipeline
 //! --scheme S         dynamic_R4_E4 | static_1300 | ... (default dynamic_R4_E4)
 //! --oram G           small | paper (default paper)
 //! --instructions N   per-tenant instruction budget (default accesses*50)
@@ -46,13 +54,21 @@
 //!                    staged/cadence pools to their admission ceilings
 //!                    and compare tenants admitted at the same p99
 //!                    service-time SLO
+//! --fairness         otc bench only: run the fairness sweep instead —
+//!                    fill the pool (honouring --shard-mix) to its
+//!                    admission ceiling with open-loop tenants of
+//!                    deliberately unequal static rates, serve, and
+//!                    compare every tenant's served-slot share against
+//!                    its admitted weight share
 //! --gate X           otc bench only: exit nonzero unless the staged
 //!                    mean service time is ≥ X% below serial (pipeline
 //!                    sweep) / the staged pool admits ≥ X× the tenants
-//!                    within the SLO (admission sweep)
+//!                    within the SLO (admission sweep) / no tenant's
+//!                    share deviates by more than X scheduling quanta
+//!                    of its own slots (fairness sweep)
 //! --json             otc bench only: emit the JSON record
-//!                    (BENCH_pipeline.json / BENCH_admission.json in
-//!                    CI) instead of a table
+//!                    (BENCH_pipeline.json / BENCH_admission.json /
+//!                    BENCH_fairness.json in CI) instead of a table
 //! --threads N        execute shard work on N worker threads
 //!                    (ParallelKind::Threads); 0 or omitted = the serial
 //!                    reference. Deterministic: any thread count
@@ -98,7 +114,7 @@
 use otc_core::{DividerImpl, EpochSchedule, LeakageModel, RatePolicy, RateSet};
 use otc_host::{
     render, CapacityKind, HostConfig, HostError, HostReport, LoopMode, MultiTenantHost,
-    ParallelKind, PerfSession, PipelineConfig, PipelineKind, SessionFile, TenantSpec,
+    ParallelKind, PerfSession, PipelineConfig, PipelineKind, SessionFile, ShardClass, TenantSpec,
 };
 use otc_oram::{OramConfig, OramTiming};
 use otc_workloads::SpecBenchmark;
@@ -123,9 +139,11 @@ fn usage() -> ! {
          \x20 otc leakage  leakage budget report\n\
          \n\
          options: --tenants N --accesses N --shards N --scheme S --oram small|paper\n\
-         \x20        --instructions N --limit BITS --bench a,b,.. --seed N\n\
+         \x20        --shard-mix small:serial,small:staged,.. --instructions N\n\
+         \x20        --limit BITS --bench a,b,.. --seed N\n\
          \x20        --closed-loop --trace N --pipeline serial|staged --threads N\n\
-         \x20        --capacity olat|cadence --admission --wallclock --json --gate X\n\
+         \x20        --capacity olat|cadence --admission --wallclock --fairness\n\
+         \x20        --json --gate X\n\
          \x20        --perf-session FILE --session FILE --jsonl --width N\n\
          \x20        --churn-script '@R admit <bench> <scheme> [closed]; @R evict <id>;\n\
          \x20                        @R shards <n>; ...'\n"
@@ -140,6 +158,7 @@ struct Opts {
     shards: usize,
     scheme: String,
     oram: String,
+    shard_mix: Option<String>,
     instructions: Option<u64>,
     limit: u64,
     bench: Option<Vec<String>>,
@@ -150,6 +169,7 @@ struct Opts {
     pipeline: PipelineKind,
     capacity: CapacityKind,
     admission: bool,
+    fairness: bool,
     threads: Option<usize>,
     wallclock: bool,
     json: bool,
@@ -168,6 +188,7 @@ impl Default for Opts {
             shards: 4,
             scheme: "dynamic_R4_E4".into(),
             oram: "paper".into(),
+            shard_mix: None,
             instructions: None,
             limit: 64,
             bench: None,
@@ -178,6 +199,7 @@ impl Default for Opts {
             pipeline: PipelineKind::Serial,
             capacity: CapacityKind::Olat,
             admission: false,
+            fairness: false,
             threads: None,
             wallclock: false,
             json: false,
@@ -208,6 +230,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--shards" => o.shards = val("--shards").parse().unwrap_or_else(|_| usage()),
             "--scheme" => o.scheme = val("--scheme"),
             "--oram" => o.oram = val("--oram"),
+            "--shard-mix" => o.shard_mix = Some(val("--shard-mix")),
             "--instructions" => {
                 o.instructions = Some(val("--instructions").parse().unwrap_or_else(|_| usage()))
             }
@@ -238,6 +261,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--admission" => o.admission = true,
+            "--fairness" => o.fairness = true,
             "--threads" => o.threads = Some(val("--threads").parse().unwrap_or_else(|_| usage())),
             "--wallclock" => o.wallclock = true,
             "--json" => o.json = true,
@@ -301,6 +325,31 @@ fn benchmarks(o: &Opts) -> Vec<SpecBenchmark> {
     }
 }
 
+/// Parses `--shard-mix small:serial,paper:staged,..` into shard
+/// classes: a comma list of `<geometry>:<pipeline>` pairs (geometry
+/// small|paper, pipeline serial|staged). Shard `i` of the pool takes
+/// class `i % classes.len()`, so the list is a repeating pattern, not a
+/// per-shard roster.
+fn parse_shard_mix(s: &str) -> Option<Vec<ShardClass>> {
+    s.split(',')
+        .map(|pair| {
+            let (geom, pipe) = pair.trim().split_once(':')?;
+            Some(ShardClass {
+                oram: match geom {
+                    "small" => OramConfig::small(),
+                    "paper" => OramConfig::paper(),
+                    _ => return None,
+                },
+                pipeline: match pipe {
+                    "serial" => PipelineConfig::serial(),
+                    "staged" => PipelineConfig::staged(),
+                    _ => return None,
+                },
+            })
+        })
+        .collect()
+}
+
 fn host_config(o: &Opts) -> HostConfig {
     let oram = match o.oram.as_str() {
         "small" => OramConfig::small(),
@@ -310,8 +359,19 @@ fn host_config(o: &Opts) -> HostConfig {
             usage()
         }
     };
+    let shard_mix = match &o.shard_mix {
+        None => Vec::new(),
+        Some(s) => parse_shard_mix(s).unwrap_or_else(|| {
+            eprintln!(
+                "bad --shard-mix: {s:?} (want a comma list of \
+                 <small|paper>:<serial|staged> pairs)"
+            );
+            usage()
+        }),
+    };
     HostConfig {
         oram,
+        shard_mix,
         n_shards: o.shards,
         leakage_limit_bits: o.limit,
         seed: o.seed,
@@ -919,6 +979,186 @@ fn cmd_bench_admission(o: &Opts) {
     }
 }
 
+/// `otc bench --fairness`: the WDRR fairness sweep behind the CI
+/// fairness gate. The pool (heterogeneous when `--shard-mix` is given)
+/// is filled to its admission ceiling with open-loop tenants whose
+/// static rates cycle a deliberately spread list — fast and slow grids
+/// price differently, so the arbiter carries genuinely unequal weights —
+/// then the fleet serves and every tenant's served-slot share is
+/// compared against its admitted weight share. The figure on record is
+/// the worst deviation measured in scheduling quanta of that tenant's
+/// own slots (one quantum is the structural slack of a deficit
+/// round-robin; the property suite in `tests/fairness_replay.rs` holds
+/// the same bound over 64 random fleets). `--gate X` fails the run if
+/// any tenant deviates by more than X quanta. The serve is over
+/// simulated cycles, so every field except `elapsed_ms` is
+/// bit-deterministic — the CI diff filters that one line.
+fn cmd_bench_fairness(o: &Opts) {
+    /// Runaway guard on the fill loop, same rationale as the admission
+    /// sweep's.
+    const MAX_FILL: usize = 4_096;
+    /// The admitted rate pattern: spread wide enough that weight shares
+    /// differ by an order of magnitude across the fleet.
+    const RATES: [u64; 4] = [500, 900, 1_600, 2_800];
+    let cfg = host_config(o);
+    let quantum = cfg.quantum;
+    let instructions = o.instructions.unwrap_or(o.accesses.saturating_mul(50));
+    let benches = benchmarks(o);
+    let mut host = match MultiTenantHost::new(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("otc bench: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut admitted = 0usize;
+    let denial = loop {
+        if admitted >= MAX_FILL {
+            eprintln!("otc bench: admission never saturated after {MAX_FILL} tenants");
+            std::process::exit(1);
+        }
+        let spec = TenantSpec {
+            name: format!("t{admitted}"),
+            benchmark: benches[admitted % benches.len()],
+            policy: RatePolicy::Static {
+                rate: RATES[admitted % RATES.len()],
+            },
+            instructions,
+        };
+        match host.admit(&spec, LoopMode::Open) {
+            Ok(_) => admitted += 1,
+            Err(e @ HostError::Saturated { .. }) => break e.to_string(),
+            Err(e) => {
+                eprintln!("otc bench: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if admitted < 2 {
+        eprintln!(
+            "otc bench: fairness needs >= 2 admitted tenants (got {admitted}); grow the pool"
+        );
+        std::process::exit(1);
+    }
+    if o.perf_session.is_some() {
+        host.record_perf_session(&format!(
+            "bench fairness tenants={admitted} accesses={}",
+            o.accesses
+        ));
+    }
+    let start = std::time::Instant::now();
+    let report = host.run_until_slots(o.accesses);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    if let Some(path) = &o.perf_session {
+        let session = host.take_perf_session().expect("recording was enabled");
+        write_session(path, &session);
+    }
+    let olat = host.capacity_model().olat();
+    // `+ 0.0` normalizes the -0.0 an empty f64 sum yields (unreachable
+    // here after the >= 2 check, but the idiom is uniform repo-wide).
+    let total_weight: f64 = report.tenants.iter().map(|t| t.capacity_share).sum::<f64>() + 0.0;
+    let total_slots: u64 = report.tenants.iter().map(|t| t.slots_served).sum();
+    // Per tenant: how far its served-slot count sits from its weight's
+    // entitlement, in units of one scheduling quantum of its own slots
+    // (plus the grid's ±1 quantization) — the same slack the property
+    // suite asserts.
+    let rows: Vec<(String, u64, f64, f64, u64, f64)> = report
+        .tenants
+        .iter()
+        .map(|t| {
+            let weight_share = t.capacity_share / total_weight;
+            let slot_share = t.slots_served as f64 / total_slots as f64;
+            let expected = weight_share * total_slots as f64;
+            let quantum_slots = quantum as f64 / (t.final_rate + olat) as f64 + 1.0;
+            let deviation_quanta = (t.slots_served as f64 - expected).abs() / quantum_slots;
+            (
+                t.name.clone(),
+                t.final_rate,
+                weight_share,
+                slot_share,
+                t.slots_served,
+                deviation_quanta,
+            )
+        })
+        .collect();
+    let max_deviation = rows.iter().map(|r| r.5).fold(0.0f64, f64::max);
+    let passed = o.gate.is_none_or(|g| max_deviation <= g);
+    if o.json {
+        println!("{{");
+        println!("  \"bench\": \"fairness_sweep\",");
+        println!(
+            "  \"config\": {{\"seed\": {}, \"shards\": {}, \"oram\": \"{}\", \
+             \"shard_mix\": \"{}\", \"capacity_pricing\": \"{}\", \"quantum\": {quantum}, \
+             \"slots_per_tenant\": {}}},",
+            o.seed,
+            o.shards,
+            o.oram,
+            o.shard_mix.as_deref().unwrap_or(""),
+            report.capacity,
+            o.accesses
+        );
+        println!("  \"pipeline\": \"{}\",", report.pipeline_label);
+        println!("  \"tenants_admitted\": {admitted},");
+        println!("  \"total_slots\": {total_slots},");
+        println!("  \"tenants\": [");
+        for (i, (name, rate, weight_share, slot_share, slots, dev)) in rows.iter().enumerate() {
+            println!(
+                "    {{\"name\": \"{name}\", \"rate\": {rate}, \"weight_share\": \
+                 {weight_share:.6}, \"slot_share\": {slot_share:.6}, \"slots\": {slots}, \
+                 \"deviation_quanta\": {dev:.4}}}{}",
+                if i + 1 < rows.len() { "," } else { "" }
+            );
+        }
+        println!("  ],");
+        println!("  \"max_deviation_quanta\": {max_deviation:.4},");
+        println!("  \"elapsed_ms\": {elapsed_ms:.1},");
+        println!(
+            "  \"gate_quanta\": {},",
+            o.gate.map_or("null".into(), |g| format!("{g:.2}"))
+        );
+        println!("  \"gate_passed\": {passed}");
+        println!("}}");
+    } else {
+        println!(
+            "otc bench: fairness sweep | {} shards ({} pipeline), mix \"{}\", {} pricing, \
+             {} slots/tenant, seed {} | {admitted} tenants admitted to saturation",
+            o.shards,
+            report.pipeline_label,
+            o.shard_mix.as_deref().unwrap_or(""),
+            report.capacity,
+            o.accesses,
+            o.seed
+        );
+        println!("  denial: {denial}");
+        println!(
+            "  {:<8}{:>8}{:>14}{:>14}{:>10}{:>12}",
+            "tenant", "rate", "weight share", "slot share", "slots", "dev quanta"
+        );
+        for (name, rate, weight_share, slot_share, slots, dev) in &rows {
+            println!(
+                "  {name:<8}{rate:>8}{:>14.4}{:>14.4}{slots:>10}{dev:>12.3}",
+                weight_share, slot_share
+            );
+        }
+        println!(
+            "  worst deviation {max_deviation:.3} scheduling quanta across {} tenants",
+            rows.len()
+        );
+    }
+    if let Some(g) = o.gate {
+        if !passed {
+            eprintln!(
+                "FAIRNESS GATE FAILED: worst served-vs-weight share deviation \
+                 {max_deviation:.3} quanta exceeds the {g:.2}-quantum floor"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "fairness gate passed: worst deviation {max_deviation:.3} <= {g:.2} scheduling quanta"
+        );
+    }
+}
+
 /// One run's deterministic outcome in the wall-clock sweep: the serial
 /// and threaded executions must agree on every field here or the sweep
 /// aborts — a speedup bought by divergence is not a speedup.
@@ -1109,7 +1349,8 @@ fn cmd_bench_wallclock(o: &Opts) {
 }
 
 /// `otc bench`: the seeded pipeline-vs-serial sweep behind the CI perf
-/// gate (or, with `--admission`, the capacity sweep above). The same
+/// gate (or, with `--admission` / `--fairness`, the capacity and
+/// arbiter sweeps above). The same
 /// closed-loop fleet (identical seeds, benchmarks and rate policy) runs
 /// once per pipeline discipline; the comparison is over simulated
 /// cycles, so the result is bit-deterministic — the `--gate` floor
@@ -1121,6 +1362,9 @@ fn cmd_bench(o: &Opts) {
     }
     if o.admission {
         return cmd_bench_admission(o);
+    }
+    if o.fairness {
+        return cmd_bench_fairness(o);
     }
     let run = |kind: PipelineKind| -> (HostReport, PerfSession) {
         let mut opts = o.clone();

@@ -45,9 +45,12 @@
 
 use otc_dram::Cycle;
 
-/// Slots one scheduling round can sustainably serve: `n_shards`
-/// independent service ports, each initiating one access per `cadence`
-/// cycles, across a `quantum`-cycle round.
+/// Slots one scheduling round can sustainably serve: each entry of
+/// `cadences` is one shard's service port initiating an access per that
+/// many cycles, summed across a `quantum`-cycle round. In a
+/// heterogeneous pool the shards contribute *different* per-slot costs,
+/// so the figure is the sum of per-shard rates — not one cadence
+/// multiplied by the shard count, which would mis-state any mixed pool.
 ///
 /// This is the scheduler-side face of the capacity model: admission
 /// keeps the fleet's worst-case due-slot demand per round below this
@@ -57,11 +60,20 @@ use otc_dram::Cycle;
 /// figure under-states a staged pool (overlapped stages serve slots
 /// faster than one per `OLAT`); priced at the pipeline's effective
 /// cadence it matches the bandwidth the shards actually sustain.
-pub fn round_slot_capacity(quantum: Cycle, cadence: Cycle, n_shards: usize) -> f64 {
-    if cadence == 0 {
-        return 0.0;
-    }
-    quantum as f64 * n_shards as f64 / cadence as f64
+///
+/// Degenerate inputs are total, not panics: an empty pool sums to 0.0,
+/// a zero cadence (a shard that cannot serve) contributes 0.0 instead
+/// of dividing by zero, and a quantum shorter than a cadence yields the
+/// honest fractional slot count.
+pub fn round_slot_capacity(quantum: Cycle, cadences: &[Cycle]) -> f64 {
+    // `+ 0.0` normalizes the -0.0 an empty f64 sum yields (a zero-shard
+    // or all-degenerate pool) — same idiom as the ledger's fleet sums.
+    cadences
+        .iter()
+        .filter(|&&c| c != 0)
+        .map(|&c| quantum as f64 / c as f64)
+        .sum::<f64>()
+        + 0.0
 }
 
 /// One scheduled slot: the key is the host's dense tenant index.
@@ -149,16 +161,18 @@ impl CalendarQueue {
     }
 
     /// Pops the earliest entry strictly before `frontier`; among entries
-    /// due the same cycle, the one with the smallest `rank(key)` wins
-    /// (the host passes its rotating round-robin rank). Returns `None`
-    /// when nothing is due.
+    /// due the same cycle, the one with the smallest `rank(key)` wins.
+    /// The rank is any `Ord` value — the host passes its rotating
+    /// round-robin rank, or the WDRR arbiter's `(credit, rotation)`
+    /// pair when weighted fairness is on. Returns `None` when nothing
+    /// is due.
     ///
     /// Amortized O(entries due + buckets crossed): the cursor never
     /// revisits a bucket it has drained unless an insert lands there.
-    pub fn pop_due(
+    pub fn pop_due<R: Ord>(
         &mut self,
         frontier: Cycle,
-        mut rank: impl FnMut(usize) -> usize,
+        mut rank: impl FnMut(usize) -> R,
     ) -> Option<(usize, Cycle)> {
         if self.is_empty() {
             return None;
@@ -269,15 +283,47 @@ mod tests {
         // 2 shards serving one slot per 400 cycles across a 65536-cycle
         // round sustain 327.68 slots/round.
         let quantum = 1u64 << 16;
-        assert_eq!(round_slot_capacity(quantum, 400, 2), 327.68);
+        assert_eq!(round_slot_capacity(quantum, &[400, 400]), 327.68);
         // Halving the cadence doubles the round capacity; so does
-        // doubling the shards. Zero cadence (degenerate) reports zero
-        // rather than dividing by it.
+        // doubling the shards.
         assert_eq!(
-            round_slot_capacity(quantum, 200, 2),
-            round_slot_capacity(quantum, 400, 4)
+            round_slot_capacity(quantum, &[200, 200]),
+            round_slot_capacity(quantum, &[400, 400, 400, 400])
         );
-        assert_eq!(round_slot_capacity(quantum, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn round_slot_capacity_sums_heterogeneous_cadences() {
+        // A mixed pool is the sum of per-shard rates, not max-cadence ×
+        // shard count (which would under-state it) or min-cadence ×
+        // count (over-state).
+        let quantum = 1_000u64;
+        let mixed = round_slot_capacity(quantum, &[400, 200]);
+        assert_eq!(mixed, 2.5 + 5.0);
+        assert!(mixed > round_slot_capacity(quantum, &[400, 400]));
+        assert!(mixed < round_slot_capacity(quantum, &[200, 200]));
+    }
+
+    #[test]
+    fn round_slot_capacity_is_total_on_degenerate_inputs() {
+        let quantum = 1u64 << 16;
+        // Zero shards: an empty pool serves nothing.
+        assert_eq!(round_slot_capacity(quantum, &[]), 0.0);
+        // Zero cadence (degenerate shard) contributes zero rather than
+        // dividing by it — alone or inside a mix.
+        assert_eq!(round_slot_capacity(quantum, &[0]), 0.0);
+        assert_eq!(
+            round_slot_capacity(quantum, &[0, 400]),
+            round_slot_capacity(quantum, &[400])
+        );
+        // Quantum shorter than the cadence: an honest fractional slot.
+        assert_eq!(round_slot_capacity(100, &[400]), 0.25);
+        // Zero quantum serves zero slots whatever the pool.
+        assert_eq!(round_slot_capacity(0, &[400, 200]), 0.0);
+        // Nothing here may produce NaN or a negative zero.
+        let figure = round_slot_capacity(0, &[]);
+        assert!(!figure.is_nan());
+        assert!(figure.is_sign_positive());
     }
 
     #[test]

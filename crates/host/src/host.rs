@@ -55,10 +55,11 @@
 //!    bandwidth, so invariant 1 is sustainable, not aspirational.
 //!    Eviction returns its capacity to the pool.
 
+use crate::arbiter::{ArbiterKind, WdrrArbiter};
 use crate::calendar::CalendarQueue;
 use crate::ledger::LeakageLedger;
 use crate::parallel::{LaneRequest, RoundWork, WorkerChannel, WorkerPool};
-use crate::shard::{Lane, LaneOp, PipelineConfig, PipelineKind, ShardedOram};
+use crate::shard::{Lane, LaneOp, PipelineConfig, PipelineKind, ShardClass, ShardedOram};
 use crate::tenant::TenantDirectory;
 use crate::timeq::TimeQ;
 use crate::traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
@@ -71,6 +72,7 @@ use otc_perf::{
 };
 use otc_sim::AccessKind;
 use otc_workloads::SpecBenchmark;
+use std::cmp::Reverse;
 use std::collections::VecDeque;
 
 /// Cap on recorded serve-log entries (memory guard, mirroring the
@@ -235,6 +237,16 @@ pub struct HostConfig {
     /// same observable state (serve logs, ledgers, perf sessions) at
     /// any thread count.
     pub parallel: ParallelKind,
+    /// Heterogeneous shard-class mix. Empty (the default) builds a
+    /// homogeneous pool from [`HostConfig::oram`] +
+    /// [`HostConfig::pipeline`]; non-empty overrides both and
+    /// instantiates shard `i` from `shard_mix[i % shard_mix.len()]`.
+    pub shard_mix: Vec<ShardClass>,
+    /// Contended-port tie-break (see [`ArbiterKind`]): `Rotation` is
+    /// the bit-exact legacy round-robin reference; `Wdrr` (the default)
+    /// weights same-cycle ties by admitted capacity share and is
+    /// byte-identical to `Rotation` whenever all weights are equal.
+    pub arbiter: ArbiterKind,
 }
 
 impl Default for HostConfig {
@@ -254,6 +266,8 @@ impl Default for HostConfig {
             calendar_bucket_width: 1 << 12,
             calendar_buckets: 256,
             parallel: ParallelKind::Serial,
+            shard_mix: Vec::new(),
+            arbiter: ArbiterKind::Wdrr,
         }
     }
 }
@@ -346,6 +360,9 @@ struct TenantRuntime {
     /// no pattern distinguishing them from real accesses, and no state is
     /// shared between tenants).
     rng: SplitMix64,
+    /// Fastest candidate rate of the tenant's policy, kept so a resize
+    /// can re-price `worst_case_util` under the new pool's model.
+    fastest_rate: Cycle,
     worst_case_util: f64,
     /// Shard queueing attributed to this tenant's slot accesses (real +
     /// dummy). In closed-loop mode these cycles are actually *felt* by
@@ -425,6 +442,10 @@ pub struct TenantReport {
     pub admitted_at: Cycle,
     /// Host clock at eviction; `None` while the tenant is active.
     pub evicted_at: Option<Cycle>,
+    /// Worst-case capacity share admission charged this tenant (its WDRR
+    /// weight; the last re-priced figure for tenants that lived through
+    /// a resize, frozen at eviction).
+    pub capacity_share: f64,
 }
 
 impl TenantReport {
@@ -455,8 +476,12 @@ pub struct HostReport {
     pub shard_utilization: Vec<f64>,
     /// Cycles slots spent queued behind busy shards (internal metric).
     pub shard_queueing_cycles: u64,
-    /// Pipeline discipline the backend ran.
+    /// Pipeline discipline the backend ran. For a heterogeneous mix this
+    /// reports class 0's discipline; see [`HostReport::pipeline_label`].
     pub pipeline: PipelineKind,
+    /// Human-readable pipeline discipline: `"serial"`, `"staged"`, or
+    /// `"mixed"` when the live shard classes disagree.
+    pub pipeline_label: &'static str,
     /// Σ (completion − request time) over all shard accesses.
     pub shard_service_cycles: u64,
     /// Mean per-access service time in cycles (0.0 when idle) — the
@@ -527,6 +552,9 @@ pub struct MultiTenantHost {
     /// after (per-round thread spawns would dominate the shard work).
     /// Always `None` under [`ParallelKind::Serial`].
     pool: Option<WorkerPool>,
+    /// WDRR credit state for the contended-port tie-break (see
+    /// [`ArbiterKind`]); weights track admission/eviction/resize.
+    arbiter: WdrrArbiter,
 }
 
 impl std::fmt::Debug for MultiTenantHost {
@@ -548,8 +576,12 @@ impl MultiTenantHost {
     /// [`HostError::Build`] on invalid ORAM geometry, zero shards, or a
     /// degenerate calendar configuration.
     pub fn new(cfg: HostConfig) -> Result<Self, HostError> {
-        let sharded = ShardedOram::with_pipeline(&cfg.oram, &cfg.ddr, cfg.n_shards, cfg.pipeline)
-            .map_err(HostError::Build)?;
+        let sharded = if cfg.shard_mix.is_empty() {
+            ShardedOram::with_pipeline(&cfg.oram, &cfg.ddr, cfg.n_shards, cfg.pipeline)
+        } else {
+            ShardedOram::with_mix(&cfg.shard_mix, &cfg.ddr, cfg.n_shards)
+        }
+        .map_err(HostError::Build)?;
         if cfg.calendar_bucket_width == 0 {
             return Err(HostError::Build("calendar bucket width must be > 0".into()));
         }
@@ -560,6 +592,7 @@ impl MultiTenantHost {
         }
         let directory = TenantDirectory::new(cfg.leakage_limit_bits, cfg.seed);
         let calendar = CalendarQueue::new(cfg.calendar_bucket_width, cfg.calendar_buckets);
+        let cfg_arbiter = cfg.arbiter;
         Ok(Self {
             cfg,
             sharded,
@@ -574,6 +607,7 @@ impl MultiTenantHost {
             admissions_denied: 0,
             perf: None,
             pool: None,
+            arbiter: WdrrArbiter::new(cfg_arbiter),
         })
     }
 
@@ -664,6 +698,7 @@ impl MultiTenantHost {
         debug_assert_eq!(id, self.tenants.len(), "directory and runtime in lockstep");
         self.ledger
             .add_tenant(id, params.rate_count, params.schedule, util);
+        self.arbiter.set_weight(id, util);
         let origin = self.clock;
         let mut stream = SlotStream::starting_at(self.sharded.olat(), spec.policy.clone(), origin);
         stream.set_trace_recording(self.cfg.record_traces);
@@ -683,6 +718,7 @@ impl MultiTenantHost {
             origin,
             addr_tag,
             rng,
+            fastest_rate: spec.policy.fastest_rate(),
             worst_case_util: util,
             queueing_cycles: 0,
             denied: 0,
@@ -757,6 +793,7 @@ impl MultiTenantHost {
         self.ledger
             .record_transitions(id, rt.stream.transitions().len() as u64);
         self.ledger.freeze(id);
+        self.arbiter.clear(id);
         rt.pending.clear();
         rt.lookahead = None;
         rt.state = TenantState::Evicted { at: clock };
@@ -788,11 +825,19 @@ impl MultiTenantHost {
                 "a sharded ORAM needs at least one shard".into(),
             ));
         }
+        // Price the *would-be* pool: a different shard count can
+        // instantiate a different subset of the class mix, moving the
+        // pricing cadence — the old model would mis-price the check.
+        let model = self.sharded.capacity_model_at(n_shards, self.cfg.capacity);
+        let demanded = self
+            .tenants
+            .iter()
+            .filter(|t| t.is_active())
+            .map(|t| model.slot_utilization(t.fastest_rate))
+            .sum::<f64>();
         let available = n_shards as f64 * self.cfg.max_shard_utilization;
-        let demanded = self.fleet_demand();
         if demanded > available {
             self.note_denial(None);
-            let model = self.capacity_model();
             return Err(HostError::Saturated {
                 demanded,
                 available,
@@ -802,6 +847,21 @@ impl MultiTenantHost {
         }
         self.sharded.resize(n_shards).map_err(HostError::Build)?;
         self.cfg.n_shards = n_shards;
+        // Re-price every active row under the new pool's model. Rows
+        // admitted before the resize otherwise keep a `capacity_share`
+        // from the old geometry, silently divorcing the ledger's
+        // `fleet_capacity_share()` from the live `fleet_demand()` (for a
+        // homogeneous pool the figures are bit-identical, so this is
+        // behavior-neutral there).
+        for t in &mut self.tenants {
+            if !t.is_active() {
+                continue;
+            }
+            let util = model.slot_utilization(t.fastest_rate);
+            t.worst_case_util = util;
+            self.ledger.reprice(t.id, util);
+            self.arbiter.set_weight(t.id, util);
+        }
         Ok(())
     }
 
@@ -842,6 +902,14 @@ impl MultiTenantHost {
     /// The leakage ledger (budgets + bits revealed so far).
     pub fn ledger(&self) -> &LeakageLedger {
         &self.ledger
+    }
+
+    /// Per-tenant WDRR weights in parts-per-million of one shard
+    /// (indexed by tenant id; 0 = evicted/inactive). These are the
+    /// admitted capacity shares the arbiter settles contended-port ties
+    /// by — the fairness suite checks served-slot shares against them.
+    pub fn arbiter_weights_ppm(&self) -> &[i64] {
+        self.arbiter.weights_ppm()
     }
 
     /// A tenant's observable slot trace (empty unless
@@ -891,13 +959,15 @@ impl MultiTenantHost {
     /// Serves one dummy slot for `rt`: shard drawn from the tenant's own
     /// PRNG, queueing accrued, serve log appended (capped). Shared by
     /// the scheduler's dummy branch and eviction's retire-as-dummies
-    /// drain so the two accounting paths stay in lockstep.
+    /// drain so the two accounting paths stay in lockstep. Returns the
+    /// service record so the caller can charge the WDRR arbiter for the
+    /// shard the dummy actually landed on.
     fn serve_dummy(
         rt: &mut TenantRuntime,
         sharded: &mut ShardedOram,
         serve_log: &mut Vec<ServedSlot>,
         record: bool,
-    ) {
+    ) -> crate::shard::ShardService {
         let shard = rt.rng.next_below(sharded.n_shards() as u64) as usize;
         let outcome = rt.stream.serve(None);
         let service = sharded.dummy_access(shard, outcome.start);
@@ -909,32 +979,41 @@ impl MultiTenantHost {
                 real: false,
             });
         }
+        service
     }
 
     /// Finds the next due slot via the reference k-way merge: the
-    /// earliest `next_slot < frontier` over all active tenants, rotation
-    /// breaking ties so no tenant systematically goes first. O(K) per
-    /// call — this is exactly the cost the calendar queue removes.
-    /// An associated fn (not a method) so the parallel round loop can
-    /// call it while holding disjoint field borrows of the host.
-    fn pick_merge_in(
+    /// earliest `next_slot < frontier` over all active tenants, the
+    /// caller-supplied rank breaking same-cycle ties (the same rank the
+    /// calendar path hands [`CalendarQueue::pop_due`], so the two
+    /// schedulers stay serve-order identical). O(K) per call — this is
+    /// exactly the cost the calendar queue removes. An associated fn
+    /// (not a method) so the parallel round loop can call it while
+    /// holding disjoint field borrows of the host.
+    fn pick_merge_in<R: Ord>(
         tenants: &[TenantRuntime],
-        rotation: usize,
         frontier: Cycle,
+        mut rank: impl FnMut(usize) -> R,
     ) -> Option<(usize, Cycle)> {
-        let n = tenants.len();
-        let mut pick: Option<(usize, Cycle)> = None;
-        for k in 0..n {
-            let idx = (rotation + k) % n;
-            if !tenants[idx].is_active() {
+        let mut pick: Option<(usize, Cycle, R)> = None;
+        for (idx, t) in tenants.iter().enumerate() {
+            if !t.is_active() {
                 continue;
             }
-            let s = tenants[idx].stream.next_slot();
-            if s < frontier && pick.is_none_or(|(_, best)| s < best) {
-                pick = Some((idx, s));
+            let s = t.stream.next_slot();
+            if s >= frontier {
+                continue;
+            }
+            let r = rank(idx);
+            let better = match &pick {
+                None => true,
+                Some((_, best_s, best_r)) => (s, &r) < (*best_s, best_r),
+            };
+            if better {
+                pick = Some((idx, s, r));
             }
         }
-        pick
+        pick.map(|(idx, s, _)| (idx, s))
     }
 
     /// Runs one scheduling round: serves every slot due before the next
@@ -958,12 +1037,22 @@ impl MultiTenantHost {
         let frontier = self.clock + self.cfg.quantum;
         let n = self.tenants.len();
         let rotation = self.rotation;
+        self.arbiter.replenish(self.cfg.quantum);
+        // Per-shard slot costs (stable within a round: resizes happen
+        // between rounds) the arbiter spends credits against.
+        let shard_cost = self.sharded.pricing_cadences(self.cfg.capacity);
         loop {
-            let pick = match self.cfg.scheduler {
-                SchedulerKind::Calendar => self
-                    .calendar
-                    .pop_due(frontier, |key| (key + n - rotation) % n),
-                SchedulerKind::Merge => Self::pick_merge_in(&self.tenants, rotation, frontier),
+            // Composite tie-break: biggest unspent WDRR credit first
+            // (constant under uniform weights or ArbiterKind::Rotation),
+            // the legacy rotating rank as the deterministic settlement.
+            let pick = {
+                let arbiter = &self.arbiter;
+                let rank =
+                    |key: usize| (Reverse(arbiter.credit_rank(key)), (key + n - rotation) % n);
+                match self.cfg.scheduler {
+                    SchedulerKind::Calendar => self.calendar.pop_due(frontier, rank),
+                    SchedulerKind::Merge => Self::pick_merge_in(&self.tenants, frontier, rank),
+                }
             };
             let Some((idx, slot)) = pick else { break };
             debug_assert_eq!(self.tenants[idx].stream.next_slot(), slot);
@@ -985,6 +1074,7 @@ impl MultiTenantHost {
                     }
                 };
                 rt.queueing_cycles += service.queued_cycles;
+                self.arbiter.charge(idx, shard_cost[service.shard]);
                 // Closed-loop feedback: the tenant's core is suspended on
                 // its demand read; resume it with the service completion
                 // it actually observed (slot wait + queueing + OLAT),
@@ -1002,12 +1092,13 @@ impl MultiTenantHost {
                     });
                 }
             } else {
-                Self::serve_dummy(
+                let service = Self::serve_dummy(
                     rt,
                     &mut self.sharded,
                     &mut self.serve_log,
                     self.cfg.record_traces,
                 );
+                self.arbiter.charge(idx, shard_cost[service.shard]);
             }
             if self.cfg.scheduler == SchedulerKind::Calendar {
                 self.calendar.insert(idx, rt.stream.next_slot());
@@ -1056,6 +1147,10 @@ impl MultiTenantHost {
         if self.pool.is_none() {
             self.pool = Some(WorkerPool::new(threads.max(1)));
         }
+        self.arbiter.replenish(self.cfg.quantum);
+        // Per-shard slot costs, snapshotted while the pool still holds
+        // its lanes (resizes happen between rounds, so this is stable).
+        let shard_cost = self.sharded.pricing_cadences(self.cfg.capacity);
         // Disjoint field borrows so the spine can mutate tenants/
         // calendar/ledger/serve log while the pool holds the lanes.
         let pool = self.pool.as_ref().expect("created above");
@@ -1063,7 +1158,8 @@ impl MultiTenantHost {
         let calendar = &mut self.calendar;
         let serve_log = &mut self.serve_log;
         let ledger = &mut self.ledger;
-        let (params, lanes) = self.sharded.take_lanes();
+        let arbiter = &mut self.arbiter;
+        let lanes = self.sharded.take_lanes();
         let channels: Vec<std::sync::Arc<WorkerChannel>> = (0..workers)
             .map(|_| std::sync::Arc::new(WorkerChannel::new()))
             .collect();
@@ -1092,18 +1188,23 @@ impl MultiTenantHost {
                     w,
                     RoundWork {
                         lanes: group,
-                        params: params.clone(),
                         channel: channels[w].clone(),
                         stride: workers,
                     },
                 );
             }
             loop {
-                let pick = match scheduler {
-                    SchedulerKind::Calendar => {
-                        calendar.pop_due(frontier, |key| (key + n - rotation) % n)
+                // Same composite rank as the serial loop: WDRR credit,
+                // then the legacy rotating tie-break. Charging happens
+                // at post time in spine order, so the credit evolution
+                // is bit-identical to serial at any thread count.
+                let pick = {
+                    let a = &*arbiter;
+                    let rank = |key: usize| (Reverse(a.credit_rank(key)), (key + n - rotation) % n);
+                    match scheduler {
+                        SchedulerKind::Calendar => calendar.pop_due(frontier, rank),
+                        SchedulerKind::Merge => Self::pick_merge_in(tenants, frontier, rank),
                     }
-                    SchedulerKind::Merge => Self::pick_merge_in(tenants, rotation, frontier),
                 };
                 let Some((idx, slot)) = pick else { break };
                 debug_assert_eq!(tenants[idx].stream.next_slot(), slot);
@@ -1144,6 +1245,7 @@ impl MultiTenantHost {
                         worker,
                         windex,
                     });
+                    arbiter.charge(idx, shard_cost[shard]);
                     if rt.traffic.is_closed_loop() && req.kind == AccessKind::Read {
                         pending_fb[idx] = Some((worker, windex));
                     }
@@ -1170,6 +1272,7 @@ impl MultiTenantHost {
                         worker,
                         windex,
                     });
+                    arbiter.charge(idx, shard_cost[shard]);
                     if record && serve_log.len() < SERVE_LOG_CAP {
                         serve_log.push(ServedSlot {
                             tenant: rt.id,
@@ -1277,10 +1380,7 @@ impl MultiTenantHost {
             quantum: self.cfg.quantum,
             initial_shards: self.sharded.n_shards() as u32,
             stage_units: self.sharded.n_stage_units() as u32,
-            pipeline: match self.sharded.pipeline().kind {
-                PipelineKind::Serial => "serial".into(),
-                PipelineKind::Staged => "staged".into(),
-            },
+            pipeline: self.sharded.pipeline_label().into(),
             capacity: match self.cfg.capacity {
                 CapacityKind::Olat => "olat".into(),
                 CapacityKind::Cadence => "cadence".into(),
@@ -1412,6 +1512,7 @@ impl MultiTenantHost {
                         TenantState::Active => None,
                         TenantState::Evicted { at } => Some(at),
                     },
+                    capacity_share: t.worst_case_util,
                 }
             })
             .collect();
@@ -1424,6 +1525,7 @@ impl MultiTenantHost {
             shard_utilization: self.sharded.utilization(self.clock),
             shard_queueing_cycles: self.sharded.queueing_cycles(),
             pipeline: self.sharded.pipeline().kind,
+            pipeline_label: self.sharded.pipeline_label(),
             shard_service_cycles: self.sharded.service_cycles(),
             mean_service_cycles: self.sharded.mean_service_cycles(),
             p50_service_cycles: self.sharded.p50_service_cycles(),
@@ -1435,8 +1537,7 @@ impl MultiTenantHost {
             fleet_capacity: self.capacity(),
             round_slot_capacity: crate::calendar::round_slot_capacity(
                 self.cfg.quantum,
-                model.effective_cadence(),
-                self.sharded.n_shards(),
+                &self.sharded.pricing_cadences(self.cfg.capacity),
             ),
             fleet_budget_bits: self.ledger.fleet_budget_bits(),
             fleet_spent_bits: self.ledger.fleet_spent_bits(),
@@ -1810,6 +1911,115 @@ mod tests {
         assert!(matches!(err, HostError::Saturated { .. }), "{err:?}");
         // The pool is untouched after the refusal.
         assert_eq!(host.report().shard_accesses.len(), 4);
+    }
+
+    /// A two-class mix whose pricing cadence genuinely moves with the
+    /// shard count: class 0 (a tiny staged pipeline) is the cheap one,
+    /// so a one-shard pool prices slots at its short cadence while two
+    /// or more shards instantiate the serial class and the conservative
+    /// max jumps to a full small-geometry OLAT.
+    fn cadence_moving_mix() -> Vec<ShardClass> {
+        vec![
+            ShardClass {
+                oram: OramConfig {
+                    data: otc_oram::TreeGeometry::new(7, 3, 64, 16),
+                    posmaps: vec![
+                        otc_oram::TreeGeometry::new(4, 3, 32, 16),
+                        otc_oram::TreeGeometry::new(3, 3, 32, 16),
+                    ],
+                    seed: 0x717E_5EED,
+                },
+                pipeline: PipelineConfig::staged(),
+            },
+            ShardClass {
+                oram: OramConfig::small(),
+                pipeline: PipelineConfig::serial(),
+            },
+        ]
+    }
+
+    #[test]
+    fn resize_reprices_rows_admitted_under_the_old_geometry() {
+        // Regression: rows admitted before a resize kept their
+        // old-geometry capacity_share, so the ledger's
+        // fleet_capacity_share() silently diverged from what the live
+        // pool's model actually charges — and a tenant admitted after
+        // the resize was priced on a different basis than its
+        // identically-configured neighbor admitted before it.
+        let cfg = HostConfig {
+            shard_mix: cadence_moving_mix(),
+            capacity: CapacityKind::Cadence,
+            ..HostConfig::small()
+        };
+        let mut host = MultiTenantHost::new(cfg).expect("builds");
+        let rates = [900u64, 1_500];
+        let a = host
+            .add_tenant(&spec(
+                "a",
+                SpecBenchmark::Mcf,
+                RatePolicy::Static { rate: rates[0] },
+            ))
+            .expect("admit");
+        host.add_tenant(&spec(
+            "b",
+            SpecBenchmark::Hmmer,
+            RatePolicy::Static { rate: rates[1] },
+        ))
+        .expect("admit");
+        // Every churn event must leave the ledger's occupancy rows, the
+        // host's live demand, and a from-scratch pricing under the
+        // current model in exact agreement.
+        let assert_priced_fresh = |host: &MultiTenantHost, active_rates: &[u64]| {
+            let model = host.capacity_model();
+            let fresh: f64 = active_rates
+                .iter()
+                .map(|&r| model.slot_utilization(r))
+                .sum();
+            assert_eq!(host.fleet_demand(), fresh, "host demand stale");
+            assert_eq!(
+                host.ledger().fleet_capacity_share(),
+                fresh,
+                "ledger rows stale"
+            );
+        };
+        assert_priced_fresh(&host, &rates);
+        host.run_for(1 << 18);
+        // Shrink to one shard: only the cheap staged class remains, the
+        // pricing cadence drops, every surviving row must re-price.
+        let cadence_before = host.capacity_model().effective_cadence();
+        host.resize_shards(1).expect("shrink");
+        let cadence_after = host.capacity_model().effective_cadence();
+        assert!(
+            cadence_after < cadence_before,
+            "mix must move the pricing for this regression to bite \
+             ({cadence_before} -> {cadence_after})"
+        );
+        assert_priced_fresh(&host, &rates);
+        host.run_for(1 << 18);
+        // A tenant admitted under the new geometry with tenant a's exact
+        // policy must carry the same share as a's re-priced row.
+        let c = host
+            .add_tenant(&spec(
+                "c",
+                SpecBenchmark::Sjeng,
+                RatePolicy::Static { rate: rates[0] },
+            ))
+            .expect("admit post-resize");
+        assert_eq!(
+            host.ledger().entry(a).capacity_share,
+            host.ledger().entry(c).capacity_share,
+            "same policy, same pool, different price"
+        );
+        assert_priced_fresh(&host, &[900, 1_500, 900]);
+        // Grow back: both classes in use again, rows re-price upward;
+        // an eviction then drops exactly the frozen row's share.
+        host.resize_shards(3).expect("grow");
+        assert_priced_fresh(&host, &[900, 1_500, 900]);
+        host.run_for(1 << 18);
+        host.evict(a).expect("evict");
+        assert_priced_fresh(&host, &[1_500, 900]);
+        host.run_for(1 << 18);
+        assert!(host.report().all_within_budget());
     }
 
     #[test]

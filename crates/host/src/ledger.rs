@@ -39,10 +39,17 @@ pub struct LedgerEntry {
     pub frozen: bool,
 }
 
-/// The single budget predicate used everywhere bits are compared (the
-/// epsilon absorbs float accumulation in `lg |R|` multiples).
+/// The single budget predicate used everywhere bits are compared. The
+/// epsilon absorbs float accumulation in `lg |R|` multiples and scales
+/// *relatively* with the budget: a large-`Tmax` schedule accumulates
+/// thousands of `transitions × lg |R|` products whose rounding error
+/// grows with the magnitude, so a fixed absolute `1e-9` would flag
+/// exact-budget spends as violations once budgets reach ~10⁷ bits
+/// (f64 ulp at 2²³ is ≈ 1e-9; beyond that the old epsilon was under
+/// one ulp and the predicate was effectively `<=`). The `max(1.0)`
+/// floor keeps tiny and zero budgets on the old absolute tolerance.
 pub fn within_budget_bits(spent_bits: f64, budget_bits: f64) -> bool {
-    spent_bits <= budget_bits + 1e-9
+    spent_bits <= budget_bits + 1e-9 * budget_bits.abs().max(1.0)
 }
 
 impl LedgerEntry {
@@ -105,6 +112,21 @@ impl LeakageLedger {
     /// The row keeps contributing to every fleet sum.
     pub fn freeze(&mut self, tenant: usize) {
         self.entries[tenant].frozen = true;
+    }
+
+    /// Re-prices an active tenant's occupancy to `capacity_share`
+    /// (called when a resize changes the pool's pricing cadence — rows
+    /// admitted before the resize would otherwise keep old-geometry
+    /// shares and [`LeakageLedger::fleet_capacity_share`] would silently
+    /// diverge from the host's live demand). Frozen rows are left
+    /// untouched: an evicted tenant occupies nothing and its historical
+    /// record stays as admitted.
+    pub fn reprice(&mut self, tenant: usize, capacity_share: f64) {
+        let e = &mut self.entries[tenant];
+        if e.frozen {
+            return;
+        }
+        e.capacity_share = capacity_share;
     }
 
     /// Per-tenant rows.
@@ -202,6 +224,50 @@ mod tests {
         l.freeze(0);
         assert_eq!(l.fleet_capacity_share(), 0.25);
         assert_eq!(l.entry(0).capacity_share, 0.5, "row keeps its record");
+    }
+
+    #[test]
+    fn reprice_moves_active_rows_and_skips_frozen_ones() {
+        let mut l = LeakageLedger::new();
+        l.add_tenant(0, 4, EpochSchedule::scaled(4), 0.5);
+        l.add_tenant(1, 4, EpochSchedule::scaled(4), 0.3);
+        l.freeze(1);
+        l.reprice(0, 0.125);
+        l.reprice(1, 0.999);
+        assert_eq!(l.entry(0).capacity_share, 0.125);
+        assert_eq!(l.entry(1).capacity_share, 0.3, "frozen row untouched");
+        assert_eq!(l.fleet_capacity_share(), 0.125);
+    }
+
+    #[test]
+    fn budget_boundary_scales_with_the_budget_magnitude() {
+        // At a 2^24-bit budget one ulp is ≈ 3.7e-9 — already past the
+        // old absolute 1e-9, so an exact-budget spend whose last
+        // rounding step landed one ulp high would have been flagged as
+        // a violation. The relative epsilon admits float noise scaled
+        // to the budget while still rejecting any real overspend.
+        let budget = 16_777_216.0f64; // 2^24
+        let one_ulp_over = f64::from_bits(budget.to_bits() + 1);
+        assert!(
+            one_ulp_over > budget + 1e-9,
+            "one ulp at this magnitude exceeds the old absolute epsilon"
+        );
+        assert!(within_budget_bits(budget, budget));
+        assert!(within_budget_bits(one_ulp_over, budget));
+        // A real overspend — a fraction of one transition's lg |R| —
+        // still trips the predicate.
+        assert!(!within_budget_bits(budget + 0.1, budget));
+        // Exact-budget spends through the ledger stay exact: the same
+        // `transitions × lg |R|` product computes both sides.
+        let mut l = LeakageLedger::new();
+        l.add_tenant(0, 4, EpochSchedule::scaled(2), 0.5);
+        let total = l.entry(0).model.schedule().total_epochs() as u64;
+        l.record_transitions(0, total);
+        assert_eq!(l.entry(0).spent_bits, l.entry(0).budget_bits);
+        assert!(l.all_within_budget());
+        // Tiny and zero budgets keep the old absolute tolerance.
+        assert!(within_budget_bits(1e-10, 0.0));
+        assert!(!within_budget_bits(1e-3, 0.0));
     }
 
     #[test]

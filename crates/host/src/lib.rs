@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arbiter;
 mod calendar;
 mod host;
 mod ledger;
@@ -71,14 +72,17 @@ mod tenant;
 mod timeq;
 mod traffic;
 
+pub use arbiter::ArbiterKind;
 pub use calendar::{round_slot_capacity, CalendarQueue};
 pub use host::{
     HostConfig, HostError, HostReport, MultiTenantHost, ParallelKind, SchedulerKind, ServedSlot,
     TenantReport, TenantSpec,
 };
 pub use ledger::{within_budget_bits, LeakageLedger, LedgerEntry};
-pub use report::{capacity_summary, leakage_summary, render, shard_summary, tenant_table};
-pub use shard::{PipelineConfig, PipelineKind, ShardService, ShardedOram};
+pub use report::{
+    capacity_summary, fairness_table, leakage_summary, render, shard_summary, tenant_table,
+};
+pub use shard::{PipelineConfig, PipelineKind, ShardClass, ShardService, ShardedOram};
 pub use tenant::{TenantDirectory, TenantEntry};
 pub use timeq::{TimeQ, TimedEvent};
 pub use traffic::{LoopMode, Request, TenantTraffic, TrafficPull};

@@ -23,7 +23,7 @@ use std::thread::JoinHandle;
 
 use otc_dram::Cycle;
 
-use crate::shard::{Lane, LaneOp, LaneParams, ShardService};
+use crate::shard::{Lane, LaneOp, ShardService};
 
 /// One unit of shard work: which lane, at what slot time, doing what.
 #[derive(Debug, Clone, Copy)]
@@ -127,15 +127,13 @@ impl WorkerChannel {
 }
 
 /// One round's worth of work handed to a pool worker: the lanes it owns
-/// for the round, a copy of the shared timing parameters, and the
+/// for the round (each lane carries its own timing parameters) and the
 /// channel the spine posts requests on. `stride` is the active worker
 /// count — lane `i` lives at position `i / stride` in `lanes` (the
 /// spine deals lane `i` to worker `i % stride`).
 pub(crate) struct RoundWork {
     /// This worker's lanes for the round (returned when it ends).
     pub(crate) lanes: Vec<Lane>,
-    /// Shared pool timing parameters.
-    pub(crate) params: LaneParams,
     /// The spine→worker request channel for the round.
     pub(crate) channel: Arc<WorkerChannel>,
     /// Active worker count (lane-index stride).
@@ -170,11 +168,7 @@ impl WorkerPool {
                 let handle = std::thread::spawn(move || {
                     while let Ok(mut round) = work_rx.recv() {
                         while let Some(req) = round.channel.next_request() {
-                            let svc = round.lanes[req.lane / round.stride].execute(
-                                &round.params,
-                                req.op,
-                                req.at,
-                            );
+                            let svc = round.lanes[req.lane / round.stride].execute(req.op, req.at);
                             round.channel.complete(svc);
                         }
                         if lanes_tx.send(round.lanes).is_err() {

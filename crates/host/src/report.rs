@@ -59,6 +59,59 @@ pub fn tenant_table(report: &HostReport) -> String {
     out
 }
 
+/// Renders the per-tenant fairness table: each tenant's admitted
+/// capacity share (its WDRR weight), that weight as a fraction of the
+/// active fleet's total, its served-slot share of the fleet, and the
+/// attainment ratio between the two. Slot grids are rate-periodic, so
+/// in a saturating steady state an active tenant's slot share tracks
+/// its weight share — attainment near 1.00 is the fairness the arbiter
+/// is gated on (`otc bench --fairness`). Evicted tenants keep their
+/// frozen share but show no attainment: their slot counts stopped at
+/// eviction while the fleet's kept growing.
+pub fn fairness_table(report: &HostReport) -> String {
+    let active_weight: f64 = report
+        .tenants
+        .iter()
+        .filter(|t| t.is_active())
+        .map(|t| t.capacity_share)
+        .sum::<f64>()
+        + 0.0;
+    let fleet_slots: u64 = report.tenants.iter().map(|t| t.slots_served).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10}{:>9}{:>10}{:>10}{:>12}{:>10}{:>9}\n",
+        "tenant", "state", "share", "weight%", "slots", "slot%", "attain"
+    ));
+    for t in &report.tenants {
+        let weight_pct = if t.is_active() && active_weight > 0.0 {
+            t.capacity_share / active_weight * 100.0
+        } else {
+            0.0
+        };
+        let slot_pct = if fleet_slots > 0 {
+            t.slots_served as f64 / fleet_slots as f64 * 100.0
+        } else {
+            0.0
+        };
+        let attain = if t.is_active() && weight_pct > 0.0 {
+            format!("{:.2}", slot_pct / weight_pct)
+        } else {
+            "-".into()
+        };
+        out.push_str(&format!(
+            "{:<10}{:>9}{:>10}{:>10}{:>12}{:>10}{:>9}\n",
+            t.name,
+            if t.is_active() { "active" } else { "evicted" },
+            format!("{:.4}", t.capacity_share),
+            format!("{weight_pct:.1}"),
+            t.slots_served,
+            format!("{slot_pct:.1}"),
+            attain,
+        ));
+    }
+    out
+}
+
 /// Renders the shard utilization line, including the pipeline
 /// discipline and the mean per-access service time it governs.
 pub fn shard_summary(report: &HostReport) -> String {
@@ -81,11 +134,11 @@ pub fn shard_summary(report: &HostReport) -> String {
         String::new()
     };
     format!(
-        "shards: {} ({:?} pipeline) | per-shard accesses {:?}{} | utilization [{}] | \
+        "shards: {} ({} pipeline) | per-shard accesses {:?}{} | utilization [{}] | \
          mean service {:.1} cycles | p50 service {} cycles | p99 service {} cycles | \
          queueing {} cycles{}",
         report.shard_accesses.len(),
-        report.pipeline,
+        report.pipeline_label,
         report.shard_accesses,
         retired,
         utils.join(" "),
@@ -129,12 +182,14 @@ pub fn leakage_summary(report: &HostReport) -> String {
     )
 }
 
-/// Full report: tenant table + shard + capacity + leakage summaries.
+/// Full report: tenant table + fairness table + shard + capacity +
+/// leakage summaries.
 pub fn render(report: &HostReport) -> String {
     format!(
-        "horizon: {} cycles\n{}\n{}\n{}\n{}\n",
+        "horizon: {} cycles\n{}\n{}\n{}\n{}\n{}\n",
         report.horizon,
         tenant_table(report),
+        fairness_table(report),
         shard_summary(report),
         capacity_summary(report),
         leakage_summary(report)
@@ -167,7 +222,8 @@ mod tests {
         assert!(text.contains("alpha") && text.contains("beta"));
         assert!(text.contains("fleet leakage"));
         assert!(text.contains("within budget"));
-        assert!(text.contains("Serial pipeline"));
+        assert!(text.contains("serial pipeline"));
+        assert!(text.contains("attain"));
         assert!(text.contains("mean service"));
         assert!(text.contains("p50 service"));
         assert!(text.contains("p99 service"));

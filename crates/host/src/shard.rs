@@ -165,9 +165,54 @@ pub struct ShardService {
     pub queued_cycles: Cycle,
 }
 
-/// Pool-wide timing parameters every lane charges against. Immutable
-/// during a round, so worker threads share one clone while each owns
-/// its set of [`Lane`]s.
+/// One shard class of a heterogeneous pool: the ORAM geometry its
+/// shards are built from plus the pipeline discipline they run. A
+/// [`ShardedOram`] instantiates its shards round-robin over a mix of
+/// classes (shard `i` gets class `i % mix.len()`), so the class of a
+/// given shard index is stable across online resizes.
+#[derive(Debug, Clone)]
+pub struct ShardClass {
+    /// ORAM geometry of this class's shards (each still gets a
+    /// shard-unique seed via [`OramConfig::shard`]).
+    pub oram: OramConfig,
+    /// Pipeline discipline this class's shards run.
+    pub pipeline: PipelineConfig,
+}
+
+/// One class of the pool's mix with its derived figures, precomputed at
+/// construction so resizes can mint new shards without re-deriving.
+#[derive(Clone)]
+struct MixClass {
+    class: ShardClass,
+    params: LaneParams,
+    capacity: u64,
+    units: usize,
+}
+
+impl MixClass {
+    /// Steady-state initiation interval of this class's shards under
+    /// their own discipline.
+    fn effective_cadence(&self) -> Cycle {
+        self.params
+            .pipeline
+            .kind
+            .effective_cadence(&self.params.plan)
+    }
+
+    /// The per-slot figure admission prices this class's shards at
+    /// under `kind`: the class `OLAT` under olat pricing, the class's
+    /// own pipeline cadence under cadence pricing.
+    fn pricing_cadence(&self, kind: CapacityKind) -> Cycle {
+        match kind {
+            CapacityKind::Olat => self.params.olat,
+            CapacityKind::Cadence => self.effective_cadence(),
+        }
+    }
+}
+
+/// Per-shard timing parameters a lane charges against. Every lane owns
+/// its copy (shards of different classes have different geometry and
+/// discipline), so worker threads need nothing shared to execute one.
 #[derive(Clone)]
 pub(crate) struct LaneParams {
     /// Per-access latency (`OLAT`, the full stage sum).
@@ -215,6 +260,9 @@ pub(crate) enum LaneOp {
 pub(crate) struct Lane {
     /// This lane's shard index (reported in [`ShardService::shard`]).
     index: usize,
+    /// This lane's own timing parameters (its class's geometry and
+    /// discipline — lanes of one pool may differ).
+    params: LaneParams,
     /// The shard's ORAM instance.
     oram: RecursivePathOram,
     /// Serial mode: when the shard frees up.
@@ -242,9 +290,16 @@ pub(crate) struct Lane {
 }
 
 impl Lane {
-    fn new(index: usize, oram: RecursivePathOram, units: usize, hist_width: u64) -> Self {
+    fn new(
+        index: usize,
+        params: LaneParams,
+        oram: RecursivePathOram,
+        units: usize,
+        hist_width: u64,
+    ) -> Self {
         Self {
             index,
+            params,
             oram,
             busy_until: 0,
             stage_free: vec![0; units],
@@ -261,18 +316,19 @@ impl Lane {
     /// Serial charge: one opaque `OLAT`, strictly sequential per shard.
     /// This arithmetic is the pre-pipeline reference and must stay
     /// bit-identical (`tests/pipeline_equivalence.rs` pins it).
-    fn charge(&mut self, p: &LaneParams, at: Cycle) -> ShardService {
+    fn charge(&mut self, at: Cycle) -> ShardService {
+        let olat = self.params.olat;
         let start = at.max(self.busy_until);
         let queued_cycles = start - at;
         self.queueing_cycles += queued_cycles;
-        self.busy_until = start + p.olat;
+        self.busy_until = start + olat;
         self.accesses += 1;
-        self.service_cycles += start + p.olat - at;
-        self.hist.record(start + p.olat - at);
+        self.service_cycles += start + olat - at;
+        self.hist.record(start + olat - at);
         ShardService {
             shard: self.index,
             start,
-            completion: start + p.olat,
+            completion: start + olat,
             queued_cycles,
         }
     }
@@ -282,7 +338,8 @@ impl Lane {
     /// accesses still occupy the data port; the eviction is deferred
     /// (the caller performs the matching `*_deferred` ORAM op and this
     /// method completes the pending functional drains it schedules).
-    fn charge_staged(&mut self, p: &LaneParams, at: Cycle) -> ShardService {
+    fn charge_staged(&mut self, at: Cycle) -> ShardService {
+        let p = &self.params;
         let data_unit = p.plan.posmap_levels.len();
         // Stage 1..=P: the posmap recursion, one unit per tree.
         let mut t = at;
@@ -344,34 +401,35 @@ impl Lane {
     }
 
     /// Performs one routed operation: the timing charge plus the
-    /// matching ORAM op under the pipeline discipline in force. This is
-    /// the unit of work a parallel worker executes; per-lane FIFO order
-    /// makes it bit-identical to the serial host calling
+    /// matching ORAM op under this lane's own pipeline discipline. This
+    /// is the unit of work a parallel worker executes; per-lane FIFO
+    /// order makes it bit-identical to the serial host calling
     /// [`ShardedOram::read`]/`write`/`dummy_access` in the same order.
-    pub(crate) fn execute(&mut self, p: &LaneParams, op: LaneOp, at: Cycle) -> ShardService {
+    pub(crate) fn execute(&mut self, op: LaneOp, at: Cycle) -> ShardService {
+        let kind = self.params.pipeline.kind;
         match op {
-            LaneOp::Read { local } => match p.pipeline.kind {
+            LaneOp::Read { local } => match kind {
                 PipelineKind::Serial => {
-                    let service = self.charge(p, at);
+                    let service = self.charge(at);
                     let _ = self.oram.read(local);
                     service
                 }
                 PipelineKind::Staged => {
-                    let service = self.charge_staged(p, at);
+                    let service = self.charge_staged(at);
                     let _ = self.oram.read_deferred(local);
                     service
                 }
             },
             LaneOp::Write { local } => {
                 let zeros = [0u8; 64];
-                match p.pipeline.kind {
+                match kind {
                     PipelineKind::Serial => {
-                        let service = self.charge(p, at);
+                        let service = self.charge(at);
                         self.oram.write(local, &zeros);
                         service
                     }
                     PipelineKind::Staged => {
-                        let service = self.charge_staged(p, at);
+                        let service = self.charge_staged(at);
                         self.oram.write_deferred(local, &zeros);
                         service
                     }
@@ -379,14 +437,14 @@ impl Lane {
             }
             LaneOp::Dummy => {
                 self.dummies += 1;
-                match p.pipeline.kind {
+                match kind {
                     PipelineKind::Serial => {
-                        let service = self.charge(p, at);
+                        let service = self.charge(at);
                         self.oram.dummy_access();
                         service
                     }
                     PipelineKind::Staged => {
-                        let service = self.charge_staged(p, at);
+                        let service = self.charge_staged(at);
                         self.oram.dummy_access_deferred();
                         service
                     }
@@ -399,11 +457,13 @@ impl Lane {
 /// Pure address-routing view of a [`ShardedOram`]: enough to map a
 /// global line address to (shard, local address) without borrowing the
 /// pool. The parallel host routes on the spine thread while worker
-/// threads hold the lanes.
-#[derive(Debug, Clone, Copy)]
+/// threads hold the lanes. Shards of different classes can have
+/// different capacities, so routing carries the per-shard capacity
+/// vector.
+#[derive(Debug, Clone)]
 pub(crate) struct ShardRouter {
     n_shards: u64,
-    per_shard_capacity: u64,
+    capacities: Vec<u64>,
 }
 
 impl ShardRouter {
@@ -414,7 +474,7 @@ impl ShardRouter {
 
     /// The shard-local address of global block address `addr`.
     pub(crate) fn local_addr(&self, addr: u64) -> u64 {
-        (addr / self.n_shards) % self.per_shard_capacity
+        (addr / self.n_shards) % self.capacities[(addr % self.n_shards) as usize]
     }
 
     /// Number of shards routed across.
@@ -425,12 +485,18 @@ impl ShardRouter {
 
 /// `N` independent Path ORAM shards behind one flat block address space.
 pub struct ShardedOram {
-    /// Base geometry every shard is derived from (kept for online
-    /// resizing: a grown pool mints new shards from the same base).
-    base: OramConfig,
-    per_shard_capacity: u64,
-    /// Shared timing parameters (immutable during service).
-    params: LaneParams,
+    /// The class mix the pool cycles through: shard `i` is built from
+    /// `mix[i % mix.len()]`, which keeps each index's class stable
+    /// across online resizes.
+    mix: Vec<MixClass>,
+    /// Pool `OLAT`, fixed at construction as the maximum over the mix's
+    /// class `OLAT`s — the figure every tenant slot grid is built from.
+    /// It must not move at resize: surviving streams anchored at
+    /// admission would otherwise shift their periods.
+    olat: Cycle,
+    /// Service-histogram bucket width shared by every lane (derived
+    /// from the pool `OLAT` so mixed-class histograms stay mergeable).
+    hist_width: u64,
     /// Per-shard service state, disjoint by construction.
     lanes: Vec<Lane>,
     /// Accesses/dummies served by shards that a shrink later retired
@@ -452,7 +518,8 @@ impl std::fmt::Debug for ShardedOram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedOram")
             .field("shards", &self.lanes.len())
-            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("classes", &self.mix.len())
+            .field("capacity", &self.capacity())
             .field("accesses", &self.accesses())
             .finish()
     }
@@ -480,36 +547,74 @@ impl ShardedOram {
         n_shards: usize,
         pipeline: PipelineConfig,
     ) -> Result<Self, String> {
+        Self::with_mix(
+            &[ShardClass {
+                oram: base.clone(),
+                pipeline,
+            }],
+            ddr,
+            n_shards,
+        )
+    }
+
+    /// Builds a heterogeneous pool: shard `i` is instantiated from
+    /// `classes[i % classes.len()]`, so the mix cycles round-robin over
+    /// the shard indices and each index's class survives online
+    /// resizes. The pool `OLAT` (what slot grids are built from) is the
+    /// maximum over *all* classes of the mix — conservative for
+    /// whichever shard a slot lands on, and stable whatever subset of
+    /// classes a given shard count instantiates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OramConfig::validate`] failures; rejects
+    /// `n_shards == 0` and an empty class list.
+    pub fn with_mix(
+        classes: &[ShardClass],
+        ddr: &DdrConfig,
+        n_shards: usize,
+    ) -> Result<Self, String> {
         if n_shards == 0 {
             return Err("a sharded ORAM needs at least one shard".into());
         }
-        let timing = OramTiming::derive(base, ddr);
-        let plan = AccessPlan::derive(base, ddr);
-        debug_assert_eq!(plan.total(), timing.latency, "plan must telescope to OLAT");
-        let per_shard_capacity = base.data_block_capacity();
-        let units = plan.posmap_levels.len() + 1;
-        // Deferral keeps at most `max_deferred` undrained paths' blocks in
-        // the stash; two extra paths of slack cover the serial baseline's
-        // transient occupancy.
-        let path_blocks = base.data.levels() as usize * base.data.z();
-        let stash_bound = (pipeline.max_deferred + 2) * path_blocks;
-        let hist_width = (timing.latency / SERVICE_HIST_OLAT_FRACTION).max(1);
-        let lanes = (0..n_shards)
-            .map(|i| {
-                RecursivePathOram::new(base.shard(i as u64))
-                    .map(|oram| Lane::new(i, oram, units, hist_width))
+        if classes.is_empty() {
+            return Err("a sharded ORAM needs at least one shard class".into());
+        }
+        let mix = classes
+            .iter()
+            .map(|class| {
+                let timing = OramTiming::derive(&class.oram, ddr);
+                let plan = AccessPlan::derive(&class.oram, ddr);
+                debug_assert_eq!(plan.total(), timing.latency, "plan must telescope to OLAT");
+                let units = plan.posmap_levels.len() + 1;
+                // Deferral keeps at most `max_deferred` undrained paths'
+                // blocks in the stash; two extra paths of slack cover the
+                // serial baseline's transient occupancy.
+                let path_blocks = class.oram.data.levels() as usize * class.oram.data.z();
+                let stash_bound = (class.pipeline.max_deferred + 2) * path_blocks;
+                MixClass {
+                    capacity: class.oram.data_block_capacity(),
+                    units,
+                    params: LaneParams {
+                        olat: timing.latency,
+                        plan,
+                        pipeline: class.pipeline,
+                        stash_bound,
+                        path_blocks,
+                    },
+                    class: class.clone(),
+                }
             })
+            .collect::<Vec<_>>();
+        let olat = mix.iter().map(|c| c.params.olat).max().expect("non-empty");
+        let hist_width = (olat / SERVICE_HIST_OLAT_FRACTION).max(1);
+        let lanes = (0..n_shards)
+            .map(|i| Self::mint_lane(&mix, i, hist_width))
             .collect::<Result<Vec<_>, String>>()?;
         Ok(Self {
-            base: base.clone(),
-            per_shard_capacity,
-            params: LaneParams {
-                olat: timing.latency,
-                plan,
-                pipeline,
-                stash_bound,
-                path_blocks,
-            },
+            mix,
+            olat,
+            hist_width,
             lanes,
             retired_accesses: 0,
             retired_dummies: 0,
@@ -518,6 +623,20 @@ impl ShardedOram {
             retired_drained: 0,
             retired_hist: Histogram::new(hist_width, SERVICE_HIST_BUCKETS),
         })
+    }
+
+    /// Mints shard `index` from its mix class, with the shard-unique
+    /// seed and the pool-wide histogram width.
+    fn mint_lane(mix: &[MixClass], index: usize, hist_width: u64) -> Result<Lane, String> {
+        let c = &mix[index % mix.len()];
+        RecursivePathOram::new(c.class.oram.shard(index as u64))
+            .map(|oram| Lane::new(index, c.params.clone(), oram, c.units, hist_width))
+    }
+
+    /// The mix classes shard indices `0..n_shards` would instantiate:
+    /// the full mix once `n_shards >= mix.len()`, otherwise the prefix.
+    fn classes_in_use(&self, n_shards: usize) -> &[MixClass] {
+        &self.mix[..self.mix.len().min(n_shards.max(1))]
     }
 
     /// Resizes the pool online to `n_shards`. New shards are minted from
@@ -538,13 +657,8 @@ impl ShardedOram {
             return Err("a sharded ORAM needs at least one shard".into());
         }
         if n_shards > self.lanes.len() {
-            let units = self.params.plan.posmap_levels.len() + 1;
-            let hist_width = self.hist_width();
             let grown = (self.lanes.len()..n_shards)
-                .map(|i| {
-                    RecursivePathOram::new(self.base.shard(i as u64))
-                        .map(|oram| Lane::new(i, oram, units, hist_width))
-                })
+                .map(|i| Self::mint_lane(&self.mix, i, self.hist_width))
                 .collect::<Result<Vec<_>, String>>()?;
             self.lanes.extend(grown);
         } else {
@@ -568,31 +682,64 @@ impl ShardedOram {
 
     /// Total addressable blocks across all shards.
     pub fn capacity(&self) -> u64 {
-        self.per_shard_capacity * self.lanes.len() as u64
+        self.lanes
+            .iter()
+            .map(|l| self.mix[l.index % self.mix.len()].capacity)
+            .sum()
     }
 
-    /// Per-access latency of each shard (`OLAT`).
+    /// Pool `OLAT`: the per-access latency every slot grid is built
+    /// from. For a heterogeneous mix this is the maximum over *all* mix
+    /// classes (fixed at construction, stable across resizes); for a
+    /// homogeneous pool it is exactly that class's `OLAT`.
     pub fn olat(&self) -> Cycle {
-        self.params.olat
+        self.olat
     }
 
-    /// Steady-state initiation interval of one shard under the pipeline
-    /// discipline in force: `OLAT` when serial, the staged cadence
-    /// ([`AccessPlan::staged_cadence`]) when staged. The figure
-    /// cadence-based admission prices one slot at.
+    /// The per-slot service figure cadence-based admission prices this
+    /// pool at: the maximum over the instantiated classes' steady-state
+    /// initiation intervals — conservative for whichever shard a slot
+    /// lands on. Reduces to the single class's cadence (the pre-mix
+    /// figure, bit for bit) for a homogeneous pool.
     pub fn effective_cadence(&self) -> Cycle {
-        self.params
-            .pipeline
-            .kind
-            .effective_cadence(&self.params.plan)
+        self.classes_in_use(self.lanes.len())
+            .iter()
+            .map(MixClass::effective_cadence)
+            .max()
+            .expect("at least one class")
     }
 
     /// The [`CapacityModel`] pricing this pool's slots under `kind`.
     pub fn capacity_model(&self, kind: CapacityKind) -> CapacityModel {
-        self.params
-            .pipeline
-            .kind
-            .capacity_model(&self.params.plan, kind)
+        self.capacity_model_at(self.lanes.len(), kind)
+    }
+
+    /// The [`CapacityModel`] a pool of `n_shards` shards of this mix
+    /// would price slots at — what a resize must re-price admitted
+    /// tenants against, since growing or shrinking can change which mix
+    /// classes are instantiated. The pool `OLAT` never moves (grids are
+    /// anchored on it); only the pricing cadence follows the classes in
+    /// use.
+    pub fn capacity_model_at(&self, n_shards: usize, kind: CapacityKind) -> CapacityModel {
+        let cadence = self
+            .classes_in_use(n_shards)
+            .iter()
+            .map(MixClass::effective_cadence)
+            .max()
+            .expect("at least one class");
+        CapacityModel::from_parts(kind, self.olat, cadence)
+    }
+
+    /// Per-shard pricing cadences under `kind`, in shard-index order —
+    /// what each shard's slots cost the scheduler per round (see
+    /// [`crate::round_slot_capacity`]): the shard's own class `OLAT`
+    /// under olat pricing, its class pipeline cadence under cadence
+    /// pricing.
+    pub fn pricing_cadences(&self, kind: CapacityKind) -> Vec<Cycle> {
+        self.lanes
+            .iter()
+            .map(|l| self.mix[l.index % self.mix.len()].pricing_cadence(kind))
+            .collect()
     }
 
     /// The shard owning global block address `addr` (line-interleaved).
@@ -601,24 +748,29 @@ impl ShardedOram {
     }
 
     fn local_addr(&self, addr: u64) -> u64 {
-        (addr / self.lanes.len() as u64) % self.per_shard_capacity
+        let shard = self.shard_of(addr);
+        (addr / self.lanes.len() as u64) % self.mix[shard % self.mix.len()].capacity
     }
 
-    /// A copyable routing view (shard/local address arithmetic only),
+    /// A cloneable routing view (shard/local address arithmetic only),
     /// valid until the next [`ShardedOram::resize`].
     pub(crate) fn router(&self) -> ShardRouter {
         ShardRouter {
             n_shards: self.lanes.len() as u64,
-            per_shard_capacity: self.per_shard_capacity,
+            capacities: self
+                .lanes
+                .iter()
+                .map(|l| self.mix[l.index % self.mix.len()].capacity)
+                .collect(),
         }
     }
 
-    /// Moves the per-shard lanes out of the pool (with a copy of the
-    /// shared timing parameters) so a parallel host can deal them to
-    /// persistent worker threads for one round. The pool is unusable
-    /// until [`ShardedOram::put_lanes`] returns them.
-    pub(crate) fn take_lanes(&mut self) -> (LaneParams, Vec<Lane>) {
-        (self.params.clone(), std::mem::take(&mut self.lanes))
+    /// Moves the per-shard lanes out of the pool so a parallel host can
+    /// deal them to persistent worker threads for one round (each lane
+    /// carries its own timing parameters). The pool is unusable until
+    /// [`ShardedOram::put_lanes`] returns them.
+    pub(crate) fn take_lanes(&mut self) -> Vec<Lane> {
+        std::mem::take(&mut self.lanes)
     }
 
     /// Restores the lanes taken by [`ShardedOram::take_lanes`], in the
@@ -628,23 +780,18 @@ impl ShardedOram {
         self.lanes = lanes;
     }
 
-    /// Width of the service-histogram buckets (`OLAT / 16`, min 1).
-    fn hist_width(&self) -> u64 {
-        (self.params.olat / SERVICE_HIST_OLAT_FRACTION).max(1)
-    }
-
     /// Reads the block at global address `addr` at slot time `at`.
     pub fn read(&mut self, addr: u64, at: Cycle) -> (Vec<u8>, ShardService) {
         let s = self.shard_of(addr);
         let local = self.local_addr(addr);
         let lane = &mut self.lanes[s];
-        match self.params.pipeline.kind {
+        match lane.params.pipeline.kind {
             PipelineKind::Serial => {
-                let service = lane.charge(&self.params, at);
+                let service = lane.charge(at);
                 (lane.oram.read(local), service)
             }
             PipelineKind::Staged => {
-                let service = lane.charge_staged(&self.params, at);
+                let service = lane.charge_staged(at);
                 (lane.oram.read_deferred(local), service)
             }
         }
@@ -655,14 +802,14 @@ impl ShardedOram {
         let s = self.shard_of(addr);
         let local = self.local_addr(addr);
         let lane = &mut self.lanes[s];
-        match self.params.pipeline.kind {
+        match lane.params.pipeline.kind {
             PipelineKind::Serial => {
-                let service = lane.charge(&self.params, at);
+                let service = lane.charge(at);
                 lane.oram.write(local, data);
                 service
             }
             PipelineKind::Staged => {
-                let service = lane.charge_staged(&self.params, at);
+                let service = lane.charge_staged(at);
                 lane.oram.write_deferred(local, data);
                 service
             }
@@ -674,7 +821,7 @@ impl ShardedOram {
     /// per-tenant PRNG in the host — so dummies carry no global pattern a
     /// shard-granular observer could use to tell them from real accesses.
     pub fn dummy_access(&mut self, shard: usize, at: Cycle) -> ShardService {
-        self.lanes[shard].execute(&self.params, LaneOp::Dummy, at)
+        self.lanes[shard].execute(LaneOp::Dummy, at)
     }
 
     /// Flushes every shard's background eviction queue (staged mode;
@@ -682,9 +829,9 @@ impl ShardedOram {
     /// data ports as if they ran back to back from each port's current
     /// free point — the end-of-run analogue of the idle-cycle drains.
     pub fn drain_evictions(&mut self) {
-        let data_unit = self.params.plan.posmap_levels.len();
-        let evict = self.params.plan.eviction;
         for lane in &mut self.lanes {
+            let data_unit = lane.params.plan.posmap_levels.len();
+            let evict = lane.params.plan.eviction;
             while lane.oram.drain_eviction() {
                 lane.stage_free[data_unit] += evict;
                 lane.stage_busy[data_unit] += evict;
@@ -739,30 +886,24 @@ impl ShardedOram {
         if horizon == 0 {
             return vec![0.0; self.lanes.len()];
         }
-        match self.params.pipeline.kind {
-            PipelineKind::Serial => self
-                .lanes
-                .iter()
-                .map(|l| {
-                    let busy = (l.accesses * self.params.olat)
+        self.lanes
+            .iter()
+            .map(|l| match l.params.pipeline.kind {
+                PipelineKind::Serial => {
+                    let busy = (l.accesses * l.params.olat)
                         .saturating_sub(l.busy_until.saturating_sub(horizon));
                     busy as f64 / horizon as f64
-                })
-                .collect(),
-            PipelineKind::Staged => self
-                .lanes
-                .iter()
-                .map(|l| {
-                    l.stage_busy
-                        .iter()
-                        .zip(&l.stage_free)
-                        .map(|(&b, &f)| {
-                            b.saturating_sub(f.saturating_sub(horizon)) as f64 / horizon as f64
-                        })
-                        .fold(0.0f64, f64::max)
-                })
-                .collect(),
-        }
+                }
+                PipelineKind::Staged => l
+                    .stage_busy
+                    .iter()
+                    .zip(&l.stage_free)
+                    .map(|(&b, &f)| {
+                        b.saturating_sub(f.saturating_sub(horizon)) as f64 / horizon as f64
+                    })
+                    .fold(0.0f64, f64::max),
+            })
+            .collect()
     }
 
     /// Read access to one shard (instrumentation only).
@@ -770,21 +911,39 @@ impl ShardedOram {
         &self.lanes[index].oram
     }
 
-    /// The pipeline discipline in force.
+    /// The pipeline discipline of the pool's first mix class. Exact for
+    /// a homogeneous pool; for a mixed pool use
+    /// [`ShardedOram::pipeline_label`] or the per-shard figures instead.
     pub fn pipeline(&self) -> PipelineConfig {
-        self.params.pipeline
+        self.mix[0].params.pipeline
     }
 
-    /// The staged decomposition of one access (stage costs sum to
-    /// [`ShardedOram::olat`] exactly).
+    /// A human-readable pipeline label: `"serial"` / `"staged"` when
+    /// every instantiated class agrees, `"mixed"` otherwise.
+    pub fn pipeline_label(&self) -> &'static str {
+        let classes = self.classes_in_use(self.lanes.len());
+        let first = classes[0].params.pipeline.kind;
+        if classes.iter().all(|c| c.params.pipeline.kind == first) {
+            match first {
+                PipelineKind::Serial => "serial",
+                PipelineKind::Staged => "staged",
+            }
+        } else {
+            "mixed"
+        }
+    }
+
+    /// The staged decomposition of one access for the pool's first mix
+    /// class (stage costs sum to that class's `OLAT` exactly). Exact
+    /// for a homogeneous pool.
     pub fn plan(&self) -> &AccessPlan {
-        &self.params.plan
+        &self.mix[0].params.plan
     }
 
-    /// Staged mode's forced-drain threshold on a shard's data-tree
-    /// stash, in blocks.
+    /// Staged mode's forced-drain threshold on a first-class shard's
+    /// data-tree stash, in blocks.
     pub fn stash_bound(&self) -> usize {
-        self.params.stash_bound
+        self.mix[0].params.stash_bound
     }
 
     /// Σ (completion − request time) over all accesses, including
@@ -853,19 +1012,24 @@ impl ShardedOram {
     /// serial mode (the whole shard is one unit), posmap trees plus the
     /// data port in staged mode.
     pub fn n_stage_units(&self) -> usize {
-        match self.params.pipeline.kind {
-            PipelineKind::Serial => 1,
-            PipelineKind::Staged => self.params.plan.posmap_levels.len() + 1,
-        }
+        self.classes_in_use(self.lanes.len())
+            .iter()
+            .map(|c| match c.params.pipeline.kind {
+                PipelineKind::Serial => 1,
+                PipelineKind::Staged => c.units,
+            })
+            .max()
+            .expect("at least one class")
     }
 
     /// Cumulative busy cycles per pipeline unit of one shard. Serial
     /// shards report their single opaque unit (`accesses × OLAT`);
     /// staged shards report each unit's accumulated stage time.
     pub fn stage_busy_snapshot(&self, shard: usize) -> Vec<u64> {
-        match self.params.pipeline.kind {
-            PipelineKind::Serial => vec![self.lanes[shard].accesses * self.params.olat],
-            PipelineKind::Staged => self.lanes[shard].stage_busy.clone(),
+        let lane = &self.lanes[shard];
+        match lane.params.pipeline.kind {
+            PipelineKind::Serial => vec![lane.accesses * lane.params.olat],
+            PipelineKind::Staged => lane.stage_busy.clone(),
         }
     }
 
@@ -1203,8 +1367,8 @@ mod tests {
                     1 => LaneOp::Write { local },
                     _ => LaneOp::Dummy,
                 };
-                let (params, mut lanes) = via_lane.take_lanes();
-                let got = lanes[s].execute(&params, op, at);
+                let mut lanes = via_lane.take_lanes();
+                let got = lanes[s].execute(op, at);
                 via_lane.put_lanes(lanes);
                 assert_eq!(got, expect, "op {i}");
             }
@@ -1241,5 +1405,178 @@ mod tests {
         s.read(1, 1_000);
         s.read(3, 1_000 + 2 * olat);
         assert_eq!(s.queueing_cycles(), olat);
+    }
+
+    /// A second, smaller geometry for heterogeneous-mix tests (one fewer
+    /// data level, one fewer recursion level than [`OramConfig::small`]).
+    fn tiny() -> OramConfig {
+        OramConfig {
+            data: otc_oram::TreeGeometry::new(7, 3, 64, 16),
+            posmaps: vec![
+                otc_oram::TreeGeometry::new(4, 3, 32, 16),
+                otc_oram::TreeGeometry::new(3, 3, 32, 16),
+            ],
+            seed: 0x717E_5EED,
+        }
+    }
+
+    fn mixed(n: usize) -> ShardedOram {
+        ShardedOram::with_mix(
+            &[
+                ShardClass {
+                    oram: OramConfig::small(),
+                    pipeline: PipelineConfig::serial(),
+                },
+                ShardClass {
+                    oram: tiny(),
+                    pipeline: PipelineConfig::staged(),
+                },
+            ],
+            &DdrConfig::default(),
+            n,
+        )
+        .expect("valid mix")
+    }
+
+    #[test]
+    fn with_mix_rejects_degenerate_inputs() {
+        let ddr = DdrConfig::default();
+        assert!(ShardedOram::with_mix(&[], &ddr, 2).is_err());
+        let class = ShardClass {
+            oram: OramConfig::small(),
+            pipeline: PipelineConfig::serial(),
+        };
+        assert!(ShardedOram::with_mix(&[class], &ddr, 0).is_err());
+    }
+
+    #[test]
+    fn homogeneous_mix_matches_with_pipeline_exactly() {
+        // with_pipeline is now a one-class mix; every aggregate figure
+        // must be bit-identical to the pre-mix pool.
+        let via_pipeline = staged(3);
+        let via_mix = ShardedOram::with_mix(
+            &[ShardClass {
+                oram: OramConfig::small(),
+                pipeline: PipelineConfig::staged(),
+            }],
+            &DdrConfig::default(),
+            3,
+        )
+        .expect("valid");
+        assert_eq!(via_mix.olat(), via_pipeline.olat());
+        assert_eq!(via_mix.capacity(), via_pipeline.capacity());
+        assert_eq!(
+            via_mix.effective_cadence(),
+            via_pipeline.effective_cadence()
+        );
+        assert_eq!(via_mix.pipeline_label(), "staged");
+        for kind in [CapacityKind::Olat, CapacityKind::Cadence] {
+            assert_eq!(
+                via_mix.capacity_model(kind).effective_cadence(),
+                via_pipeline.capacity_model(kind).effective_cadence()
+            );
+            assert_eq!(
+                via_mix.pricing_cadences(kind),
+                via_pipeline.pricing_cadences(kind)
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_pool_capacity_and_routing_follow_the_classes() {
+        let m = mixed(4);
+        let small_cap = OramConfig::small().data_block_capacity();
+        let tiny_cap = tiny().data_block_capacity();
+        assert!(tiny_cap < small_cap);
+        // Shards 0,2 are class small; 1,3 are class tiny.
+        assert_eq!(m.capacity(), 2 * small_cap + 2 * tiny_cap);
+        let r = m.router();
+        for addr in 0..64u64 {
+            assert_eq!(r.shard_of(addr), m.shard_of(addr));
+            assert_eq!(r.local_addr(addr), m.local_addr(addr));
+            let shard = m.shard_of(addr);
+            let cap = if shard.is_multiple_of(2) {
+                small_cap
+            } else {
+                tiny_cap
+            };
+            assert!(m.local_addr(addr) < cap);
+        }
+    }
+
+    #[test]
+    fn mixed_pool_reads_its_writes_on_every_class() {
+        let mut m = mixed(4);
+        let payload = vec![0xABu8; 64];
+        for addr in [0u64, 1, 2, 3, 40, 41, 42, 43] {
+            m.write(addr, &payload, 0);
+        }
+        for addr in [0u64, 1, 2, 3, 40, 41, 42, 43] {
+            assert_eq!(m.read(addr, 0).0, payload, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn mixed_pool_aggregates_are_the_conservative_maxima() {
+        let m = mixed(4);
+        let small_pool = small(1);
+        let tiny_staged = ShardedOram::with_mix(
+            &[ShardClass {
+                oram: tiny(),
+                pipeline: PipelineConfig::staged(),
+            }],
+            &DdrConfig::default(),
+            1,
+        )
+        .expect("valid");
+        // Pool OLAT is the max over classes (small's — the bigger tree).
+        assert!(tiny_staged.olat() < small_pool.olat());
+        assert_eq!(m.olat(), small_pool.olat());
+        // Pricing cadence is the max over classes in use: the serial
+        // small class's full OLAT dominates the tiny staged cadence.
+        assert_eq!(m.effective_cadence(), small_pool.olat());
+        assert_eq!(m.pipeline_label(), "mixed");
+        // Per-shard pricing alternates with the class assignment.
+        let cadences = m.pricing_cadences(CapacityKind::Cadence);
+        assert_eq!(cadences.len(), 4);
+        assert_eq!(cadences[0], small_pool.olat());
+        assert_eq!(cadences[1], tiny_staged.effective_cadence());
+        assert_eq!(cadences[0], cadences[2]);
+        assert_eq!(cadences[1], cadences[3]);
+        // Olat pricing charges each shard its own class OLAT.
+        let olats = m.pricing_cadences(CapacityKind::Olat);
+        assert_eq!(olats[0], small_pool.olat());
+        assert_eq!(olats[1], tiny_staged.olat());
+        // A one-shard pool of this mix only instantiates class 0, and
+        // the would-be pricing model reflects that; the pool OLAT stays
+        // anchored at the construction-time max regardless.
+        let at1 = m.capacity_model_at(1, CapacityKind::Cadence);
+        assert_eq!(at1.effective_cadence(), small_pool.olat());
+        assert_eq!(at1.olat(), m.olat());
+    }
+
+    #[test]
+    fn mixed_pool_resize_cycles_the_class_template() {
+        let mut m = mixed(2);
+        let small_cap = OramConfig::small().data_block_capacity();
+        let tiny_cap = tiny().data_block_capacity();
+        assert_eq!(m.capacity(), small_cap + tiny_cap);
+        let olat_before = m.olat();
+        // Grow: shards 2 and 3 must pick up classes 0 and 1 again.
+        m.resize(4).expect("grow");
+        assert_eq!(m.capacity(), 2 * (small_cap + tiny_cap));
+        assert_eq!(m.olat(), olat_before, "pool OLAT is resize-stable");
+        // Shrink to one shard: only class 0 remains instantiated.
+        m.resize(1).expect("shrink");
+        assert_eq!(m.capacity(), small_cap);
+        assert_eq!(m.pipeline_label(), "serial");
+        assert_eq!(m.olat(), olat_before, "pool OLAT is resize-stable");
+        // Mixed service histograms stay mergeable across classes: serve
+        // a little traffic on both classes after growing back.
+        m.resize(4).expect("grow again");
+        for addr in 0..8u64 {
+            m.read(addr, addr * 50_000);
+        }
+        assert_eq!(m.service_histogram().total(), 8);
     }
 }

@@ -1,0 +1,233 @@
+//! Replay + property suite for the WDRR port arbiter (the fairness
+//! analogue of the pipeline and capacity replay suites):
+//!
+//! 1. **Equal weights replay the legacy scheduler bit for bit** — a
+//!    fleet of identically-priced tenants under `ArbiterKind::Wdrr`
+//!    produces byte-identical serve logs, slot traces, and ledger sums
+//!    to `ArbiterKind::Rotation` (the pre-WDRR rotating round-robin),
+//!    across schedulers, pipelines, mixed pools, and churn. Uniform
+//!    weighted fairness *is* round-robin fairness, so the arbiter must
+//!    vanish from the observables.
+//! 2. **The arbiter reorders, never re-serves** — whatever the weights,
+//!    every tenant's slot grid (and hence its served-slot count) is
+//!    pure stream state; mixed weights may permute same-cycle port
+//!    ties but cannot add or remove service.
+//! 3. **64-case saturating property sweep** — random tenant mixes
+//!    admitted to saturation on random (including heterogeneous) pools:
+//!    every tenant's served-slot share stays within one scheduling
+//!    quantum's worth of its slots of its admitted weight share.
+//!
+//! CI replays this suite with fixed seeds; nondeterminism in the credit
+//! arithmetic would show up as a diff between runs.
+
+use otc_core::RatePolicy;
+use otc_host::{
+    ArbiterKind, CapacityKind, HostConfig, HostError, LoopMode, MultiTenantHost, PipelineConfig,
+    SchedulerKind, ShardClass, TenantSpec,
+};
+use otc_oram::{OramConfig, TreeGeometry};
+
+fn spec(name: &str, policy: RatePolicy) -> TenantSpec {
+    TenantSpec {
+        name: name.into(),
+        benchmark: otc_workloads::SpecBenchmark::Mcf,
+        policy,
+        instructions: 50_000,
+    }
+}
+
+/// The small geometry's little sibling (one level shallower at every
+/// tree) — cheap enough that a staged lane of it prices well under a
+/// serial small lane, which is what makes a mix heterogeneous in the
+/// ways that matter here.
+fn tiny() -> OramConfig {
+    OramConfig {
+        data: TreeGeometry::new(7, 3, 64, 16),
+        posmaps: vec![
+            TreeGeometry::new(4, 3, 32, 16),
+            TreeGeometry::new(3, 3, 32, 16),
+        ],
+        seed: 0x717E_5EED,
+    }
+}
+
+fn mixed_classes() -> Vec<ShardClass> {
+    vec![
+        ShardClass {
+            oram: OramConfig::small(),
+            pipeline: PipelineConfig::serial(),
+        },
+        ShardClass {
+            oram: tiny(),
+            pipeline: PipelineConfig::staged(),
+        },
+    ]
+}
+
+#[test]
+fn equal_weight_wdrr_replays_the_rotation_arbiter_bit_for_bit() {
+    // Same fleet, same script, both arbiters: with every tenant priced
+    // identically the WDRR credit rank must short-circuit and the serve
+    // logs — cross-tenant *order*, the one thing the arbiter can touch —
+    // must match byte for byte. Exercised over both schedulers and a
+    // heterogeneous pool, with an eviction mid-run (the survivor fleet
+    // is still uniform).
+    for scheduler in [SchedulerKind::Calendar, SchedulerKind::Merge] {
+        let build = |arbiter: ArbiterKind| {
+            let cfg = HostConfig {
+                record_traces: true,
+                scheduler,
+                shard_mix: mixed_classes(),
+                capacity: CapacityKind::Cadence,
+                arbiter,
+                ..HostConfig::small()
+            };
+            let mut host = MultiTenantHost::new(cfg).expect("builds");
+            for i in 0..3 {
+                // Identical policies => identical worst-case shares.
+                host.admit(
+                    &spec(&format!("t{i}"), RatePolicy::Static { rate: 900 }),
+                    LoopMode::Open,
+                )
+                .expect("admit");
+            }
+            host.run_for(1 << 18);
+            host.evict(1).expect("evict");
+            host.run_for(1 << 18);
+            host
+        };
+        let legacy = build(ArbiterKind::Rotation);
+        let wdrr = build(ArbiterKind::Wdrr);
+        assert!(!legacy.serve_log().is_empty());
+        assert_eq!(
+            legacy.serve_log(),
+            wdrr.serve_log(),
+            "{scheduler:?}: equal weights must replay the legacy order"
+        );
+        for id in 0..3 {
+            assert_eq!(legacy.tenant_trace(id), wdrr.tenant_trace(id));
+        }
+        let (rl, rw) = (legacy.report(), wdrr.report());
+        assert_eq!(rl.fleet_spent_bits.to_bits(), rw.fleet_spent_bits.to_bits());
+        assert_eq!(
+            rl.fleet_budget_bits.to_bits(),
+            rw.fleet_budget_bits.to_bits()
+        );
+    }
+}
+
+#[test]
+fn arbiter_reorders_ties_but_never_moves_a_grid() {
+    // Mixed weights on a contended pool: the arbiter may permute
+    // same-cycle port ties, but every tenant's slot trace is pure
+    // stream state — identical under both arbiters — and so is its
+    // served-slot count.
+    let build = |arbiter: ArbiterKind| {
+        let cfg = HostConfig {
+            record_traces: true,
+            n_shards: 1, // one port: every same-cycle tie contends
+            capacity: CapacityKind::Cadence,
+            arbiter,
+            ..HostConfig::small()
+        };
+        let mut host = MultiTenantHost::new(cfg).expect("builds");
+        for (i, rate) in [400u64, 1_300, 2_600].into_iter().enumerate() {
+            host.admit(
+                &spec(&format!("t{i}"), RatePolicy::Static { rate }),
+                LoopMode::Open,
+            )
+            .expect("admit");
+        }
+        host.run_for(1 << 19);
+        host
+    };
+    let legacy = build(ArbiterKind::Rotation);
+    let wdrr = build(ArbiterKind::Wdrr);
+    let (rl, rw) = (legacy.report(), wdrr.report());
+    for (l, w) in rl.tenants.iter().zip(&rw.tenants) {
+        assert_eq!(l.slots_served, w.slots_served, "{}", l.name);
+        assert!(l.slots_served > 50, "{} barely served — weak test", l.name);
+    }
+    for id in 0..3 {
+        assert_eq!(legacy.tenant_trace(id), wdrr.tenant_trace(id));
+    }
+    // The weights really were mixed: shares differ tenant to tenant.
+    let shares: Vec<f64> = rw.tenants.iter().map(|t| t.capacity_share).collect();
+    assert!(shares.windows(2).any(|p| p[0] != p[1]));
+}
+
+#[test]
+fn served_slot_shares_track_weight_shares_across_64_saturating_fleets() {
+    // The acceptance criterion behind `otc bench --fairness`, as a
+    // seeded property sweep: random pools (shard count, class mix,
+    // pricing, scheduler), random static-rate tenants admitted until
+    // the pool saturates, a multi-round run — then every tenant's
+    // served-slot share must sit within one quantum's worth of its own
+    // slots of its admitted weight share.
+    let mut rng = otc_crypto::SplitMix64::new(0xFA1_12E55);
+    for case in 0..64u64 {
+        let n_shards = 1 + rng.next_below(4) as usize;
+        let scheduler = if rng.next_below(2) == 0 {
+            SchedulerKind::Calendar
+        } else {
+            SchedulerKind::Merge
+        };
+        let capacity = if rng.next_below(2) == 0 {
+            CapacityKind::Olat
+        } else {
+            CapacityKind::Cadence
+        };
+        let shard_mix = match rng.next_below(3) {
+            0 => Vec::new(), // homogeneous small/serial
+            1 => mixed_classes(),
+            _ => mixed_classes().into_iter().rev().collect(),
+        };
+        let cfg = HostConfig {
+            n_shards,
+            scheduler,
+            capacity,
+            shard_mix,
+            ..HostConfig::small()
+        };
+        let quantum = cfg.quantum;
+        let mut host = MultiTenantHost::new(cfg).expect("builds");
+        let mut rates: Vec<u64> = Vec::new();
+        loop {
+            let rate = 400 + rng.next_below(4_000);
+            match host.admit(
+                &spec(&format!("t{}", rates.len()), RatePolicy::Static { rate }),
+                LoopMode::Open,
+            ) {
+                Ok(_) => rates.push(rate),
+                Err(HostError::Saturated { .. }) => break,
+                Err(e) => panic!("case {case}: unexpected admission error: {e}"),
+            }
+        }
+        if rates.len() < 2 {
+            continue; // a one-tenant pool has nothing to arbitrate
+        }
+        let report = host.run_for(1 << 19);
+        let total_weight: f64 = report.tenants.iter().map(|t| t.capacity_share).sum();
+        let total_slots: u64 = report.tenants.iter().map(|t| t.slots_served).sum();
+        assert!(total_slots > 0, "case {case}: fleet never served");
+        let olat = host.capacity_model().olat();
+        for t in &report.tenants {
+            let weight_share = t.capacity_share / total_weight;
+            let expected = weight_share * total_slots as f64;
+            let period = rates[t.id] + olat;
+            // One scheduling quantum's worth of this tenant's slots
+            // (plus the grid's ±1 quantization) is the structural slack:
+            // rounds serve whole batches, so shares can lag by at most
+            // one round of service.
+            let slack = quantum as f64 / period as f64 + 1.0;
+            let deviation = (t.slots_served as f64 - expected).abs();
+            assert!(
+                deviation <= slack,
+                "case {case} tenant {}: served {} expected {expected:.1} \
+                 (weight share {weight_share:.4}, slack {slack:.1})",
+                t.name,
+                t.slots_served,
+            );
+        }
+    }
+}

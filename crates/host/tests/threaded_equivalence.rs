@@ -12,8 +12,10 @@
 
 use otc_core::RatePolicy;
 use otc_host::{
-    HostConfig, LoopMode, MultiTenantHost, ParallelKind, PipelineConfig, SchedulerKind, TenantSpec,
+    CapacityKind, HostConfig, LoopMode, MultiTenantHost, ParallelKind, PipelineConfig,
+    SchedulerKind, ShardClass, TenantSpec,
 };
+use otc_oram::{OramConfig, TreeGeometry};
 use otc_workloads::SpecBenchmark;
 
 fn spec(name: &str, bench: SpecBenchmark, policy: RatePolicy) -> TenantSpec {
@@ -216,6 +218,57 @@ fn merge_scheduler_threads_match_serial() {
     let cfg = HostConfig {
         scheduler: SchedulerKind::Merge,
         ..HostConfig::small()
+    };
+    assert_equivalent(cfg, churn_storm_script);
+}
+
+/// A heterogeneous two-class pool: serial small-geometry lanes
+/// interleaved with staged lanes of a shallower tree. Lanes then carry
+/// *different* per-shard timing parameters through the worker channels —
+/// the surface this suite exists to pin.
+fn mixed_pool_cfg() -> HostConfig {
+    HostConfig {
+        shard_mix: vec![
+            ShardClass {
+                oram: OramConfig::small(),
+                pipeline: PipelineConfig::serial(),
+            },
+            ShardClass {
+                oram: OramConfig {
+                    data: TreeGeometry::new(7, 3, 64, 16),
+                    posmaps: vec![
+                        TreeGeometry::new(4, 3, 32, 16),
+                        TreeGeometry::new(3, 3, 32, 16),
+                    ],
+                    seed: 0x717E_5EED,
+                },
+                pipeline: PipelineConfig::staged(),
+            },
+        ],
+        n_shards: 3,
+        capacity: CapacityKind::Cadence,
+        ..HostConfig::small()
+    }
+}
+
+#[test]
+fn mixed_lane_pool_threads_match_serial() {
+    // Heterogeneous lanes must not cost the determinism guarantee:
+    // open-loop, closed-loop feedback, and a churn storm whose resizes
+    // change which classes are even instantiated (1 shard = serial
+    // only, 3 = both) all replay byte-identically under threads —
+    // including the WDRR credit evolution, since the mixed-rate fleet
+    // carries genuinely unequal weights.
+    assert_equivalent(mixed_pool_cfg(), open_loop_script);
+    assert_equivalent(mixed_pool_cfg(), closed_loop_script);
+    assert_equivalent(mixed_pool_cfg(), churn_storm_script);
+}
+
+#[test]
+fn mixed_lane_merge_scheduler_threads_match_serial() {
+    let cfg = HostConfig {
+        scheduler: SchedulerKind::Merge,
+        ..mixed_pool_cfg()
     };
     assert_equivalent(cfg, churn_storm_script);
 }

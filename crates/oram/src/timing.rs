@@ -279,6 +279,20 @@ impl CapacityModel {
         }
     }
 
+    /// Model for a heterogeneous pool: the caller supplies the aggregate
+    /// figures directly (typically the maxima over the pool's shard
+    /// classes, so pricing stays conservative for whichever shard a slot
+    /// lands on). For a homogeneous pool this is field-identical to
+    /// [`CapacityModel::serial`] / [`CapacityModel::staged`] built from
+    /// that one class's plan.
+    pub fn from_parts(kind: CapacityKind, olat: Cycle, pipeline_cadence: Cycle) -> Self {
+        Self {
+            kind,
+            olat,
+            pipeline_cadence,
+        }
+    }
+
     /// The pricing in force.
     pub fn kind(&self) -> CapacityKind {
         self.kind
@@ -427,6 +441,30 @@ mod tests {
             plan.staged_cadence() as f64 / (rate + olat) as f64
         );
         assert!(m.slot_utilization(rate) < m_olat.slot_utilization(rate));
+    }
+
+    #[test]
+    fn from_parts_matches_the_plan_constructors() {
+        // A homogeneous "mix" must price field-identically to the plan
+        // constructors — the bit-exact replay suites depend on it.
+        let plan = AccessPlan::derive(&OramConfig::paper(), &DdrConfig::default());
+        for kind in [CapacityKind::Olat, CapacityKind::Cadence] {
+            assert_eq!(
+                CapacityModel::from_parts(kind, plan.total(), plan.total()),
+                CapacityModel::serial(&plan, kind)
+            );
+            assert_eq!(
+                CapacityModel::from_parts(kind, plan.total(), plan.staged_cadence()),
+                CapacityModel::staged(&plan, kind)
+            );
+        }
+        // A genuine mix: olat from the slowest class, cadence likewise.
+        let m = CapacityModel::from_parts(CapacityKind::Cadence, 1_488, 700);
+        assert_eq!(m.olat(), 1_488);
+        assert_eq!(m.pipeline_cadence(), 700);
+        assert_eq!(m.effective_cadence(), 700);
+        // The grid period stays rate + OLAT whatever the cadence.
+        assert_eq!(m.slot_utilization(512), 700.0 / 2_000.0);
     }
 
     #[test]
