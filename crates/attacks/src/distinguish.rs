@@ -51,6 +51,54 @@ pub fn distinguishing_advantage(traces: &[Vec<SlotRecord>]) -> f64 {
     }
 }
 
+/// Number of equivalence classes (under exact equality) among a set of
+/// observation traces, one per candidate secret. An adversary whose
+/// observations fall into `c` classes learns at most `lg c` bits about
+/// which secret ran — the quantity the leakage ledger's per-tenant
+/// budget bounds. Works over any observation type (slot records,
+/// queueing samples, …).
+pub fn observation_classes<T: PartialEq>(traces: &[Vec<T>]) -> usize {
+    let mut reps: Vec<&Vec<T>> = Vec::new();
+    for trace in traces {
+        if !reps.contains(&trace) {
+            reps.push(trace);
+        }
+    }
+    reps.len()
+}
+
+/// Bits an adversary learns from its observation classes: `lg` of
+/// [`observation_classes`] (0.0 for an empty set — nothing observed,
+/// nothing learned).
+pub fn observation_bits<T: PartialEq>(traces: &[Vec<T>]) -> f64 {
+    let classes = observation_classes(traces);
+    if classes == 0 {
+        return 0.0;
+    }
+    (classes as f64).log2()
+}
+
+/// Generic form of [`distinguishing_advantage`]: the fraction of
+/// distinct-secret pairs whose observation traces differ at all, for any
+/// observation type.
+pub fn observation_advantage<T: PartialEq>(traces: &[Vec<T>]) -> f64 {
+    let mut pairs = 0u64;
+    let mut distinguishable = 0u64;
+    for i in 0..traces.len() {
+        for j in (i + 1)..traces.len() {
+            pairs += 1;
+            if traces[i] != traces[j] {
+                distinguishable += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        distinguishable as f64 / pairs as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +143,17 @@ mod tests {
         assert_eq!(distinguishing_advantage(&[t(&[1]), t(&[2]), t(&[3])]), 1.0);
         // Empty set → 0 by convention.
         assert_eq!(distinguishing_advantage(&[]), 0.0);
+    }
+
+    #[test]
+    fn observation_classes_and_bits() {
+        let traces = vec![vec![1u64, 2], vec![1, 2], vec![3], vec![4, 5], vec![3]];
+        assert_eq!(observation_classes(&traces), 3);
+        assert!((observation_bits(&traces) - 3f64.log2()).abs() < 1e-12);
+        assert_eq!(observation_classes::<u64>(&[]), 0);
+        assert_eq!(observation_bits::<u64>(&[]), 0.0);
+        // 5 traces → 10 pairs, identical pairs: (0,1) and (2,4) → 8/10.
+        assert!((observation_advantage(&traces) - 0.8).abs() < 1e-12);
+        assert_eq!(observation_advantage::<u64>(&[]), 0.0);
     }
 }

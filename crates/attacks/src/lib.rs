@@ -12,7 +12,14 @@
 //!   unprotected ORAM's timing trace.
 //! * [`RootBucketProbe`] — §3.2: polls the root bucket's ciphertext to
 //!   learn when accesses happen (and cannot tell dummies from real ones).
-//! * [`traces_identical`] and friends — operational distinguishability.
+//! * [`QueueingProbe`] — the multi-tenant analog: a probing *tenant*
+//!   folds its own queueing timeline modulo candidate periods to recover
+//!   a co-tenant's rate and phase (`otc-host` runs it as a live tenant
+//!   via `AdversaryKind`).
+//! * [`traces_identical`] and friends — operational distinguishability;
+//!   [`observation_classes`] / [`observation_bits`] generalize the count
+//!   to any observation type so measured leakage can be compared against
+//!   the ledger's per-tenant bit budget.
 //! * [`ReplayAttacker`] / [`demonstrate_broken_determinism`] — §8/§8.1.
 //!
 //! # Example
@@ -36,8 +43,9 @@ mod probe;
 mod replay;
 
 pub use distinguish::{
-    distinguishing_advantage, first_divergence, traces_identical, traces_identical_prefix,
+    distinguishing_advantage, first_divergence, observation_advantage, observation_bits,
+    observation_classes, traces_identical, traces_identical_prefix,
 };
 pub use malicious::{decode_trace, recovery_accuracy, MaliciousProgram};
-pub use probe::{ProbeSample, RootBucketProbe};
+pub use probe::{ProbeSample, QueueingProbe, QueueingSample, RateEstimate, RootBucketProbe};
 pub use replay::{demonstrate_broken_determinism, session_fixture, ReplayAttacker, ReplayOutcome};

@@ -75,6 +75,118 @@ impl RootBucketProbe {
     }
 }
 
+/// One queueing observation a *tenant* can make on its own: when one of
+/// its slots started, and how long its access sat queued behind a busy
+/// shard. Unlike [`RootBucketProbe`] (which needs shared-DRAM access to
+/// the server), this is data every admitted tenant measures for free by
+/// timing its own requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueingSample {
+    /// Global cycle the tenant's slot started.
+    pub at: u64,
+    /// Cycles the slot's access waited behind a busy shard port.
+    pub queued: u64,
+}
+
+/// A co-tenant's rate/phase hypothesis scored by [`QueueingProbe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateEstimate {
+    /// The candidate rate whose period best explains the busy samples.
+    pub rate: u64,
+    /// Estimated phase of the victim's slot grid modulo its period.
+    pub phase: u64,
+    /// Comb-alignment score in `[0, 1]`: the fraction of busy samples
+    /// landing in the best phase bin (1/bins ≈ noise floor).
+    pub score: f64,
+}
+
+/// A probing tenant's analysis of its own queueing timeline: a live
+/// co-tenant with a rate-periodic slot grid collides with the probe's
+/// accesses at times clustered around a fixed phase of its period, so
+/// folding busy samples modulo each candidate period and looking for
+/// the tightest cluster recovers the victim's rate and phase. Folding
+/// by a *wrong* period spreads the collisions uniformly.
+#[derive(Debug, Clone, Default)]
+pub struct QueueingProbe {
+    samples: Vec<QueueingSample>,
+}
+
+impl QueueingProbe {
+    /// Phase bins per candidate period (coarse enough that one victim
+    /// period's collision jitter lands in one bin, fine enough that a
+    /// wrong period's uniform spread stays near the 1/bins floor).
+    const BINS: usize = 16;
+
+    /// A fresh probe with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one slot's queueing observation.
+    pub fn observe(&mut self, at: u64, queued: u64) {
+        self.samples.push(QueueingSample { at, queued });
+    }
+
+    /// All observations so far.
+    pub fn samples(&self) -> &[QueueingSample] {
+        &self.samples
+    }
+
+    /// Fraction of observed slots that queued at all — the crude
+    /// co-tenant pressure measurement.
+    pub fn busy_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let busy = self.samples.iter().filter(|s| s.queued > 0).count();
+        busy as f64 / self.samples.len() as f64
+    }
+
+    /// Scores each candidate rate's period (`rate + olat`) by comb
+    /// alignment of the busy samples and returns the best hypothesis
+    /// (ties broken toward the smaller rate, deterministically). `None`
+    /// without at least two busy samples.
+    pub fn estimate(&self, olat: u64, candidate_rates: &[u64]) -> Option<RateEstimate> {
+        let busy: Vec<u64> = self
+            .samples
+            .iter()
+            .filter(|s| s.queued > 0)
+            .map(|s| s.at)
+            .collect();
+        if busy.len() < 2 {
+            return None;
+        }
+        let mut best: Option<RateEstimate> = None;
+        for &rate in candidate_rates {
+            let period = rate + olat;
+            if period == 0 {
+                continue;
+            }
+            let mut bins = [0u64; Self::BINS];
+            for &at in &busy {
+                let frac = (at % period) as u128 * Self::BINS as u128 / period as u128;
+                bins[frac as usize % Self::BINS] += 1;
+            }
+            let (peak_bin, peak) = bins
+                .iter()
+                .copied()
+                .enumerate()
+                .max_by_key(|&(i, v)| (v, std::cmp::Reverse(i)))
+                .expect("BINS > 0");
+            let score = peak as f64 / busy.len() as f64;
+            let phase = (peak_bin as u128 * period as u128 / Self::BINS as u128) as u64;
+            let better = match &best {
+                None => true,
+                Some(b) => score > b.score,
+            };
+            if better {
+                best = Some(RateEstimate { rate, phase, score });
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +229,45 @@ mod tests {
             probe.poll(&oram, i + 1);
         }
         assert!((probe.busy_fraction() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn queueing_probe_recovers_a_periodic_victim() {
+        // Synthetic victim: slots every 2_400 cycles at phase 700; the
+        // probe queues (with some jitter) whenever its own slot lands
+        // within 120 cycles after a victim slot.
+        let (period, phase) = (2_400u64, 700u64);
+        let olat = 1_400u64;
+        let mut probe = QueueingProbe::new();
+        for k in 0..400u64 {
+            let at = 31 + k * 1_913; // probe's own (coprime-ish) grid
+            let since_victim = (at + period - phase % period) % period;
+            let queued = 120u64.saturating_sub(since_victim);
+            probe.observe(at, queued);
+        }
+        let est = probe
+            .estimate(olat, &[500, 1_000, period - olat, 2_800])
+            .expect("busy samples exist");
+        assert_eq!(est.rate, period - olat, "picked the wrong period");
+        // The collision window can straddle two phase bins, so the peak
+        // bin holds >= half the mass — still far above the 1/16 floor a
+        // wrong period would show.
+        assert!(
+            est.score >= 0.5,
+            "true period should cluster well above the uniform floor, got {}",
+            est.score
+        );
+        assert!(probe.busy_fraction() > 0.0);
+    }
+
+    #[test]
+    fn queueing_probe_needs_busy_samples() {
+        let mut probe = QueueingProbe::new();
+        for k in 0..50 {
+            probe.observe(k * 100, 0);
+        }
+        assert_eq!(probe.estimate(1_000, &[500]), None);
+        assert_eq!(probe.busy_fraction(), 0.0);
     }
 
     #[test]

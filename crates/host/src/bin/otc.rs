@@ -1,7 +1,10 @@
 //! `otc` — drive the multi-tenant ORAM appliance from the command line.
 //!
 //! ```text
-//! otc run     [opts]   drive a workload mix through the full stack
+//! otc run     [opts]   drive a workload mix through the full stack;
+//!                      --scenario FILE runs a declarative scenario
+//!                      (typed tenants, traffic models, adversary
+//!                      seats, churn events) instead of the flag soup
 //! otc tenants [opts]   K-tenant saturation sweep (throughput/waste per K)
 //! otc churn   [opts]   drive a fleet through a churn script (admit/evict/
 //!                      resize online) and report the outcome
@@ -82,6 +85,13 @@
 //!                    diff — ignored with a warning elsewhere)
 //! --churn-script S   online churn events applied at round boundaries
 //!                    while the fleet serves (otc churn and otc tenants)
+//! --scenario FILE    otc run only: load a declarative scenario file —
+//!                    host line, tenant roster (per-tenant traffic
+//!                    models and adversary seats), churn events — and
+//!                    drive it; most flags are taken from the file
+//!                    (--threads/--trace/--perf-session still apply,
+//!                    --threads overriding the file's `threads=` so CI
+//!                    can diff serial vs threaded runs of one file)
 //! --perf-session F   record a structured perf session (per-round
 //!                    samples + summary, framed binary format) to F
 //!                    (otc run/tenants/churn/bench; tenants keeps the
@@ -109,12 +119,30 @@
 //! time boundary — and rejected events (saturation, unknown ids) are
 //! reported and skipped deterministically, so seeded re-runs emit
 //! byte-identical output (the CI churn-determinism job diffs exactly
-//! that).
+//! that). The flag is a shim over the typed scenario-event parser
+//! (`otc_host::parse_churn_script`) — same grammar, same diagnostics as
+//! `@`-lines in a scenario file.
+//!
+//! # Scenario files
+//!
+//! `otc run --scenario FILE` drives a whole fleet from one declarative
+//! file: a `host` line (shards, geometry, pipeline, capacity,
+//! scheduler, threads, serve target, shard mix), `tenant` lines (each
+//! with a benchmark, rate scheme, loop mode, and its own traffic model
+//! — `workload`, `bursty:..`, `diurnal:..`, `replay:..` — or an
+//! `adversary=probe|distinguisher` seat), and `@round` churn events.
+//! See `otc_host::scenario` for the grammar; `examples/` in the repo
+//! has a commented example. Adversary seats are admitted as real
+//! tenants: they saturate their own slot grid, observe only their own
+//! queueing, and the run ends with each adversary's rate/phase estimate
+//! of the victims, printed deterministically.
 
-use otc_core::{DividerImpl, EpochSchedule, LeakageModel, RatePolicy, RateSet};
+use otc_core::{EpochSchedule, LeakageModel, RatePolicy};
 use otc_host::{
-    render, CapacityKind, HostConfig, HostError, HostReport, LoopMode, MultiTenantHost,
-    ParallelKind, PerfSession, PipelineConfig, PipelineKind, SessionFile, ShardClass, TenantSpec,
+    parse_bench, parse_churn_script, parse_scenario, parse_scheme, render, CapacityKind,
+    HostConfig, HostError, HostReport, LoopMode, MultiTenantHost, ParallelKind, PerfSession,
+    PipelineConfig, PipelineKind, ScenarioAction, ScenarioEvent, SessionFile, ShardClass,
+    TenantSpec,
 };
 use otc_oram::{OramConfig, OramTiming};
 use otc_workloads::SpecBenchmark;
@@ -146,7 +174,8 @@ fn usage() -> ! {
          \x20        --json --gate X\n\
          \x20        --perf-session FILE --session FILE --jsonl --width N\n\
          \x20        --churn-script '@R admit <bench> <scheme> [closed]; @R evict <id>;\n\
-         \x20                        @R shards <n>; ...'\n"
+         \x20                        @R shards <n>; ...'\n\
+         \x20        --scenario FILE (otc run: drive a declarative scenario file)\n"
     );
     std::process::exit(2);
 }
@@ -166,6 +195,7 @@ struct Opts {
     closed_loop: bool,
     trace: usize,
     churn_script: Option<String>,
+    scenario: Option<String>,
     pipeline: PipelineKind,
     capacity: CapacityKind,
     admission: bool,
@@ -196,6 +226,7 @@ impl Default for Opts {
             closed_loop: false,
             trace: 0,
             churn_script: None,
+            scenario: None,
             pipeline: PipelineKind::Serial,
             capacity: CapacityKind::Olat,
             admission: false,
@@ -240,6 +271,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--closed-loop" => o.closed_loop = true,
             "--trace" => o.trace = val("--trace").parse().unwrap_or_else(|_| usage()),
             "--churn-script" => o.churn_script = Some(val("--churn-script")),
+            "--scenario" => o.scenario = Some(val("--scenario")),
             "--pipeline" => {
                 o.pipeline = match val("--pipeline").as_str() {
                     "serial" => PipelineKind::Serial,
@@ -278,36 +310,6 @@ fn parse_opts(args: &[String]) -> Opts {
         }
     }
     o
-}
-
-/// Parses `dynamic_R4_E4` / `static_1300` into a rate policy.
-fn parse_policy(s: &str) -> Option<RatePolicy> {
-    if let Some(rest) = s.strip_prefix("static_") {
-        let rate: u64 = rest.parse().ok()?;
-        return Some(RatePolicy::Static { rate });
-    }
-    if let Some(rest) = s.strip_prefix("dynamic_R") {
-        let (r, e) = rest.split_once("_E")?;
-        let rate_count: usize = r.parse().ok()?;
-        let growth: u32 = e.parse().ok()?;
-        return Some(RatePolicy::Dynamic {
-            rates: RateSet::paper(rate_count),
-            schedule: EpochSchedule::scaled(growth),
-            divider: DividerImpl::ShiftRegister,
-            initial_rate: 10_000,
-        });
-    }
-    None
-}
-
-fn parse_bench(name: &str) -> Option<SpecBenchmark> {
-    SpecBenchmark::figure6_lineup()
-        .into_iter()
-        .chain([
-            SpecBenchmark::AstarRivers,
-            SpecBenchmark::PerlbenchSplitmail,
-        ])
-        .find(|b| b.full_name() == name || b.short_name() == name)
 }
 
 fn benchmarks(o: &Opts) -> Vec<SpecBenchmark> {
@@ -359,34 +361,32 @@ fn host_config(o: &Opts) -> HostConfig {
             usage()
         }
     };
-    let shard_mix = match &o.shard_mix {
-        None => Vec::new(),
-        Some(s) => parse_shard_mix(s).unwrap_or_else(|| {
+    let mut builder = HostConfig::builder()
+        .oram(oram)
+        .shards(o.shards)
+        .leakage_limit_bits(o.limit)
+        .seed(o.seed)
+        .record_traces(o.trace > 0)
+        .pipeline(match o.pipeline {
+            PipelineKind::Serial => PipelineConfig::serial(),
+            PipelineKind::Staged => PipelineConfig::staged(),
+        })
+        .capacity(o.capacity)
+        .threads(o.threads.unwrap_or(0));
+    if let Some(s) = &o.shard_mix {
+        let mix = parse_shard_mix(s).unwrap_or_else(|| {
             eprintln!(
                 "bad --shard-mix: {s:?} (want a comma list of \
                  <small|paper>:<serial|staged> pairs)"
             );
             usage()
-        }),
-    };
-    HostConfig {
-        oram,
-        shard_mix,
-        n_shards: o.shards,
-        leakage_limit_bits: o.limit,
-        seed: o.seed,
-        record_traces: o.trace > 0,
-        pipeline: match o.pipeline {
-            PipelineKind::Serial => PipelineConfig::serial(),
-            PipelineKind::Staged => PipelineConfig::staged(),
-        },
-        capacity: o.capacity,
-        parallel: match o.threads {
-            None | Some(0) => ParallelKind::Serial,
-            Some(n) => ParallelKind::Threads(n),
-        },
-        ..HostConfig::default()
+        });
+        builder = builder.shard_mix(mix);
     }
+    builder.build().unwrap_or_else(|e| {
+        eprintln!("otc: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn loop_mode(o: &Opts) -> LoopMode {
@@ -397,95 +397,26 @@ fn loop_mode(o: &Opts) -> LoopMode {
     }
 }
 
-/// One churn-script action (see the module docs for the grammar).
-#[derive(Debug, Clone)]
-enum ChurnAction {
-    Admit {
-        bench: SpecBenchmark,
-        policy: RatePolicy,
-        scheme: String,
-        closed: bool,
-    },
-    Evict {
-        id: usize,
-    },
-    Shards {
-        n: usize,
-    },
-}
-
-#[derive(Debug, Clone)]
-struct ChurnEvent {
-    round: u64,
-    action: ChurnAction,
-}
-
-/// Parses `@R admit <bench> <scheme> [closed]; @R evict <id>; @R shards
-/// <n>` into round-sorted events (stable, so same-round events keep
-/// script order).
-fn parse_churn_script(s: &str) -> Result<Vec<ChurnEvent>, String> {
-    let mut events = Vec::new();
-    for (i, raw) in s.split(';').enumerate() {
-        let raw = raw.trim();
-        if raw.is_empty() {
-            continue;
-        }
-        let toks: Vec<&str> = raw.split_whitespace().collect();
-        let err = |msg: &str| format!("churn event {} ({raw:?}): {msg}", i + 1);
-        let round: u64 = toks[0]
-            .strip_prefix('@')
-            .ok_or_else(|| err("must start with @<round>"))?
-            .parse()
-            .map_err(|_| err("bad round number"))?;
-        let action = match toks.get(1).copied() {
-            Some("admit") => {
-                let bench_name = toks.get(2).ok_or_else(|| err("admit needs <bench>"))?;
-                let scheme = toks.get(3).ok_or_else(|| err("admit needs <scheme>"))?;
-                let closed = match toks.get(4).copied() {
-                    None => false,
-                    Some("closed") => true,
-                    Some(x) => return Err(err(&format!("unknown admit flag {x:?}"))),
-                };
-                ChurnAction::Admit {
-                    bench: parse_bench(bench_name)
-                        .ok_or_else(|| err(&format!("unknown benchmark {bench_name:?}")))?,
-                    policy: parse_policy(scheme)
-                        .ok_or_else(|| err(&format!("bad scheme {scheme:?}")))?,
-                    scheme: scheme.to_string(),
-                    closed,
-                }
-            }
-            Some("evict") => ChurnAction::Evict {
-                id: toks
-                    .get(2)
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| err("evict needs <tenant-id>"))?,
-            },
-            Some("shards") => ChurnAction::Shards {
-                n: toks
-                    .get(2)
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| err("shards needs <n>"))?,
-            },
-            _ => return Err(err("action must be admit|evict|shards")),
-        };
-        events.push(ChurnEvent { round, action });
-    }
-    events.sort_by_key(|e| e.round);
-    Ok(events)
-}
-
 /// Applies one event, printing a deterministic one-line outcome (the CI
 /// churn-determinism job diffs this output across seeded re-runs).
-fn apply_event(host: &mut MultiTenantHost, ev: &ChurnEvent, instructions: u64) {
+fn apply_event(host: &mut MultiTenantHost, ev: &ScenarioEvent, instructions: u64) {
     let clock = host.clock();
     match &ev.action {
-        ChurnAction::Admit {
+        ScenarioAction::Admit {
             bench,
-            policy,
             scheme,
             closed,
         } => {
+            // The scheme was validated when the event parsed; a
+            // hand-built event with an unknown scheme is rejected the
+            // same way a saturated admission is — reported, skipped.
+            let Some(policy) = parse_scheme(scheme) else {
+                println!(
+                    "@{} clock {clock}: admit REJECTED: unknown scheme {scheme:?}",
+                    ev.round
+                );
+                return;
+            };
             let name = format!("c{}", host.tenant_count());
             let mode = if *closed {
                 LoopMode::Closed
@@ -496,7 +427,7 @@ fn apply_event(host: &mut MultiTenantHost, ev: &ChurnEvent, instructions: u64) {
                 &TenantSpec {
                     name: name.clone(),
                     benchmark: *bench,
-                    policy: policy.clone(),
+                    policy,
                     instructions,
                 },
                 mode,
@@ -511,14 +442,14 @@ fn apply_event(host: &mut MultiTenantHost, ev: &ChurnEvent, instructions: u64) {
                 Err(e) => println!("@{} clock {clock}: admit REJECTED: {e}", ev.round),
             }
         }
-        ChurnAction::Evict { id } => match host.evict(*id) {
+        ScenarioAction::Evict { id } => match host.evict(*id) {
             Ok(retired) => println!(
                 "@{} clock {clock}: evicted tenant {id} ({retired} due slots retired as dummies)",
                 ev.round
             ),
             Err(e) => println!("@{} clock {clock}: evict REJECTED: {e}", ev.round),
         },
-        ChurnAction::Shards { n } => match host.resize_shards(*n) {
+        ScenarioAction::Shards { n } => match host.resize_shards(*n) {
             Ok(()) => println!("@{} clock {clock}: resized shard pool to {n}", ev.round),
             Err(e) => println!("@{} clock {clock}: resize REJECTED: {e}", ev.round),
         },
@@ -534,7 +465,7 @@ fn apply_event(host: &mut MultiTenantHost, ev: &ChurnEvent, instructions: u64) {
 fn run_with_script(
     host: &mut MultiTenantHost,
     target: u64,
-    script: &[ChurnEvent],
+    script: &[ScenarioEvent],
     instructions: u64,
 ) -> HostReport {
     const MAX_ROUNDS: u64 = 1 << 14;
@@ -575,7 +506,7 @@ fn cmd_churn(o: &Opts) {
         std::process::exit(2);
     };
     let script = parse_churn_script(script_text).unwrap_or_else(|e| {
-        eprintln!("otc churn: {e}");
+        eprintln!("otc churn: --churn-script event {}: {}", e.line, e.msg);
         std::process::exit(2);
     });
     let mut host = match build_fleet(o, o.tenants) {
@@ -613,7 +544,7 @@ fn cmd_churn(o: &Opts) {
 }
 
 fn build_fleet(o: &Opts, k: usize) -> Result<MultiTenantHost, HostError> {
-    let policy = parse_policy(&o.scheme).unwrap_or_else(|| {
+    let policy = parse_scheme(&o.scheme).unwrap_or_else(|| {
         eprintln!("bad --scheme (want dynamic_R<n>_E<g> or static_<rate>)");
         usage()
     });
@@ -657,7 +588,178 @@ fn require_tenants(o: &Opts) {
     }
 }
 
+/// `otc run --scenario FILE`: parse the scenario, build the host it
+/// describes through the validating builder, admit its tenant roster
+/// (adversary seats through [`MultiTenantHost::admit_adversary`], the
+/// rest with their declared traffic models), serve to the file's slot
+/// target while firing its churn events, and report — ending with each
+/// adversary's rate/phase estimate of the victim fleet. Everything on
+/// stdout is deterministic, so the CI scenario-smoke job can diff a
+/// doubled run and a serial-vs-threaded pair byte for byte.
+fn cmd_run_scenario(o: &Opts, path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("otc run: cannot read scenario {path}: {e}");
+        std::process::exit(1);
+    });
+    let spec = parse_scenario(&text).unwrap_or_else(|e| {
+        eprintln!("otc run: {path}: {e}");
+        std::process::exit(2);
+    });
+    if spec.tenants.is_empty() {
+        eprintln!("otc run: {path}: scenario has no tenants");
+        std::process::exit(2);
+    }
+    let mut cfg = spec.host_config().unwrap_or_else(|e| {
+        eprintln!("otc run: {path}: {e}");
+        std::process::exit(2);
+    });
+    cfg.record_traces = o.trace > 0;
+    // --threads on the command line overrides the file's `threads=`, so
+    // CI can pit serial against threaded runs of one scenario file.
+    if let Some(n) = o.threads {
+        cfg.parallel = match n {
+            0 => ParallelKind::Serial,
+            n => ParallelKind::Threads(n),
+        };
+    }
+    let mut host = match MultiTenantHost::new(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("otc run: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "otc run: scenario {path}: {} tenants, {} shards, {} slots/tenant, {} events",
+        spec.tenants.len(),
+        spec.host.shards,
+        spec.host.slots,
+        spec.events.len()
+    );
+    let default_instructions = spec.host.slots.saturating_mul(50);
+    for t in &spec.tenants {
+        let Some(policy) = t.policy() else {
+            eprintln!(
+                "otc run: {path}: tenant {}: unknown scheme {:?}",
+                t.name, t.scheme
+            );
+            std::process::exit(2);
+        };
+        let tenant_spec = TenantSpec {
+            name: t.name.clone(),
+            benchmark: t.bench,
+            policy,
+            instructions: t.instructions.unwrap_or(default_instructions),
+        };
+        let mode = if t.closed {
+            LoopMode::Closed
+        } else {
+            LoopMode::Open
+        };
+        let outcome = match t.adversary {
+            Some(kind) => host.admit_adversary(&tenant_spec, kind),
+            None => host.admit_with_traffic(&tenant_spec, mode, t.traffic.clone()),
+        };
+        match outcome {
+            Ok(id) => println!(
+                "  admitted {} ({}, {}, {}) as id {id}",
+                t.name,
+                t.bench.full_name(),
+                t.scheme,
+                match t.adversary {
+                    Some(kind) => format!("adversary: {}", kind.label()),
+                    None => format!(
+                        "{}, {} loop",
+                        t.traffic.label(),
+                        if t.closed { "closed" } else { "open" }
+                    ),
+                },
+            ),
+            Err(e) => {
+                eprintln!("otc run: {path}: admitting {}: {e}", t.name);
+                std::process::exit(1);
+            }
+        }
+    }
+    if o.perf_session.is_some() {
+        host.record_perf_session(&format!(
+            "scenario tenants={} slots={} events={}",
+            spec.tenants.len(),
+            spec.host.slots,
+            spec.events.len()
+        ));
+    }
+    let report = if spec.events.is_empty() {
+        host.run_until_slots(spec.host.slots)
+    } else {
+        run_with_script(
+            &mut host,
+            spec.host.slots,
+            &spec.events,
+            default_instructions,
+        )
+    };
+    if let Some(session_path) = &o.perf_session {
+        let session = host.take_perf_session().expect("recording was enabled");
+        write_session(session_path, &session);
+    }
+    print!("{}", render(&report));
+    if o.trace > 0 {
+        print_traces(&host, &report, o.trace);
+    }
+    // Candidate rates the adversaries rank: the victims' scheme grids.
+    let mut candidates: Vec<u64> = spec
+        .tenants
+        .iter()
+        .filter(|t| t.adversary.is_none())
+        .filter_map(|t| t.policy())
+        .map(|p| p.fastest_rate())
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    for t in &report.tenants {
+        let Some(kind) = host.adversary_kind(t.id) else {
+            continue;
+        };
+        let observed = host.adversary_observations(t.id).len();
+        match host.adversary_estimate(t.id, &candidates) {
+            Some(est) => println!(
+                "adversary {} ({}): {observed} observed slots -> victim rate estimate {} \
+                 (phase bin {}, score {:.3})",
+                t.name,
+                kind.label(),
+                est.rate,
+                est.phase,
+                est.score
+            ),
+            None => println!(
+                "adversary {} ({}): {observed} observed slots -> no estimate",
+                t.name,
+                kind.label()
+            ),
+        }
+    }
+}
+
+/// Prints the first `n` observable slot records per tenant (the CI
+/// determinism diff pins these byte for byte across thread counts).
+fn print_traces(host: &MultiTenantHost, report: &HostReport, n: usize) {
+    println!("\nobservable slot traces (first {n} slots per tenant):");
+    for t in &report.tenants {
+        let trace = host.tenant_trace(t.id);
+        let slots: Vec<String> = trace
+            .iter()
+            .take(n)
+            .map(|s| format!("{}{}", s.start, if s.real { "R" } else { "d" }))
+            .collect();
+        println!("{}: {}", t.name, slots.join(" "));
+    }
+}
+
 fn cmd_run(o: &Opts) {
+    if let Some(path) = o.scenario.as_deref() {
+        return cmd_run_scenario(o, path);
+    }
     require_tenants(o);
     let mut host = match build_fleet(o, o.tenants) {
         Ok(h) => h,
@@ -687,19 +789,7 @@ fn cmd_run(o: &Opts) {
     }
     print!("{}", render(&report));
     if o.trace > 0 {
-        println!(
-            "\nobservable slot traces (first {} slots per tenant):",
-            o.trace
-        );
-        for t in &report.tenants {
-            let trace = host.tenant_trace(t.id);
-            let slots: Vec<String> = trace
-                .iter()
-                .take(o.trace)
-                .map(|s| format!("{}{}", s.start, if s.real { "R" } else { "d" }))
-                .collect();
-            println!("{}: {}", t.name, slots.join(" "));
-        }
+        print_traces(&host, &report, o.trace);
     }
 }
 
@@ -707,7 +797,7 @@ fn cmd_tenants(o: &Opts) {
     require_tenants(o);
     let script = match &o.churn_script {
         Some(text) => parse_churn_script(text).unwrap_or_else(|e| {
-            eprintln!("otc tenants: {e}");
+            eprintln!("otc tenants: --churn-script event {}: {}", e.line, e.msg);
             std::process::exit(2);
         }),
         None => Vec::new(),
@@ -832,7 +922,7 @@ fn cmd_bench_admission(o: &Opts) {
     /// Runaway guard on the fill loop (a pricing bug could otherwise
     /// admit forever); generous — stock geometries saturate in dozens.
     const MAX_FILL: usize = 4_096;
-    let policy = parse_policy(&o.scheme).unwrap_or_else(|| {
+    let policy = parse_scheme(&o.scheme).unwrap_or_else(|| {
         eprintln!("bad --scheme (want dynamic_R<n>_E<g> or static_<rate>)");
         usage()
     });
@@ -1535,7 +1625,7 @@ fn cmd_report(o: &Opts) {
 }
 
 fn cmd_leakage(o: &Opts) {
-    let policy = parse_policy(&o.scheme).unwrap_or_else(|| usage());
+    let policy = parse_scheme(&o.scheme).unwrap_or_else(|| usage());
     let (rate_count, schedule) = match &policy {
         RatePolicy::Static { .. } => (1, EpochSchedule::scaled(4)),
         RatePolicy::Dynamic {
@@ -1592,6 +1682,10 @@ fn main() {
         eprintln!("--perf-session does not apply to `otc {cmd}`; ignoring");
         opts.perf_session = None;
     }
+    if opts.scenario.is_some() && cmd != "run" {
+        eprintln!("--scenario only applies to `otc run`; ignoring");
+        opts.scenario = None;
+    }
     match cmd.as_str() {
         "run" => cmd_run(&opts),
         "tenants" => cmd_tenants(&opts),
@@ -1621,14 +1715,14 @@ mod tests {
         );
         assert!(matches!(
             &script[0].action,
-            ChurnAction::Admit { closed: false, .. }
+            ScenarioAction::Admit { closed: false, .. }
         ));
         assert!(matches!(
             &script[1].action,
-            ChurnAction::Admit { closed: true, .. }
+            ScenarioAction::Admit { closed: true, .. }
         ));
-        assert!(matches!(&script[2].action, ChurnAction::Evict { id: 0 }));
-        assert!(matches!(&script[3].action, ChurnAction::Shards { n: 8 }));
+        assert!(matches!(&script[2].action, ScenarioAction::Evict { id: 0 }));
+        assert!(matches!(&script[3].action, ScenarioAction::Shards { n: 8 }));
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //!    bandwidth, so invariant 1 is sustainable, not aspirational.
 //!    Eviction returns its capacity to the pool.
 
+use crate::adversary::{AdversaryKind, AdversaryState, ObservedSlot};
 use crate::arbiter::{ArbiterKind, WdrrArbiter};
 use crate::calendar::CalendarQueue;
 use crate::ledger::LeakageLedger;
@@ -62,7 +63,8 @@ use crate::parallel::{LaneRequest, RoundWork, WorkerChannel, WorkerPool};
 use crate::shard::{Lane, LaneOp, PipelineConfig, PipelineKind, ShardClass, ShardedOram};
 use crate::tenant::TenantDirectory;
 use crate::timeq::TimeQ;
-use crate::traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
+use crate::traffic::{LoopMode, Request, TenantTraffic, TrafficModel, TrafficPull};
+use otc_attacks::RateEstimate;
 use otc_core::{EpochSchedule, LeakageParams, RatePolicy, SessionError, SlotStream};
 use otc_crypto::SplitMix64;
 use otc_dram::{Cycle, DdrConfig};
@@ -281,6 +283,187 @@ impl HostConfig {
             ..Self::default()
         }
     }
+
+    /// A validating builder over the config. The plain struct literal
+    /// keeps working (tests construct configs directly and
+    /// [`MultiTenantHost::new`] still validates what it must); the
+    /// builder is the front door for flag/scenario plumbing, catching
+    /// nonsense — zero quantum, zero threads, an explicitly empty shard
+    /// mix, an absurd leakage limit — at build time with a typed error
+    /// instead of a downstream panic or a silently degenerate run.
+    pub fn builder() -> HostConfigBuilder {
+        HostConfigBuilder::default()
+    }
+}
+
+/// Builder for [`HostConfig`] with build-time validation; see
+/// [`HostConfig::builder`]. Unset fields keep [`HostConfig::default`]'s
+/// values.
+#[derive(Debug, Clone, Default)]
+pub struct HostConfigBuilder {
+    cfg: HostConfig,
+    /// `Some` once `shard_mix` was called — an explicitly empty mix is
+    /// rejected at build (field-default empty means "homogeneous pool"
+    /// and stays legal).
+    mix: Option<Vec<ShardClass>>,
+}
+
+impl HostConfigBuilder {
+    /// Base ORAM geometry.
+    pub fn oram(mut self, oram: OramConfig) -> Self {
+        self.cfg.oram = oram;
+        self
+    }
+
+    /// DRAM channel model.
+    pub fn ddr(mut self, ddr: DdrConfig) -> Self {
+        self.cfg.ddr = ddr;
+        self
+    }
+
+    /// Number of ORAM shards.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.n_shards = n;
+        self
+    }
+
+    /// Virtual-time frontier advance per round, in cycles.
+    pub fn quantum(mut self, quantum: Cycle) -> Self {
+        self.cfg.quantum = quantum;
+        self
+    }
+
+    /// Per-tenant leakage limit `L` (bits).
+    pub fn leakage_limit_bits(mut self, bits: u64) -> Self {
+        self.cfg.leakage_limit_bits = bits;
+        self
+    }
+
+    /// Admission cap on worst-case per-shard utilization.
+    pub fn max_shard_utilization(mut self, cap: f64) -> Self {
+        self.cfg.max_shard_utilization = cap;
+        self
+    }
+
+    /// Seed for the directory's protocol randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Whether tenant slot traces and the serve log are recorded.
+    pub fn record_traces(mut self, on: bool) -> Self {
+        self.cfg.record_traces = on;
+        self
+    }
+
+    /// Due-slot finder.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.cfg.scheduler = scheduler;
+        self
+    }
+
+    /// Shard pipeline discipline (homogeneous pools).
+    pub fn pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.cfg.pipeline = pipeline;
+        self
+    }
+
+    /// Slot pricing for admission.
+    pub fn capacity(mut self, capacity: CapacityKind) -> Self {
+        self.cfg.capacity = capacity;
+        self
+    }
+
+    /// Calendar geometry (bucket width in cycles, ring size in buckets).
+    pub fn calendar(mut self, bucket_width: Cycle, buckets: usize) -> Self {
+        self.cfg.calendar_bucket_width = bucket_width;
+        self.cfg.calendar_buckets = buckets;
+        self
+    }
+
+    /// Round execution mode.
+    pub fn parallel(mut self, parallel: ParallelKind) -> Self {
+        self.cfg.parallel = parallel;
+        self
+    }
+
+    /// CLI-style thread count: `0` runs serial, `n ≥ 1` runs
+    /// [`ParallelKind::Threads`]`(n)`.
+    pub fn threads(self, n: usize) -> Self {
+        self.parallel(match n {
+            0 => ParallelKind::Serial,
+            n => ParallelKind::Threads(n),
+        })
+    }
+
+    /// Heterogeneous shard-class mix. Passing an empty vector is an
+    /// error at build time — use the default (don't call this) for a
+    /// homogeneous pool.
+    pub fn shard_mix(mut self, mix: Vec<ShardClass>) -> Self {
+        self.mix = Some(mix);
+        self
+    }
+
+    /// Contended-port tie-break.
+    pub fn arbiter(mut self, arbiter: ArbiterKind) -> Self {
+        self.cfg.arbiter = arbiter;
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Build`] describing the first offending field.
+    pub fn build(self) -> Result<HostConfig, HostError> {
+        let mut cfg = self.cfg;
+        if cfg.n_shards == 0 {
+            return Err(HostError::Build(
+                "a sharded ORAM needs at least one shard".into(),
+            ));
+        }
+        if cfg.quantum == 0 {
+            return Err(HostError::Build("round quantum must be > 0 cycles".into()));
+        }
+        if let ParallelKind::Threads(0) = cfg.parallel {
+            return Err(HostError::Build(
+                "parallel rounds need at least one worker thread (use Serial for none)".into(),
+            ));
+        }
+        if !(cfg.max_shard_utilization > 0.0 && cfg.max_shard_utilization <= 1.0) {
+            return Err(HostError::Build(format!(
+                "max shard utilization must be in (0, 1], got {}",
+                cfg.max_shard_utilization
+            )));
+        }
+        // A zero limit admits nothing dynamic and an astronomically
+        // large one defeats the point of authorization; both are
+        // configuration mistakes, not policies.
+        if cfg.leakage_limit_bits == 0 || cfg.leakage_limit_bits > 1 << 20 {
+            return Err(HostError::Build(format!(
+                "leakage limit of {} bits is outside the sane range [1, 2^20]",
+                cfg.leakage_limit_bits
+            )));
+        }
+        if cfg.calendar_bucket_width == 0 {
+            return Err(HostError::Build("calendar bucket width must be > 0".into()));
+        }
+        if cfg.calendar_buckets == 0 {
+            return Err(HostError::Build(
+                "calendar needs at least one bucket".into(),
+            ));
+        }
+        if let Some(mix) = self.mix {
+            if mix.is_empty() {
+                return Err(HostError::Build(
+                    "an explicit shard mix must name at least one class".into(),
+                ));
+            }
+            cfg.shard_mix = mix;
+        }
+        Ok(cfg)
+    }
 }
 
 /// What a prospective tenant asks for.
@@ -371,11 +554,37 @@ struct TenantRuntime {
     /// Denied operations attributed to this tenant (a rejected
     /// re-admission of its name after eviction). Perf sessions sample it.
     denied: u64,
+    /// Arrival process shaping the tenant's frontend (kept alongside the
+    /// frontend for reporting; [`TrafficModel::Workload`] is the
+    /// unshaped default).
+    traffic_model: TrafficModel,
+    /// `Some` when this seat runs an attacks-crate adversary; its
+    /// observation log is appended deterministically by both round
+    /// paths.
+    adversary: Option<AdversaryState>,
 }
 
 impl TenantRuntime {
     fn is_active(&self) -> bool {
         self.state == TenantState::Active
+    }
+
+    /// Stable label for reports: the adversary role when the seat runs
+    /// one, the traffic model otherwise.
+    fn traffic_label(&self) -> &'static str {
+        match &self.adversary {
+            Some(a) => a.kind.label(),
+            None => self.traffic_model.label(),
+        }
+    }
+
+    /// Perf-session tag in the shared `TrafficModel::tag` /
+    /// `AdversaryKind::tag` space.
+    fn traffic_tag(&self) -> u8 {
+        match &self.adversary {
+            Some(a) => a.kind.tag(),
+            None => self.traffic_model.tag(),
+        }
     }
 }
 
@@ -405,6 +614,10 @@ pub struct TenantReport {
     pub benchmark: &'static str,
     /// Rate-policy label.
     pub policy: String,
+    /// Arrival-process label: `"workload"`, `"bursty"`, `"diurnal"`,
+    /// `"replay"`, or — for adversary seats — `"probe"` /
+    /// `"distinguisher"`.
+    pub traffic: &'static str,
     /// Slots served (real + dummy).
     pub slots_served: u64,
     /// Real accesses served.
@@ -674,8 +887,71 @@ impl MultiTenantHost {
     /// processor's limit; [`HostError::Saturated`] when the shards cannot
     /// absorb the tenant's worst-case slot demand.
     pub fn admit(&mut self, spec: &TenantSpec, mode: LoopMode) -> Result<usize, HostError> {
-        let model = self.capacity_model();
-        let util = spec.worst_case_utilization(&model);
+        self.admit_inner(spec, mode, TrafficModel::Workload, None)
+    }
+
+    /// As [`MultiTenantHost::admit`], shaping the tenant's arrivals with
+    /// a [`TrafficModel`]. Models are delay-only (see the `traffic`
+    /// module docs) so every host invariant — monotone arrivals,
+    /// closed-loop completion ≥ arrival — holds under shaping.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiTenantHost::admit`], plus [`HostError::Build`] for an
+    /// invalid model or a [`TrafficModel::Replay`] paired with
+    /// [`LoopMode::Closed`] (replay replaces program timing wholesale,
+    /// so there is no core to feed completions back into).
+    pub fn admit_with_traffic(
+        &mut self,
+        spec: &TenantSpec,
+        mode: LoopMode,
+        model: TrafficModel,
+    ) -> Result<usize, HostError> {
+        model.validate().map_err(HostError::Build)?;
+        if model.requires_open_loop() && mode == LoopMode::Closed {
+            return Err(HostError::Build(
+                "replay traffic replaces program timing and must run open-loop".into(),
+            ));
+        }
+        self.admit_inner(spec, mode, model, None)
+    }
+
+    /// Admits an *adversary* through the same front door as every other
+    /// tenant: same capacity check, same leakage authorization, same
+    /// slot stream. The seat's traffic is pinned to a saturating
+    /// [`TrafficModel::Replay`] whose gap equals the adversary's own
+    /// slot period, so nearly every slot carries a real, timeable
+    /// access; its per-slot queueing observations accumulate in a log
+    /// readable via [`MultiTenantHost::adversary_observations`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiTenantHost::admit`].
+    pub fn admit_adversary(
+        &mut self,
+        spec: &TenantSpec,
+        kind: AdversaryKind,
+    ) -> Result<usize, HostError> {
+        // One arrival per slot: the stream serves a slot every
+        // `fastest_rate + olat` cycles at its fastest rate, so arrival j
+        // is due by slot j and the backlog never grows.
+        let period = spec.policy.fastest_rate() + self.sharded.olat();
+        let model = TrafficModel::Replay {
+            gaps: vec![period],
+            repeat: u32::MAX,
+        };
+        self.admit_inner(spec, LoopMode::Open, model, Some(AdversaryState::new(kind)))
+    }
+
+    fn admit_inner(
+        &mut self,
+        spec: &TenantSpec,
+        mode: LoopMode,
+        model: TrafficModel,
+        adversary: Option<AdversaryState>,
+    ) -> Result<usize, HostError> {
+        let capacity_model = self.capacity_model();
+        let util = spec.worst_case_utilization(&capacity_model);
         let demanded = self.fleet_demand() + util;
         let available = self.capacity();
         if demanded > available {
@@ -683,8 +959,8 @@ impl MultiTenantHost {
             return Err(HostError::Saturated {
                 demanded,
                 available,
-                cadence: model.effective_cadence(),
-                pricing: model.kind(),
+                cadence: capacity_model.effective_cadence(),
+                pricing: capacity_model.kind(),
             });
         }
         let params = spec.leakage_params();
@@ -711,7 +987,12 @@ impl MultiTenantHost {
             id,
             benchmark: spec.benchmark,
             stream,
-            traffic: TenantTraffic::with_mode(spec.benchmark, spec.instructions, mode),
+            traffic: TenantTraffic::with_model(
+                spec.benchmark,
+                spec.instructions,
+                mode,
+                model.clone(),
+            ),
             lookahead: None,
             pending: VecDeque::new(),
             state: TenantState::Active,
@@ -722,8 +1003,41 @@ impl MultiTenantHost {
             worst_case_util: util,
             queueing_cycles: 0,
             denied: 0,
+            traffic_model: model,
+            adversary,
         });
         Ok(id)
+    }
+
+    /// The observation log of adversary seat `id` (empty slice for
+    /// ordinary tenants and unknown ids).
+    pub fn adversary_observations(&self, id: usize) -> &[ObservedSlot] {
+        self.tenants
+            .get(id)
+            .and_then(|t| t.adversary.as_ref())
+            .map(|a| a.log.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Which adversary role seat `id` runs, if any.
+    pub fn adversary_kind(&self, id: usize) -> Option<AdversaryKind> {
+        self.tenants
+            .get(id)
+            .and_then(|t| t.adversary.as_ref())
+            .map(|a| a.kind)
+    }
+
+    /// Runs the queueing probe over adversary seat `id`'s log against
+    /// `candidate_rates` (see [`QueueingProbe::estimate`]). `None` for
+    /// non-adversary seats or too few busy observations.
+    ///
+    /// [`QueueingProbe::estimate`]: otc_attacks::QueueingProbe::estimate
+    pub fn adversary_estimate(&self, id: usize, candidate_rates: &[Cycle]) -> Option<RateEstimate> {
+        self.tenants
+            .get(id)?
+            .adversary
+            .as_ref()?
+            .estimate(self.sharded.olat(), candidate_rates)
     }
 
     /// Records a denied admission or resize: bumps the fleet counter
@@ -1074,6 +1388,13 @@ impl MultiTenantHost {
                     }
                 };
                 rt.queueing_cycles += service.queued_cycles;
+                if let Some(adv) = rt.adversary.as_mut() {
+                    adv.record(ObservedSlot {
+                        start: slot,
+                        queued: service.queued_cycles,
+                        real: true,
+                    });
+                }
                 self.arbiter.charge(idx, shard_cost[service.shard]);
                 // Closed-loop feedback: the tenant's core is suspended on
                 // its demand read; resume it with the service completion
@@ -1098,6 +1419,13 @@ impl MultiTenantHost {
                     &mut self.serve_log,
                     self.cfg.record_traces,
                 );
+                if let Some(adv) = rt.adversary.as_mut() {
+                    adv.record(ObservedSlot {
+                        start: slot,
+                        queued: service.queued_cycles,
+                        real: false,
+                    });
+                }
                 self.arbiter.charge(idx, shard_cost[service.shard]);
             }
             if self.cfg.scheduler == SchedulerKind::Calendar {
@@ -1164,13 +1492,15 @@ impl MultiTenantHost {
             .map(|_| std::sync::Arc::new(WorkerChannel::new()))
             .collect();
         /// One posted slot's bookkeeping: who was served, when, where,
-        /// and which channel completion carries its [`ShardService`].
+        /// whether it carried a real request, and which channel
+        /// completion carries its [`ShardService`].
         struct PostedSlot {
             tenant: usize,
             slot: Cycle,
             shard: usize,
             worker: usize,
             windex: usize,
+            real: bool,
         }
         let mut posted: Vec<PostedSlot> = Vec::new();
         // Closed-loop feedback owed from a tenant's last real read this
@@ -1244,6 +1574,7 @@ impl MultiTenantHost {
                         shard,
                         worker,
                         windex,
+                        real: true,
                     });
                     arbiter.charge(idx, shard_cost[shard]);
                     if rt.traffic.is_closed_loop() && req.kind == AccessKind::Read {
@@ -1271,6 +1602,7 @@ impl MultiTenantHost {
                         shard,
                         worker,
                         windex,
+                        real: false,
                     });
                     arbiter.charge(idx, shard_cost[shard]);
                     if record && serve_log.len() < SERVE_LOG_CAP {
@@ -1313,11 +1645,27 @@ impl MultiTenantHost {
         let mut merge = TimeQ::new();
         for (seq, p) in posted.iter().enumerate() {
             let service = completions[p.worker][p.windex];
-            merge.push(p.slot, (p.shard as u64, seq as u64), (p.tenant, service));
+            merge.push(
+                p.slot,
+                (p.shard as u64, seq as u64),
+                (p.tenant, p.real, service),
+            );
         }
         while let Some(event) = merge.pop() {
-            let (tenant, service) = event.payload;
-            self.tenants[tenant].queueing_cycles += service.queued_cycles;
+            let (tenant, real, service) = event.payload;
+            let rt = &mut self.tenants[tenant];
+            rt.queueing_cycles += service.queued_cycles;
+            // Adversary observations commit here, in (slot time, shard,
+            // posting order): a tenant's slot starts are distinct and
+            // increasing, so its per-tenant subsequence is exactly the
+            // serial loop's serve-time order at any thread count.
+            if let Some(adv) = rt.adversary.as_mut() {
+                adv.record(ObservedSlot {
+                    start: event.time,
+                    queued: service.queued_cycles,
+                    real,
+                });
+            }
         }
         // Feedback still owed to tenants with no later due slot this
         // round: complete at the boundary, exactly the state a serial
@@ -1489,6 +1837,7 @@ impl MultiTenantHost {
                     name: self.directory.entry(t.id).name.clone(),
                     benchmark: t.benchmark.full_name(),
                     policy: t.stream.label(),
+                    traffic: t.traffic_label(),
                     slots_served: t.stream.slots_served(),
                     real_served: real,
                     dummy_fraction: t.stream.dummy_fraction(),
@@ -1567,6 +1916,7 @@ impl PerfSink for MultiTenantHost {
                 real: t.stream.real_served(),
                 queued_cycles: t.queueing_cycles,
                 denied: t.denied,
+                traffic: t.traffic_tag(),
             })
             .collect();
     }

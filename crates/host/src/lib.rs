@@ -61,31 +61,44 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod arbiter;
 mod calendar;
 mod host;
 mod ledger;
 mod parallel;
 mod report;
+mod scenario;
 mod shard;
 mod tenant;
 mod timeq;
 mod traffic;
 
+pub use adversary::{AdversaryKind, ObservedSlot};
 pub use arbiter::ArbiterKind;
 pub use calendar::{round_slot_capacity, CalendarQueue};
 pub use host::{
-    HostConfig, HostError, HostReport, MultiTenantHost, ParallelKind, SchedulerKind, ServedSlot,
-    TenantReport, TenantSpec,
+    HostConfig, HostConfigBuilder, HostError, HostReport, MultiTenantHost, ParallelKind,
+    SchedulerKind, ServedSlot, TenantReport, TenantSpec,
 };
 pub use ledger::{within_budget_bits, LeakageLedger, LedgerEntry};
 pub use report::{
     capacity_summary, fairness_table, leakage_summary, render, shard_summary, tenant_table,
 };
+pub use scenario::{
+    parse_bench, parse_churn_script, parse_scenario, parse_scheme, OramChoice, ScenarioAction,
+    ScenarioError, ScenarioEvent, ScenarioHost, ScenarioSpec, ScenarioTenant,
+};
 pub use shard::{PipelineConfig, PipelineKind, ShardClass, ShardService, ShardedOram};
 pub use tenant::{TenantDirectory, TenantEntry};
 pub use timeq::{TimeQ, TimedEvent};
-pub use traffic::{LoopMode, Request, TenantTraffic, TrafficPull};
+pub use traffic::{LoopMode, Request, TenantTraffic, TrafficModel, TrafficPull};
+
+// Re-exported so downstream harnesses can score adversary-tenant logs
+// without a direct otc-attacks dependency.
+pub use otc_attacks::{
+    observation_advantage, observation_bits, observation_classes, QueueingProbe, RateEstimate,
+};
 
 // Re-exported so downstream code (CLI, benches) can name the stream type
 // without a direct otc-core dependency.

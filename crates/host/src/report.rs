@@ -16,10 +16,11 @@ fn fmt_f(v: f64) -> String {
 pub fn tenant_table(report: &HostReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10}{:<20}{:<16}{:>6}{:>9}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
+        "{:<10}{:<20}{:<16}{:<14}{:>6}{:>9}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
         "tenant",
         "benchmark",
         "policy",
+        "traffic",
         "loop",
         "state",
         "slots",
@@ -34,10 +35,11 @@ pub fn tenant_table(report: &HostReport) -> String {
     ));
     for t in &report.tenants {
         out.push_str(&format!(
-            "{:<10}{:<20}{:<16}{:>6}{:>9}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
+            "{:<10}{:<20}{:<16}{:<14}{:>6}{:>9}{:>10}{:>10}{:>8}{:>12}{:>12}{:>8}{:>11}{:>11}{:>18}\n",
             t.name,
             t.benchmark,
             t.policy,
+            t.traffic,
             if t.closed_loop { "closed" } else { "open" },
             if t.is_active() { "active" } else { "evicted" },
             t.slots_served,
@@ -220,6 +222,7 @@ mod tests {
         let report = host.run_until_slots(50);
         let text = render(&report);
         assert!(text.contains("alpha") && text.contains("beta"));
+        assert!(text.contains("traffic") && text.contains("workload"));
         assert!(text.contains("fleet leakage"));
         assert!(text.contains("within budget"));
         assert!(text.contains("serial pipeline"));

@@ -29,8 +29,11 @@ use crate::schema::{
 pub const FILE_MAGIC: &[u8; 8] = b"OTCPERF\x01";
 /// Trailer magic closing the fixed-size footer.
 pub const INDEX_MAGIC: &[u8; 8] = b"OTCPIDX\x01";
-/// Format version written after the magic.
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version written after the magic. Version 2 added the
+/// per-tenant `traffic` tag to round frames; older readers reject the
+/// file cleanly with [`CodecError::BadVersion`] instead of
+/// misinterpreting frames.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Frame kind tags.
 pub mod kind {
@@ -180,6 +183,7 @@ pub(crate) fn encode_round(r: &RoundSample) -> Vec<u8> {
         put_u64(&mut p, t.real);
         put_u64(&mut p, t.queued_cycles);
         put_u64(&mut p, t.denied);
+        put_u8(&mut p, t.traffic);
     }
     p
 }
@@ -343,6 +347,7 @@ pub(crate) fn decode_round(payload: &[u8]) -> Result<RoundSample, CodecError> {
             real: r.u64()?,
             queued_cycles: r.u64()?,
             denied: r.u64()?,
+            traffic: r.u8()?,
         });
     }
     finish(
@@ -455,6 +460,7 @@ mod tests {
                     real: 33,
                     queued_cycles: 1200,
                     denied: 0,
+                    traffic: 0,
                 },
                 TenantSample {
                     id: 1,
@@ -463,6 +469,7 @@ mod tests {
                     real: 20,
                     queued_cycles: 0,
                     denied: 2,
+                    traffic: 4,
                 },
             ],
         }

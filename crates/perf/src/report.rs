@@ -299,6 +299,7 @@ mod tests {
                         real: i * 4,
                         queued_cycles: 0,
                         denied: 0,
+                        traffic: 0,
                     },
                     TenantSample {
                         id: 1,
@@ -308,6 +309,7 @@ mod tests {
                         // 500 wait cycles per slot: blows a 200-cycle SLO.
                         queued_cycles: i * 3000,
                         denied: 0,
+                        traffic: 1,
                     },
                 ],
             });

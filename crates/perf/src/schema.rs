@@ -92,6 +92,26 @@ pub struct TenantSample {
     /// Cumulative denied operations attributed to this tenant (e.g. a
     /// denied re-admission of its name after eviction).
     pub denied: u64,
+    /// Arrival-process tag: 0 = workload, 1 = bursty, 2 = diurnal,
+    /// 3 = replay, 4 = probe adversary, 5 = distinguisher adversary
+    /// (the host's `TrafficModel::tag` / `AdversaryKind::tag` space).
+    pub traffic: u8,
+}
+
+impl TenantSample {
+    /// Human-readable name for the [`TenantSample::traffic`] tag
+    /// (`"unknown"` for tags this build does not know).
+    pub fn traffic_label(&self) -> &'static str {
+        match self.traffic {
+            0 => "workload",
+            1 => "bursty",
+            2 => "diurnal",
+            3 => "replay",
+            4 => "probe",
+            5 => "distinguisher",
+            _ => "unknown",
+        }
+    }
 }
 
 /// Everything sampled at one scheduling-round boundary.

@@ -452,8 +452,14 @@ fn jsonl_round(out: &mut String, r: &RoundSample) {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"id\":{},\"active\":{},\"slots\":{},\"real\":{},\"queued_cycles\":{},\"denied\":{}}}",
-            t.id, t.active, t.slots, t.real, t.queued_cycles, t.denied
+            "{{\"id\":{},\"active\":{},\"slots\":{},\"real\":{},\"queued_cycles\":{},\"denied\":{},\"traffic\":\"{}\"}}",
+            t.id,
+            t.active,
+            t.slots,
+            t.real,
+            t.queued_cycles,
+            t.denied,
+            t.traffic_label()
         ));
     }
     out.push_str("]}\n");
@@ -534,6 +540,7 @@ mod tests {
                         real: i * 3,
                         queued_cycles: i * 40,
                         denied: u64::from(t == 2 && i >= 4),
+                        traffic: (t % 3) as u8,
                     })
                     .collect(),
             });

@@ -33,16 +33,17 @@ fn tenant_sample() -> impl Strategy<Value = TenantSample> {
         any::<bool>(),
         0u64..1 << 30,
         0u64..1 << 30,
-        (0u64..1 << 40, 0u64..16),
+        (0u64..1 << 40, 0u64..16, 0u64..6),
     )
         .prop_map(
-            |(active, slots, real, (queued_cycles, denied))| TenantSample {
+            |(active, slots, real, (queued_cycles, denied, traffic))| TenantSample {
                 id: 0,
                 active,
                 slots,
                 real,
                 queued_cycles,
                 denied,
+                traffic: traffic as u8,
             },
         )
 }

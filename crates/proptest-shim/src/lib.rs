@@ -15,7 +15,11 @@
 //!   which build random instruction scripts from primitive draws),
 //! * [`Just`] and [`Strategy::prop_flat_map`] (added for the perf-session
 //!   codec property tests, which derive dependent draws — e.g. a shard
-//!   count, then per-shard samples of that width).
+//!   count, then per-shard samples of that width),
+//! * [`Strategy::boxed`] / [`BoxedStrategy`] and the [`prop_oneof!`]
+//!   macro, weighted or unweighted (added for the scenario round-trip
+//!   property tests, which draw one of several traffic-model and
+//!   event shapes per case).
 //!
 //! Semantics differ from real proptest in one deliberate way: there is no
 //! shrinking. A failing case panics with the generated inputs' case index
@@ -116,6 +120,89 @@ pub trait Strategy {
     {
         FlatMap { inner: self, f }
     }
+
+    /// Erases the concrete strategy type (`proptest`'s `.boxed()`), so
+    /// strategies of different shapes but one value type can share a
+    /// slot — what the arms of [`prop_oneof!`] produce.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// Type-erased strategy (`proptest::strategy::BoxedStrategy`). Cheap to
+/// clone: arms share the underlying strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Weighted choice over type-erased arms — what [`prop_oneof!`]
+/// expands to (`proptest`'s `Union`).
+#[derive(Debug, Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or every weight is zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(
+            total > 0,
+            "prop_oneof! needs at least one nonzero-weight arm"
+        );
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+/// `proptest::prop_oneof!` — draw from one of several strategies with
+/// the same value type, uniformly (`prop_oneof![a, b, c]`) or weighted
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
 }
 
 /// Strategy produced by [`Strategy::prop_flat_map`].
@@ -424,8 +511,8 @@ pub mod collection {
 /// One-stop imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union,
     };
     pub use crate::{collection, sample};
 }
@@ -621,6 +708,32 @@ mod tests {
         ) {
             prop_assert_eq!(v.len(), n);
             prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(
+            v in prop_oneof![
+                (0u64..10).boxed(),
+                (100u64..110).boxed(),
+                Just(42u64).boxed(),
+            ]
+        ) {
+            prop_assert!(v < 10 || (100..110).contains(&v) || v == 42);
+        }
+
+        #[test]
+        fn weighted_oneof_respects_zero_weights(
+            v in prop_oneof![3 => Just(1u64), 0 => Just(2u64)]
+        ) {
+            // A zero-weight arm is never drawn.
+            prop_assert_eq!(v, 1);
+        }
+
+        #[test]
+        fn boxed_strategies_still_map(
+            v in (0u64..4).boxed().prop_map(|x| x * 2)
+        ) {
+            prop_assert!(v % 2 == 0 && v < 8);
         }
     }
 }
