@@ -340,7 +340,11 @@ impl SlotStream {
     /// caller must perform the corresponding ORAM access.
     pub fn serve(&mut self, pending_arrival: Option<Cycle>) -> SlotOutcome {
         let start = self.next_slot;
-        let completion = start + self.olat;
+        // Saturating: at million-round horizons a runaway rate (or a
+        // caller driving the stream to the numeric edge) must park the
+        // stream at the end of time, not wrap its slot grid back to
+        // cycle zero and corrupt every downstream queue.
+        let completion = start.saturating_add(self.olat);
 
         let real = match pending_arrival {
             Some(arrival) => {
@@ -386,7 +390,7 @@ impl SlotStream {
         // Epoch transition(s) crossed by this completion (dynamic only).
         self.maybe_transition(completion);
 
-        self.next_slot = completion + self.current_rate;
+        self.next_slot = completion.saturating_add(self.current_rate);
         SlotOutcome {
             start,
             completion,

@@ -60,7 +60,9 @@ use crate::arbiter::{ArbiterKind, WdrrArbiter};
 use crate::calendar::CalendarQueue;
 use crate::ledger::LeakageLedger;
 use crate::parallel::{LaneRequest, RoundWork, WorkerChannel, WorkerPool};
-use crate::shard::{Lane, LaneOp, PipelineConfig, PipelineKind, ShardClass, ShardedOram};
+use crate::shard::{
+    Lane, LaneOp, PipelineConfig, PipelineKind, ShardClass, ShardService, ShardedOram,
+};
 use crate::tenant::TenantDirectory;
 use crate::timeq::TimeQ;
 use crate::traffic::{LoopMode, Request, TenantTraffic, TrafficModel, TrafficPull};
@@ -740,6 +742,45 @@ impl HostReport {
     }
 }
 
+/// One posted slot's bookkeeping in the parallel round loop: who was
+/// served, when, where, whether it carried a real request, and which
+/// channel completion carries its [`ShardService`].
+struct PostedSlot {
+    tenant: usize,
+    slot: Cycle,
+    shard: usize,
+    worker: usize,
+    windex: usize,
+    real: bool,
+}
+
+/// Persistent round-loop scratch: every buffer the serial and parallel
+/// round loops previously re-allocated per round, hoisted onto the host
+/// so the steady-state serving spine allocates nothing. No buffer
+/// carries meaning across rounds (each round clears before filling) —
+/// except `shard_cost`, a cache of the per-shard pricing vector that
+/// stays valid until a pool resize marks it stale.
+#[derive(Default)]
+struct RoundScratch {
+    /// Cached [`ShardedOram::pricing_cadences`] result.
+    shard_cost: Vec<Cycle>,
+    /// Whether `shard_cost` must be rebuilt before the next round.
+    shard_cost_stale: bool,
+    /// Per-worker spine↔worker channels, reopened every parallel round.
+    channels: Vec<std::sync::Arc<WorkerChannel>>,
+    /// Parallel-round slot bookkeeping in spine posting order.
+    posted: Vec<PostedSlot>,
+    /// Closed-loop feedback owed per tenant (worker, completion index).
+    pending_fb: Vec<Option<(usize, usize)>>,
+    /// Per-worker lane deal-out buffers; the allocations round-trip
+    /// through the worker pool and come back for the next round.
+    groups: Vec<Vec<Lane>>,
+    /// Per-worker completion snapshots, copied out of the channels.
+    completions: Vec<Vec<ShardService>>,
+    /// The deterministic completion merge, cleared between rounds.
+    merge: TimeQ<(usize, bool, ShardService)>,
+}
+
 /// The multi-tenant ORAM appliance.
 pub struct MultiTenantHost {
     cfg: HostConfig,
@@ -768,6 +809,8 @@ pub struct MultiTenantHost {
     /// WDRR credit state for the contended-port tie-break (see
     /// [`ArbiterKind`]); weights track admission/eviction/resize.
     arbiter: WdrrArbiter,
+    /// Reusable round-loop buffers (see [`RoundScratch`]).
+    scratch: RoundScratch,
 }
 
 impl std::fmt::Debug for MultiTenantHost {
@@ -821,7 +864,22 @@ impl MultiTenantHost {
             perf: None,
             pool: None,
             arbiter: WdrrArbiter::new(cfg_arbiter),
+            scratch: RoundScratch {
+                shard_cost_stale: true,
+                ..RoundScratch::default()
+            },
         })
+    }
+
+    /// Rebuilds the cached per-shard pricing vector if a resize (or the
+    /// first round) left it stale. Cheap no-op in the steady state.
+    fn refresh_shard_cost(&mut self) {
+        if self.scratch.shard_cost_stale || self.scratch.shard_cost.len() != self.sharded.n_shards()
+        {
+            self.sharded
+                .pricing_cadences_into(self.cfg.capacity, &mut self.scratch.shard_cost);
+            self.scratch.shard_cost_stale = false;
+        }
     }
 
     /// The capacity model in force: the pool's pipeline discipline
@@ -1161,6 +1219,7 @@ impl MultiTenantHost {
         }
         self.sharded.resize(n_shards).map_err(HostError::Build)?;
         self.cfg.n_shards = n_shards;
+        self.scratch.shard_cost_stale = true;
         // Re-price every active row under the new pool's model. Rows
         // admitted before the resize otherwise keep a `capacity_share`
         // from the old geometry, silently divorcing the ledger's
@@ -1348,13 +1407,17 @@ impl MultiTenantHost {
 
     /// The serial reference round loop ([`ParallelKind::Serial`]).
     fn step_round_serial(&mut self) {
-        let frontier = self.clock + self.cfg.quantum;
+        // Saturating: the round frontier parks at the end of time at
+        // the numeric horizon instead of wrapping behind the clock.
+        let frontier = self.clock.saturating_add(self.cfg.quantum);
         let n = self.tenants.len();
         let rotation = self.rotation;
         self.arbiter.replenish(self.cfg.quantum);
         // Per-shard slot costs (stable within a round: resizes happen
-        // between rounds) the arbiter spends credits against.
-        let shard_cost = self.sharded.pricing_cadences(self.cfg.capacity);
+        // between rounds) the arbiter spends credits against. Cached
+        // across rounds; moved out for the loop and put back after.
+        self.refresh_shard_cost();
+        let shard_cost = std::mem::take(&mut self.scratch.shard_cost);
         loop {
             // Composite tie-break: biggest unspent WDRR credit first
             // (constant under uniform weights or ArbiterKind::Rotation),
@@ -1381,7 +1444,7 @@ impl MultiTenantHost {
                 let req = rt.pending.pop_front().expect("front exists");
                 let outcome = rt.stream.serve(Some(req.at));
                 let service = match req.kind {
-                    AccessKind::Read => self.sharded.read(req.line_addr, outcome.start).1,
+                    AccessKind::Read => self.sharded.read_discard(req.line_addr, outcome.start),
                     AccessKind::Write => {
                         let zeros = [0u8; 64];
                         self.sharded.write(req.line_addr, &zeros, outcome.start)
@@ -1436,6 +1499,7 @@ impl MultiTenantHost {
             self.ledger
                 .record_transitions(rt.id, rt.stream.transitions().len() as u64);
         }
+        self.scratch.shard_cost = shard_cost;
         self.finish_round(frontier);
     }
 
@@ -1461,7 +1525,9 @@ impl MultiTenantHost {
     ///    `(slot time, shard, posting order)`; everything else the
     ///    round touches (ledger, calendar, streams) lives on the spine.
     fn step_round_parallel(&mut self, threads: usize) {
-        let frontier = self.clock + self.cfg.quantum;
+        // Saturating: the round frontier parks at the end of time at
+        // the numeric horizon instead of wrapping behind the clock.
+        let frontier = self.clock.saturating_add(self.cfg.quantum);
         let n = self.tenants.len();
         let rotation = self.rotation;
         let record = self.cfg.record_traces;
@@ -1478,46 +1544,61 @@ impl MultiTenantHost {
         self.arbiter.replenish(self.cfg.quantum);
         // Per-shard slot costs, snapshotted while the pool still holds
         // its lanes (resizes happen between rounds, so this is stable).
-        let shard_cost = self.sharded.pricing_cadences(self.cfg.capacity);
+        self.refresh_shard_cost();
         // Disjoint field borrows so the spine can mutate tenants/
-        // calendar/ledger/serve log while the pool holds the lanes.
+        // calendar/ledger/serve log while the pool holds the lanes. The
+        // round scratch is destructured the same way: `shard_cost` is
+        // read while `posted`/`pending_fb` are written.
         let pool = self.pool.as_ref().expect("created above");
         let tenants = &mut self.tenants;
         let calendar = &mut self.calendar;
         let serve_log = &mut self.serve_log;
         let ledger = &mut self.ledger;
         let arbiter = &mut self.arbiter;
-        let lanes = self.sharded.take_lanes();
-        let channels: Vec<std::sync::Arc<WorkerChannel>> = (0..workers)
-            .map(|_| std::sync::Arc::new(WorkerChannel::new()))
-            .collect();
-        /// One posted slot's bookkeeping: who was served, when, where,
-        /// whether it carried a real request, and which channel
-        /// completion carries its [`ShardService`].
-        struct PostedSlot {
-            tenant: usize,
-            slot: Cycle,
-            shard: usize,
-            worker: usize,
-            windex: usize,
-            real: bool,
+        let RoundScratch {
+            shard_cost,
+            channels,
+            posted,
+            pending_fb,
+            groups,
+            completions,
+            merge,
+            ..
+        } = &mut self.scratch;
+        let shard_cost: &[Cycle] = shard_cost;
+        let mut lanes = self.sharded.take_lanes();
+        // Reopen (or on worker-count change, rebuild) the per-worker
+        // channels; their queue/completion allocations persist.
+        if channels.len() != workers {
+            channels.clear();
+            channels.extend((0..workers).map(|_| std::sync::Arc::new(WorkerChannel::new())));
+        } else {
+            for channel in channels.iter() {
+                channel.reset();
+            }
         }
-        let mut posted: Vec<PostedSlot> = Vec::new();
+        posted.clear();
         // Closed-loop feedback owed from a tenant's last real read this
         // round, resolved lazily (see equivalence fact 2 above).
-        let mut pending_fb: Vec<Option<(usize, usize)>> = vec![None; n];
+        pending_fb.clear();
+        pending_fb.resize(n, None);
         // Deal lane i to worker i % workers; within a worker, lane i
         // sits at position i / workers (the RoundWork stride layout).
+        // The group buffers round-trip through the workers, so after the
+        // first round this moves lanes between existing allocations.
         {
-            let mut groups: Vec<Vec<Lane>> = (0..workers).map(|_| Vec::new()).collect();
-            for (i, lane) in lanes.into_iter().enumerate() {
+            if groups.len() != workers {
+                groups.clear();
+                groups.resize_with(workers, Vec::new);
+            }
+            for (i, lane) in lanes.drain(..).enumerate() {
                 groups[i % workers].push(lane);
             }
-            for (w, group) in groups.into_iter().enumerate() {
+            for (w, group) in groups.iter_mut().enumerate() {
                 pool.dispatch(
                     w,
                     RoundWork {
-                        lanes: group,
+                        lanes: std::mem::take(group),
                         channel: channels[w].clone(),
                         stride: workers,
                     },
@@ -1621,28 +1702,35 @@ impl MultiTenantHost {
                     tenants[idx].stream.transitions().len() as u64,
                 );
             }
-            for channel in &channels {
+            for channel in channels.iter() {
                 channel.close();
             }
         }
         // Collect the lanes back (blocking until each worker drains its
         // closed channel) and restore pool index order: worker w holds
-        // lanes w, w + workers, w + 2·workers, … in sequence.
-        let mut returned: Vec<std::vec::IntoIter<Lane>> = (0..workers)
-            .map(|w| pool.collect_lanes(w).into_iter())
-            .collect();
-        let restored: Vec<Lane> = (0..n_shards)
-            .map(|i| returned[i % workers].next().expect("lane count conserved"))
-            .collect();
-        debug_assert!(returned.iter_mut().all(|it| it.next().is_none()));
-        self.sharded.put_lanes(restored);
+        // lanes w, w + workers, w + 2·workers, … in sequence — each
+        // group is reversed so `pop()` yields its lanes front-first,
+        // and the emptied `lanes` buffer taken from the pool is refilled
+        // in place.
+        for (w, group) in groups.iter_mut().enumerate() {
+            *group = pool.collect_lanes(w);
+            group.reverse();
+        }
+        for i in 0..n_shards {
+            lanes.push(groups[i % workers].pop().expect("lane count conserved"));
+        }
+        debug_assert!(groups.iter().all(Vec::is_empty));
+        self.sharded.put_lanes(lanes);
         // Workers are parked again; every posted request has its completion.
-        let completions: Vec<Vec<_>> = channels.iter().map(|c| c.take_completions()).collect();
+        completions.resize_with(workers, Vec::new);
+        for (w, channel) in channels.iter().enumerate() {
+            channel.take_completions_into(&mut completions[w]);
+        }
         // Deterministic merge: apply per-tenant queueing in (slot time,
         // shard, posting order) — a fixed order at any thread count.
         // (The sums are commutative; the merge is what makes the commit
         // order — and anything ever added to it — thread-count-blind.)
-        let mut merge = TimeQ::new();
+        merge.clear();
         for (seq, p) in posted.iter().enumerate() {
             let service = completions[p.worker][p.windex];
             merge.push(
@@ -1653,7 +1741,7 @@ impl MultiTenantHost {
         }
         while let Some(event) = merge.pop() {
             let (tenant, real, service) = event.payload;
-            let rt = &mut self.tenants[tenant];
+            let rt = &mut tenants[tenant];
             rt.queueing_cycles += service.queued_cycles;
             // Adversary observations commit here, in (slot time, shard,
             // posting order): a tenant's slot starts are distinct and
@@ -1673,7 +1761,7 @@ impl MultiTenantHost {
         for (idx, fb) in pending_fb.iter_mut().enumerate() {
             if let Some((w, i)) = fb.take() {
                 let service = completions[w][i];
-                let rt = &mut self.tenants[idx];
+                let rt = &mut tenants[idx];
                 rt.traffic.complete(service.completion - rt.origin);
             }
         }
@@ -1808,7 +1896,9 @@ impl MultiTenantHost {
 
     /// Runs rounds until virtual time reaches `horizon`.
     pub fn run_for(&mut self, horizon: Cycle) -> HostReport {
-        let end = self.clock + horizon;
+        // Saturating: a maximal horizon must stop at the end of time,
+        // not wrap `end` behind the clock and return without running.
+        let end = self.clock.saturating_add(horizon);
         while self.clock < end {
             self.step_round();
         }

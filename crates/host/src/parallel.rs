@@ -119,10 +119,26 @@ impl WorkerChannel {
         s.completions[index]
     }
 
-    /// Spine side, after the worker exited: every completion in request
-    /// order.
-    pub(crate) fn take_completions(&self) -> Vec<ShardService> {
-        std::mem::take(&mut self.state.lock().expect("channel poisoned").completions)
+    /// Spine side, after the worker exited: copies every completion (in
+    /// request order) into `out` and clears the channel's own buffer in
+    /// place — both allocations survive for the next round.
+    pub(crate) fn take_completions_into(&self, out: &mut Vec<ShardService>) {
+        out.clear();
+        let mut s = self.state.lock().expect("channel poisoned");
+        out.extend_from_slice(&s.completions);
+        s.completions.clear();
+    }
+
+    /// Reopens a drained channel for the next round. The queue must be
+    /// empty (the worker drained it before returning its lanes) and the
+    /// completions taken; only the `posted` counter and the closed flag
+    /// need rewinding.
+    pub(crate) fn reset(&self) {
+        let mut s = self.state.lock().expect("channel poisoned");
+        debug_assert!(s.queue.is_empty(), "reset with queued work");
+        debug_assert!(s.completions.is_empty(), "reset with untaken completions");
+        s.posted = 0;
+        s.closed = false;
     }
 }
 

@@ -319,6 +319,13 @@ impl Lane {
     fn charge(&mut self, at: Cycle) -> ShardService {
         let olat = self.params.olat;
         let start = at.max(self.busy_until);
+        // Million-round horizons drive `start + OLAT` toward the u64
+        // edge long before anything else; catch the wrap where it would
+        // originate rather than where the corrupted clock surfaces.
+        debug_assert!(
+            start.checked_add(olat).is_some(),
+            "lane clock overflow: start {start} + olat {olat}"
+        );
         let queued_cycles = start - at;
         self.queueing_cycles += queued_cycles;
         self.busy_until = start + olat;
@@ -382,6 +389,10 @@ impl Lane {
         // write-back joins the background queue instead of the critical
         // path.
         let read_begin = t.max(self.stage_free[data_unit]);
+        debug_assert!(
+            read_begin.checked_add(p.plan.data_read).is_some(),
+            "lane stage clock overflow at read begin {read_begin}"
+        );
         let completion = read_begin + p.plan.data_read;
         self.stage_free[data_unit] = completion;
         self.stage_busy[data_unit] += p.plan.data_read;
@@ -411,12 +422,12 @@ impl Lane {
             LaneOp::Read { local } => match kind {
                 PipelineKind::Serial => {
                     let service = self.charge(at);
-                    let _ = self.oram.read(local);
+                    self.oram.read_discard(local);
                     service
                 }
                 PipelineKind::Staged => {
                     let service = self.charge_staged(at);
-                    let _ = self.oram.read_deferred(local);
+                    self.oram.read_discard_deferred(local);
                     service
                 }
             },
@@ -736,10 +747,21 @@ impl ShardedOram {
     /// under olat pricing, its class pipeline cadence under cadence
     /// pricing.
     pub fn pricing_cadences(&self, kind: CapacityKind) -> Vec<Cycle> {
-        self.lanes
-            .iter()
-            .map(|l| self.mix[l.index % self.mix.len()].pricing_cadence(kind))
-            .collect()
+        let mut out = Vec::with_capacity(self.lanes.len());
+        self.pricing_cadences_into(kind, &mut out);
+        out
+    }
+
+    /// As [`ShardedOram::pricing_cadences`], filling a caller-owned
+    /// buffer so the round loop can cache the vector across rounds
+    /// (it only changes when the pool is resized).
+    pub fn pricing_cadences_into(&self, kind: CapacityKind, out: &mut Vec<Cycle>) {
+        out.clear();
+        out.extend(
+            self.lanes
+                .iter()
+                .map(|l| self.mix[l.index % self.mix.len()].pricing_cadence(kind)),
+        );
     }
 
     /// The shard owning global block address `addr` (line-interleaved).
@@ -795,6 +817,16 @@ impl ShardedOram {
                 (lane.oram.read_deferred(local), service)
             }
         }
+    }
+
+    /// As [`ShardedOram::read`], discarding the payload. The host's
+    /// serving datapath consumes only the service timing (the tenant-side
+    /// consumer of the cache line is outside the simulated appliance), so
+    /// its steady state allocates nothing per slot.
+    pub fn read_discard(&mut self, addr: u64, at: Cycle) -> ShardService {
+        let s = self.shard_of(addr);
+        let local = self.local_addr(addr);
+        self.lanes[s].execute(LaneOp::Read { local }, at)
     }
 
     /// Writes the block at global address `addr` at slot time `at`.

@@ -119,6 +119,15 @@ impl<T> TimeQ<T> {
         self.heap.peek().map(|Reverse(e)| e.time)
     }
 
+    /// Empties the queue in place, keeping its allocation, and resets
+    /// the insertion sequence — equivalent to a fresh queue, so a
+    /// per-round merge can reuse one `TimeQ` across rounds without its
+    /// tie-breaking ever depending on prior rounds.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+
     /// Number of queued events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -127,6 +127,77 @@ impl TreeGeometry {
         }
         (a.0 >> shift) == (b.0 >> shift)
     }
+
+    /// The deepest level at which the paths to `a` and `b` still share a
+    /// bucket — the common-prefix length of the two leaf labels. Eviction
+    /// legality is prefix-closed ([`TreeGeometry::paths_share_level`]
+    /// holds exactly for levels `0..=deepest`), so one XOR replaces a
+    /// per-level predicate scan in the eviction hot loop.
+    pub fn deepest_shared_level(&self, a: Leaf, b: Leaf) -> u32 {
+        // Bits where the labels still differ after shifting; the paths
+        // share level `l` iff `height - l` kills every differing bit.
+        let sig = 64 - (a.0 ^ b.0).leading_zeros();
+        debug_assert!(
+            sig <= self.height(),
+            "leaves {a}/{b} out of range for height {}",
+            self.height()
+        );
+        self.height().saturating_sub(sig)
+    }
+
+    /// Precomputed per-level path-node table for this geometry.
+    pub fn path_table(&self) -> PathTable {
+        PathTable::new(self)
+    }
+}
+
+/// Precomputed per-level path-node index table for one geometry.
+///
+/// The bucket index at `level` on the path to `leaf` is pure arithmetic
+/// on the leaf label — `(2^level − 1) + (leaf >> (height − level))` —
+/// so the per-level base/shift constants are computed once per tree and
+/// the per-access hot path ([`crate::TreeOram`]'s path read/write) does
+/// a table lookup instead of re-deriving (and re-asserting) them for
+/// every bucket of every access.
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    leaf_count: u64,
+    /// `(2^level − 1, height − level)` per level, root first.
+    rows: Vec<(u64, u32)>,
+}
+
+impl PathTable {
+    /// Builds the table for `geom` (one row per level).
+    pub fn new(geom: &TreeGeometry) -> Self {
+        Self {
+            leaf_count: geom.leaf_count(),
+            rows: (0..geom.levels())
+                .map(|lvl| ((1u64 << lvl) - 1, geom.height() - lvl))
+                .collect(),
+        }
+    }
+
+    /// Number of levels (rows).
+    pub fn levels(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Node index at `level` on the path to `leaf`. The leaf bound is
+    /// asserted once per path via [`PathTable::assert_leaf`], not here.
+    #[inline]
+    pub fn node_at(&self, leaf: Leaf, level: usize) -> NodeIndex {
+        let (base, shift) = self.rows[level];
+        NodeIndex(base + (leaf.0 >> shift))
+    }
+
+    /// Asserts `leaf` is addressable by this geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn assert_leaf(&self, leaf: Leaf) {
+        assert!(leaf.0 < self.leaf_count, "leaf {leaf} out of range");
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +293,24 @@ mod tests {
                     prop_assert!(!s, "diverged paths re-converged at level {}", lvl);
                 }
                 shared_so_far = s;
+            }
+        }
+
+        #[test]
+        fn prop_deepest_shared_level_matches_predicate(levels in 1u32..26, a in any::<u64>(), b in any::<u64>()) {
+            // deepest_shared_level must be exactly the boundary of the
+            // per-level predicate: shared at every level up to it,
+            // diverged at every level past it.
+            let g = TreeGeometry::new(levels, 3, 64, 16);
+            let a = Leaf(a % g.leaf_count());
+            let b = Leaf(b % g.leaf_count());
+            let d = g.deepest_shared_level(a, b);
+            for lvl in 0..g.levels() {
+                prop_assert_eq!(
+                    g.paths_share_level(a, b, lvl),
+                    lvl <= d,
+                    "a={} b={} lvl={} d={}", a, b, lvl, d
+                );
             }
         }
 

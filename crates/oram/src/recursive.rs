@@ -42,6 +42,11 @@ pub struct RecursivePathOram {
     /// a `*_deferred` access, FIFO. Drained by
     /// [`RecursivePathOram::drain_eviction`].
     pending_evictions: VecDeque<Leaf>,
+    /// Reusable scratch for the covering posmap block indices of one
+    /// access (one entry per recursion level).
+    covering_scratch: Vec<u64>,
+    /// Reusable scratch for one dummy access's batched leaf draws.
+    dummy_leaves: Vec<Leaf>,
 }
 
 impl std::fmt::Debug for RecursivePathOram {
@@ -102,6 +107,8 @@ impl RecursivePathOram {
             rng: SplitMix64::new(rng_seed),
             stats: OramStats::default(),
             pending_evictions: VecDeque::new(),
+            covering_scratch: Vec::new(),
+            dummy_leaves: Vec::new(),
         })
     }
 
@@ -119,6 +126,20 @@ impl RecursivePathOram {
         self.access(addr, OramOp::Read, None, false)
     }
 
+    /// As [`RecursivePathOram::read`], discarding the payload: the same
+    /// trees move the same bytes, but no copy of the cache line is
+    /// materialized. The multi-tenant host's serving datapath consumes
+    /// only the access's *timing*, so its read path stays allocation-free.
+    pub fn read_discard(&mut self, addr: u64) {
+        self.access_inner(addr, OramOp::Read, None, false, false);
+    }
+
+    /// As [`RecursivePathOram::read_deferred`], discarding the payload
+    /// (see [`RecursivePathOram::read_discard`]).
+    pub fn read_discard_deferred(&mut self, addr: u64) {
+        self.access_inner(addr, OramOp::Read, None, true, false);
+    }
+
     /// Writes the cache line at block address `addr`.
     ///
     /// # Panics
@@ -126,7 +147,7 @@ impl RecursivePathOram {
     /// Panics if `addr` is out of range or `data` is not one data block
     /// long.
     pub fn write(&mut self, addr: u64, data: &[u8]) {
-        self.access(addr, OramOp::Write, Some(data), false);
+        self.access_inner(addr, OramOp::Write, Some(data), false, false);
     }
 
     /// As [`RecursivePathOram::read`], but the data tree's path
@@ -146,7 +167,7 @@ impl RecursivePathOram {
     /// Panics if `addr` is out of range or `data` is not one data block
     /// long.
     pub fn write_deferred(&mut self, addr: u64, data: &[u8]) {
-        self.access(addr, OramOp::Write, Some(data), true);
+        self.access_inner(addr, OramOp::Write, Some(data), true, false);
     }
 
     /// Performs an indistinguishable dummy access (§1.1.2): a random path
@@ -165,11 +186,21 @@ impl RecursivePathOram {
     }
 
     fn dummy(&mut self, defer: bool) {
+        // Batch the PRNG draws up front (same draw order as ever:
+        // posmap chain smallest-first, then the data tree) so the hot
+        // loop below is pure tree work; the scratch is reused across
+        // dummies.
+        self.dummy_leaves.clear();
         for i in (0..self.posmaps.len()).rev() {
-            let leaf = Leaf(self.rng.next_below(self.posmaps[i].geometry().leaf_count()));
-            self.posmaps[i].dummy_access(leaf);
+            self.dummy_leaves.push(Leaf(
+                self.rng.next_below(self.posmaps[i].geometry().leaf_count()),
+            ));
         }
         let leaf = Leaf(self.rng.next_below(self.data.geometry().leaf_count()));
+        for (j, i) in (0..self.posmaps.len()).rev().enumerate() {
+            let posmap_leaf = self.dummy_leaves[j];
+            self.posmaps[i].dummy_access(posmap_leaf);
+        }
         if defer {
             self.data.dummy_access_deferred(leaf);
             self.pending_evictions.push_back(leaf);
@@ -229,6 +260,23 @@ impl RecursivePathOram {
     }
 
     fn access(&mut self, addr: u64, op: OramOp, data: Option<&[u8]>, defer: bool) -> Vec<u8> {
+        self.access_inner(addr, op, data, defer, true)
+            .expect("requested result")
+    }
+
+    /// One full recursive access. `want_result` controls whether the data
+    /// block's payload is cloned out — the tree and PRNG work is
+    /// byte-identical either way, so discard-mode callers (the host's
+    /// serving datapath) get the same timing and DRAM image with zero
+    /// payload allocation.
+    fn access_inner(
+        &mut self,
+        addr: u64,
+        op: OramOp,
+        data: Option<&[u8]>,
+        defer: bool,
+        want_result: bool,
+    ) -> Option<Vec<u8>> {
         assert!(
             addr < self.config.data_block_capacity(),
             "address {addr} beyond ORAM capacity {}",
@@ -238,7 +286,8 @@ impl RecursivePathOram {
 
         // Block indices at each recursion level, data-level first.
         // posmap block covering data block `a` is `a / entries`, etc.
-        let mut covering = Vec::with_capacity(self.posmaps.len());
+        let mut covering = std::mem::take(&mut self.covering_scratch);
+        covering.clear();
         let mut b = addr;
         for _ in &self.posmaps {
             b /= entries;
@@ -271,7 +320,9 @@ impl RecursivePathOram {
             };
             let new_below_leaf = Leaf(self.rng.next_below(below_leaves));
             let mut old_below_leaf = Leaf(0);
-            self.posmaps[i].access_update(block, cur_leaf, cur_new, |payload| {
+            // The posmap block's payload is consumed inside the closure;
+            // the quiet access avoids cloning it back out.
+            self.posmaps[i].access_update_quiet(block, cur_leaf, cur_new, |payload| {
                 let off = slot * POSMAP_ENTRY_BYTES;
                 let bytes: [u8; 4] = payload[off..off + 4]
                     .try_into()
@@ -285,6 +336,7 @@ impl RecursivePathOram {
             cur_leaf = leaf_for_below;
             cur_new = new_below_leaf;
         }
+        self.covering_scratch = covering;
 
         // 3. Data ORAM access (eviction inline or deferred).
         let result = match (op, data) {
@@ -296,19 +348,41 @@ impl RecursivePathOram {
                 );
                 if defer {
                     self.data
-                        .access_update_deferred(BlockId(addr), cur_leaf, cur_new, |p| {
+                        .access_update_deferred_quiet(BlockId(addr), cur_leaf, cur_new, |p| {
                             p.copy_from_slice(bytes)
-                        })
+                        });
                 } else {
-                    self.data.write(BlockId(addr), cur_leaf, cur_new, bytes)
+                    self.data
+                        .access_update_quiet(BlockId(addr), cur_leaf, cur_new, |p| {
+                            p.copy_from_slice(bytes)
+                        });
                 }
+                None
             }
             (OramOp::Read, _) => {
                 if defer {
-                    self.data
-                        .access_update_deferred(BlockId(addr), cur_leaf, cur_new, |_| {})
+                    if want_result {
+                        Some(self.data.access_update_deferred(
+                            BlockId(addr),
+                            cur_leaf,
+                            cur_new,
+                            |_| {},
+                        ))
+                    } else {
+                        self.data.access_update_deferred_quiet(
+                            BlockId(addr),
+                            cur_leaf,
+                            cur_new,
+                            |_| {},
+                        );
+                        None
+                    }
+                } else if want_result {
+                    Some(self.data.read(BlockId(addr), cur_leaf, cur_new))
                 } else {
-                    self.data.read(BlockId(addr), cur_leaf, cur_new)
+                    self.data
+                        .access_update_quiet(BlockId(addr), cur_leaf, cur_new, |_| {});
+                    None
                 }
             }
             (OramOp::Write, None) => unreachable!("write always carries data"),

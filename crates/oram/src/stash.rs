@@ -21,6 +21,13 @@ use std::collections::BTreeMap;
 pub struct Stash {
     blocks: BTreeMap<BlockId, StoredBlock>,
     peak: usize,
+    /// Reusable eviction scratch: the ids chosen for the bucket being
+    /// filled. Kept across drains so the steady-state eviction path
+    /// allocates nothing.
+    chosen: Vec<BlockId>,
+    /// Reusable scratch for [`Stash::evict_path_into`]: the `(id, level)`
+    /// placements of one whole-path eviction pass.
+    placed: Vec<(BlockId, usize)>,
 }
 
 impl Stash {
@@ -78,26 +85,101 @@ impl Stash {
     /// `limit`): a deterministic tie-break, where the earlier hash-order
     /// choice could park different blocks in shared buckets from run to
     /// run.
-    pub fn drain_for_bucket<F>(&mut self, limit: usize, mut may_place: F) -> Vec<StoredBlock>
+    pub fn drain_for_bucket<F>(&mut self, limit: usize, may_place: F) -> Vec<StoredBlock>
     where
         F: FnMut(Leaf) -> bool,
     {
+        let mut out = Vec::with_capacity(limit.min(self.blocks.len()));
+        self.drain_for_bucket_into(limit, may_place, &mut out);
+        out
+    }
+
+    /// As [`Stash::drain_for_bucket`], but *appending* the evicted
+    /// blocks to a caller-owned buffer (typically the bucket's own block
+    /// vector, emptied by the preceding path read), so the steady-state
+    /// eviction path performs no allocation. Selection is identical:
+    /// id-ordered scan, first `limit` eligible blocks win.
+    pub fn drain_for_bucket_into<F>(
+        &mut self,
+        limit: usize,
+        mut may_place: F,
+        out: &mut Vec<StoredBlock>,
+    ) where
+        F: FnMut(Leaf) -> bool,
+    {
         if limit == 0 {
-            return Vec::new();
+            return;
         }
-        let mut chosen: Vec<BlockId> = Vec::with_capacity(limit);
+        self.chosen.clear();
         for (id, blk) in self.blocks.iter() {
             if may_place(blk.leaf) {
-                chosen.push(*id);
-                if chosen.len() == limit {
+                self.chosen.push(*id);
+                if self.chosen.len() == limit {
                     break;
                 }
             }
         }
-        chosen
-            .into_iter()
-            .map(|id| self.blocks.remove(&id).expect("chosen from stash"))
-            .collect()
+        for i in 0..self.chosen.len() {
+            let id = self.chosen[i];
+            out.push(self.blocks.remove(&id).expect("chosen from stash"));
+        }
+    }
+
+    /// Evicts blocks for one *whole path* in a single id-ordered pass:
+    /// each block goes to the deepest level `<= deepest(leaf)` whose
+    /// output bucket still has a free slot (at most `z` per level), or
+    /// stays resident when every eligible level is full.
+    ///
+    /// This produces placements *identical* to the reference per-bucket
+    /// procedure — calling [`Stash::drain_for_bucket_into`] once per
+    /// level from the leaf upward with the paths-share predicate — in
+    /// O(stash + levels) instead of O(stash x levels). The two are
+    /// equivalent because eviction legality is prefix-closed (a block
+    /// eligible at level `l` is eligible at every level above `l`), so
+    /// both procedures greedily match the same lowest-id blocks to the
+    /// deepest buckets; `prop_single_pass_eviction_matches_per_bucket`
+    /// pins this exhaustively.
+    ///
+    /// `out` must hold one (typically recycled, emptied-by-path-read)
+    /// vector per level, root first. Blocks land in each vector in
+    /// ascending id order, exactly as the per-bucket scan emitted them.
+    pub fn evict_path_into<F>(&mut self, z: usize, mut deepest: F, out: &mut [Vec<StoredBlock>])
+    where
+        F: FnMut(Leaf) -> usize,
+    {
+        if z == 0 || out.is_empty() {
+            return;
+        }
+        self.placed.clear();
+        for (id, blk) in self.blocks.iter() {
+            let d = deepest(blk.leaf).min(out.len() - 1);
+            // Deepest-first: levels fill monotonically, so this scan is
+            // O(1) amortized — it only walks levels that are already
+            // full, and each level fills once per pass.
+            for level in (0..=d).rev() {
+                if out[level].len() < z {
+                    out[level].push(StoredBlock {
+                        id: *id,
+                        leaf: blk.leaf,
+                        payload: Vec::new(),
+                    });
+                    self.placed.push((*id, level));
+                    break;
+                }
+            }
+        }
+        // Second pass moves the real payloads: the placeholder pushed
+        // above reserved the slot (keeping per-level id order and
+        // capacity exact) without fighting the borrow on `self.blocks`.
+        for i in 0..self.placed.len() {
+            let (id, level) = self.placed[i];
+            let block = self.blocks.remove(&id).expect("placed from stash");
+            let slot = out[level]
+                .iter_mut()
+                .find(|b| b.id == id)
+                .expect("slot reserved above");
+            *slot = block;
+        }
     }
 
     /// Iterates over resident blocks (for invariant checks).
@@ -186,5 +268,61 @@ mod tests {
         s.insert(blk(1, 0));
         assert!(s.drain_for_bucket(0, |_| true).is_empty());
         assert_eq!(s.len(), 1);
+    }
+
+    mod single_pass_equivalence {
+        use super::*;
+        use crate::geometry::TreeGeometry;
+        use proptest::prelude::*;
+
+        /// Reference eviction: one [`Stash::drain_for_bucket`] per level,
+        /// leaf upward — exactly what `TreeOram::write_path_from_stash`
+        /// did before the single-pass rewrite.
+        fn per_bucket(
+            stash: &mut Stash,
+            geom: &TreeGeometry,
+            path_leaf: Leaf,
+            out: &mut [Vec<StoredBlock>],
+        ) {
+            for level in (0..geom.levels() as usize).rev() {
+                let drained = stash.drain_for_bucket(geom.z(), |block_leaf| {
+                    geom.paths_share_level(path_leaf, block_leaf, level as u32)
+                });
+                out[level] = drained;
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn prop_single_pass_eviction_matches_per_bucket(
+                levels in 1u32..6,
+                z in 1usize..4,
+                path_leaf in any::<u64>(),
+                blocks in proptest::collection::vec((0u64..48, any::<u64>()), 0..32),
+            ) {
+                let geom = TreeGeometry::new(levels, z, 64, 16);
+                let path_leaf = Leaf(path_leaf % geom.leaf_count());
+                let mut reference = Stash::new();
+                let mut fast = Stash::new();
+                for &(id, leaf) in &blocks {
+                    let b = blk(id, leaf % geom.leaf_count());
+                    reference.insert(b.clone());
+                    fast.insert(b);
+                }
+                let n = levels as usize;
+                let mut ref_out = vec![Vec::new(); n];
+                let mut fast_out = vec![Vec::new(); n];
+                per_bucket(&mut reference, &geom, path_leaf, &mut ref_out);
+                fast.evict_path_into(
+                    geom.z(),
+                    |block_leaf| geom.deepest_shared_level(path_leaf, block_leaf) as usize,
+                    &mut fast_out,
+                );
+                prop_assert_eq!(fast_out, ref_out, "bucket placements diverged");
+                let rem_ref: Vec<BlockId> = reference.iter().map(|b| b.id).collect();
+                let rem_fast: Vec<BlockId> = fast.iter().map(|b| b.id).collect();
+                prop_assert_eq!(rem_fast, rem_ref, "resident sets diverged");
+            }
+        }
     }
 }

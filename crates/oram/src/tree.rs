@@ -11,7 +11,7 @@
 //! instantiate.
 
 use crate::bucket::{Bucket, StoredBlock};
-use crate::geometry::TreeGeometry;
+use crate::geometry::{PathTable, TreeGeometry};
 use crate::stash::Stash;
 use crate::types::{BlockId, Leaf, NodeIndex};
 use otc_crypto::Prf;
@@ -88,11 +88,76 @@ pub struct TreeStats {
     pub stash_peak: usize,
 }
 
+/// Tree levels held in the dense top-of-tree array. Every access
+/// rewrites its path's top levels, so these buckets are hot on *every*
+/// access and (for any realistic access count) all materialize anyway;
+/// storing them as a flat heap-indexed array turns the hottest
+/// `DENSE_LEVELS` of every path read/write into direct indexing with no
+/// hashing and no probing. 2^14 − 1 buckets ≈ 0.5 MB per tree — the
+/// on-chip tree-top buffer of the Ren et al. [26] controller designs,
+/// in host-memory form.
+const DENSE_LEVELS: u32 = 14;
+
+/// Fast node-index hasher for the deep (sparse) bucket map.
+///
+/// Bucket keys are heap indices — structured, dense-per-level integers —
+/// and the map is probed ~2 x levels times per access, so SipHash is
+/// pure overhead here (there is no attacker-controlled key material:
+/// node indices derive from PRNG-drawn leaves). A SplitMix64-style
+/// finalizer mixes all 64 bits into the low bits hashbrown indexes by.
+#[derive(Clone, Copy, Default)]
+struct NodeIndexHasher(u64);
+
+impl std::hash::Hasher for NodeIndexHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct BuildNodeIndexHasher;
+
+impl std::hash::BuildHasher for BuildNodeIndexHasher {
+    type Hasher = NodeIndexHasher;
+
+    fn build_hasher(&self) -> NodeIndexHasher {
+        NodeIndexHasher::default()
+    }
+}
+
 /// One Path ORAM tree.
 pub struct TreeOram {
     geom: TreeGeometry,
-    buckets: HashMap<NodeIndex, Bucket>,
+    /// Per-level path-node constants, computed once per geometry — the
+    /// path read/write hot loops index this instead of re-deriving
+    /// bucket indices per access.
+    path: PathTable,
+    /// Top [`DENSE_LEVELS`] levels, heap-indexed (`node.0` directly):
+    /// the tree-top buffer. Always allocated, `encryption_counter == 0`
+    /// means "never written" exactly like absence from the sparse map.
+    dense: Vec<Bucket>,
+    /// Buckets below the dense levels, lazily materialized on first
+    /// write — an untouched deep bucket is all dummies and costs no
+    /// host memory, so paper-scale trees stay cheap to instantiate.
+    buckets: HashMap<NodeIndex, Bucket, BuildNodeIndexHasher>,
     stash: Stash,
+    /// Per-level eviction scratch (root first), recycled across
+    /// accesses: the single-pass stash eviction fills these, then each
+    /// vector's contents move into the corresponding path bucket.
+    evict_scratch: Vec<Vec<StoredBlock>>,
     default_payload: DefaultPayload,
     /// Fingerprint PRF: models what ciphertext an adversary would see for
     /// a bucket (changes on every write-back).
@@ -104,7 +169,7 @@ impl std::fmt::Debug for TreeOram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TreeOram")
             .field("geom", &self.geom)
-            .field("materialized_buckets", &self.buckets.len())
+            .field("materialized_buckets", &self.materialized_buckets())
             .field("stash_len", &self.stash.len())
             .field("accesses", &self.accesses)
             .finish()
@@ -116,8 +181,14 @@ impl TreeOram {
     pub fn new(geom: TreeGeometry, default_payload: DefaultPayload, fingerprint_prf: Prf) -> Self {
         Self {
             geom,
-            buckets: HashMap::new(),
+            path: geom.path_table(),
+            dense: {
+                let levels = geom.levels().min(DENSE_LEVELS);
+                vec![Bucket::empty(); ((1u64 << levels) - 1) as usize]
+            },
+            buckets: HashMap::default(),
             stash: Stash::new(),
+            evict_scratch: Vec::new(),
             default_payload,
             fingerprint_prf,
             accesses: 0,
@@ -203,6 +274,30 @@ impl TreeOram {
     where
         F: FnOnce(&mut Vec<u8>),
     {
+        self.access_update_deferred_quiet(id, leaf, new_leaf, update);
+        self.stash
+            .get(id)
+            .expect("block staged in stash")
+            .payload
+            .clone()
+    }
+
+    /// As [`TreeOram::access_update_deferred`], but without materializing
+    /// a copy of the updated payload. The serving datapath discards the
+    /// result of most accesses (every posmap hop, every write, every
+    /// host-level read whose payload nobody consumes), so the quiet
+    /// variants keep the per-access hot path allocation-free; callers
+    /// that do want the payload read it through `update` or use the
+    /// cloning wrappers.
+    pub fn access_update_deferred_quiet<F>(
+        &mut self,
+        id: BlockId,
+        leaf: Leaf,
+        new_leaf: Leaf,
+        update: F,
+    ) where
+        F: FnOnce(&mut Vec<u8>),
+    {
         assert!(new_leaf.0 < self.geom.leaf_count(), "new_leaf out of range");
         self.read_path_into_stash(leaf);
 
@@ -217,9 +312,17 @@ impl TreeOram {
         let block = self.stash.get_mut(id).expect("block staged in stash");
         block.leaf = new_leaf;
         update(&mut block.payload);
-        let result = block.payload.clone();
         self.accesses += 1;
-        result
+    }
+
+    /// Quiet counterpart of [`TreeOram::access_update`]: full access
+    /// (read path, update, immediate write-back) with no payload copy.
+    pub fn access_update_quiet<F>(&mut self, id: BlockId, leaf: Leaf, new_leaf: Leaf, update: F)
+    where
+        F: FnOnce(&mut Vec<u8>),
+    {
+        self.access_update_deferred_quiet(id, leaf, new_leaf, update);
+        self.write_path_from_stash(leaf);
     }
 
     /// Dummy-access counterpart of [`TreeOram::access_update_deferred`]:
@@ -259,11 +362,14 @@ impl TreeOram {
     /// DRAM would see it (§3.2). Changes on every write-back because
     /// buckets are re-encrypted probabilistically.
     pub fn bucket_fingerprint(&self, node: NodeIndex) -> u64 {
-        let counter = self
-            .buckets
-            .get(&node)
-            .map(|b| b.encryption_counter)
-            .unwrap_or(0);
+        let counter = if (node.0 as usize) < self.dense.len() {
+            self.dense[node.0 as usize].encryption_counter
+        } else {
+            self.buckets
+                .get(&node)
+                .map(|b| b.encryption_counter)
+                .unwrap_or(0)
+        };
         self.fingerprint_prf.eval2(node.0, counter)
     }
 
@@ -288,35 +394,74 @@ impl TreeOram {
     }
 
     /// Number of buckets that have ever been written (host-memory
-    /// footprint diagnostic).
+    /// footprint diagnostic). Dense tree-top buckets are pre-allocated,
+    /// so "written" there means a non-zero encryption counter — exactly
+    /// the condition under which the sparse map used to materialize an
+    /// entry.
     pub fn materialized_buckets(&self) -> usize {
-        self.buckets.len()
+        let dense_written = self
+            .dense
+            .iter()
+            .filter(|b| b.encryption_counter > 0)
+            .count();
+        dense_written + self.buckets.len()
     }
 
     fn read_path_into_stash(&mut self, leaf: Leaf) {
-        assert!(leaf.0 < self.geom.leaf_count(), "leaf out of range");
-        for node in self.geom.path_nodes(leaf).collect::<Vec<_>>() {
+        self.path.assert_leaf(leaf);
+        let dense_levels = self.dense_levels();
+        for level in 0..dense_levels {
+            let node = self.path.node_at(leaf, level);
+            // Drain in place: the bucket keeps its block vector's
+            // allocation for the write-back half of the access.
+            for block in self.dense[node.0 as usize].blocks.drain(..) {
+                self.stash.insert(block);
+            }
+        }
+        for level in dense_levels..self.path.levels() {
+            let node = self.path.node_at(leaf, level);
             if let Some(bucket) = self.buckets.get_mut(&node) {
-                for block in bucket.take_blocks() {
+                for block in bucket.blocks.drain(..) {
                     self.stash.insert(block);
                 }
             }
         }
     }
 
+    /// How many of this tree's levels live in the dense top array.
+    #[inline]
+    fn dense_levels(&self) -> usize {
+        self.geom.levels().min(DENSE_LEVELS) as usize
+    }
+
     fn write_path_from_stash(&mut self, leaf: Leaf) {
         // Evict greedily from the leaf upward: deeper placements free more
         // stash space and are strictly harder to satisfy, so fill them
-        // first (standard Path ORAM eviction).
-        for level in (0..self.geom.levels()).rev() {
-            let node = self.geom.node_at(leaf, level);
-            let geom = self.geom;
-            let placed = self.stash.drain_for_bucket(geom.z(), |block_leaf| {
-                geom.paths_share_level(leaf, block_leaf, level)
-            });
-            let bucket = self.buckets.entry(node).or_insert_with(Bucket::empty);
+        // first (standard Path ORAM eviction). The whole path is filled
+        // in ONE id-ordered stash pass — placements provably identical
+        // to the per-bucket reference scan (see
+        // [`Stash::evict_path_into`]) at O(stash + levels) instead of
+        // O(stash x levels) per access.
+        let geom = self.geom;
+        let levels = self.path.levels();
+        if self.evict_scratch.len() != levels {
+            self.evict_scratch.resize_with(levels, Vec::new);
+        }
+        self.stash.evict_path_into(
+            geom.z(),
+            |block_leaf| geom.deepest_shared_level(leaf, block_leaf) as usize,
+            &mut self.evict_scratch,
+        );
+        let dense_levels = self.dense_levels();
+        for level in (0..levels).rev() {
+            let node = self.path.node_at(leaf, level);
+            let bucket = if level < dense_levels {
+                &mut self.dense[node.0 as usize]
+            } else {
+                self.buckets.entry(node).or_insert_with(Bucket::empty)
+            };
             debug_assert!(bucket.blocks.is_empty(), "path was read before write");
-            bucket.blocks = placed;
+            bucket.blocks.append(&mut self.evict_scratch[level]);
             // Probabilistic re-encryption of every bucket on the path.
             bucket.encryption_counter += 1;
         }
@@ -332,13 +477,18 @@ impl TreeOram {
     /// for tests and debug assertions, not production paths.
     pub fn check_invariant(&self) -> usize {
         let mut checked = 0;
-        for (node, bucket) in &self.buckets {
+        let dense = self
+            .dense
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (NodeIndex(i as u64), b));
+        for (node, bucket) in dense.chain(self.buckets.iter().map(|(n, b)| (*n, b))) {
             assert!(
                 bucket.blocks.len() <= self.geom.z(),
                 "bucket {node:?} over capacity"
             );
             for block in &bucket.blocks {
-                let on_path = self.geom.path_nodes(block.leaf).any(|n| n == *node);
+                let on_path = self.geom.path_nodes(block.leaf).any(|n| n == node);
                 assert!(
                     on_path,
                     "block {} mapped to {} stored off-path at node {:?}",

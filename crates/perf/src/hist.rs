@@ -38,7 +38,9 @@ impl Histogram {
     pub fn from_parts(width: u64, counts: Vec<u64>) -> Self {
         assert!(width > 0, "histogram bucket width must be positive");
         assert!(!counts.is_empty(), "histogram needs at least one bucket");
-        let total = counts.iter().sum();
+        // Saturating: decoded (untrusted) counts must not wrap the
+        // total and corrupt every percentile rank computed from it.
+        let total = counts.iter().fold(0u64, |a, &b| a.saturating_add(b));
         Self {
             width,
             counts,
